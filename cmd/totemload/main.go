@@ -1,0 +1,182 @@
+// Command totemload measures real-time (wall-clock) throughput and
+// submit-to-delivery latency of a Totem ring running in this process over
+// the in-memory transport — the live-runtime complement to the
+// virtual-time simulator benches of cmd/totembench.
+//
+//	totemload -nodes 4 -networks 2 -style passive -len 1000 -duration 5s
+//	totemload -style active -kill 1 -killafter 2s   # fail a network mid-run
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	totem "github.com/totem-rrp/totem"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 4, "ring members")
+		networks = flag.Int("networks", 2, "redundant networks")
+		style    = flag.String("style", "passive", "none | active | passive | active-passive")
+		k        = flag.Int("k", 2, "copies for active-passive")
+		msgLen   = flag.Int("len", 1000, "payload bytes")
+		duration = flag.Duration("duration", 5*time.Second, "measurement duration")
+		kill     = flag.Int("kill", -1, "network to kill mid-run (-1: none)")
+		killAt   = flag.Duration("killafter", 2*time.Second, "when to kill it")
+	)
+	flag.Parse()
+	if err := run(*nodes, *networks, *style, *k, *msgLen, *duration, *kill, *killAt); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func parseStyle(s string) (totem.ReplicationStyle, error) {
+	switch s {
+	case "none":
+		return totem.NoReplication, nil
+	case "active":
+		return totem.Active, nil
+	case "passive":
+		return totem.Passive, nil
+	case "active-passive", "ap":
+		return totem.ActivePassive, nil
+	}
+	return 0, fmt.Errorf("unknown style %q", s)
+}
+
+func run(nodes, networks int, styleName string, k, msgLen int, duration time.Duration, kill int, killAt time.Duration) error {
+	style, err := parseStyle(styleName)
+	if err != nil {
+		return err
+	}
+	if msgLen < 12 {
+		msgLen = 12 // room for the timestamp header
+	}
+	hub := totem.NewMemHub(networks)
+	ring := make([]*totem.Node, 0, nodes)
+	for i := 1; i <= nodes; i++ {
+		tr, err := hub.Join(totem.NodeID(i))
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		n, err := totem.NewNode(totem.Config{
+			ID:          totem.NodeID(i),
+			Networks:    networks,
+			Replication: style,
+			K:           k,
+		}, tr)
+		if err != nil {
+			return err
+		}
+		defer n.Close()
+		ring = append(ring, n)
+	}
+	for {
+		ready := true
+		for _, n := range ring {
+			if _, members := n.Ring(); len(members) != nodes || !n.Operational() {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("ring up: %d nodes, %d networks, %v replication, %dB payloads\n",
+		nodes, networks, style, msgLen)
+
+	// Consumer on the last node records latency from the timestamp the
+	// producer embeds in each payload.
+	type sample struct{ lat time.Duration }
+	samples := make(chan sample, 65536)
+	done := make(chan struct{})
+	var delivered uint64
+	var bytes uint64
+	go func() {
+		defer close(done)
+		sink := ring[len(ring)-1].Deliveries()
+		for d := range sink {
+			delivered++
+			bytes += uint64(len(d.Payload))
+			sent := time.Duration(binary.BigEndian.Uint64(d.Payload[4:]))
+			select {
+			case samples <- sample{lat: time.Duration(time.Now().UnixNano()) - sent}:
+			default:
+			}
+		}
+	}()
+
+	// Saturating producers on every node.
+	stop := make(chan struct{})
+	for _, n := range ring {
+		go func() {
+			payload := make([]byte, msgLen)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				binary.BigEndian.PutUint64(payload[4:], uint64(time.Now().UnixNano()))
+				if err := n.Send(append([]byte(nil), payload...)); err != nil {
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+		}()
+	}
+
+	if kill >= 0 && kill < networks {
+		time.AfterFunc(killAt, func() {
+			fmt.Printf("-- killing network %d --\n", kill)
+			hub.KillNetwork(kill)
+		})
+	}
+
+	start := time.Now()
+	time.Sleep(duration)
+	close(stop)
+	elapsed := time.Since(start)
+	total, totalBytes := delivered, bytes
+
+	// Drain the latency samples.
+	var lats []time.Duration
+	for {
+		select {
+		case s := <-samples:
+			lats = append(lats, s.lat)
+			continue
+		default:
+		}
+		break
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+
+	fmt.Printf("delivered %d msgs in %v: %.0f msgs/sec, %.0f KB/s (wall clock)\n",
+		total, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds(), float64(totalBytes)/elapsed.Seconds()/1024)
+	fmt.Printf("latency p50=%v p90=%v p99=%v max=%v (%d samples)\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond), len(lats))
+	probe := ring[len(ring)-1]
+	fmt.Printf("network faults at probe node: %v\n", probe.NetworkFaults())
+	s := probe.Stats()
+	fmt.Printf("rrp rx per network: %v; tokens gated %d, timed out %d; srp retransmissions %d\n",
+		s.RRP.RxPackets, s.RRP.TokensGated, s.RRP.TokensTimedOut, s.SRP.Retransmissions)
+	return nil
+}

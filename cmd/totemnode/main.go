@@ -1,0 +1,152 @@
+// Command totemnode runs one Totem RRP node over real UDP sockets — a
+// line-oriented group chat that demonstrates the library end to end.
+// Every line typed on stdin is broadcast with total ordering; deliveries,
+// membership changes and network-fault alarms are printed as they happen.
+//
+// Example: a two-node ring on two redundant (loopback) networks.
+//
+//	totemnode -id 1 -listen 127.0.0.1:5401,127.0.0.1:5501 \
+//	          -peer 2=127.0.0.1:5402,127.0.0.1:5502 -style passive
+//	totemnode -id 2 -listen 127.0.0.1:5402,127.0.0.1:5502 \
+//	          -peer 1=127.0.0.1:5401,127.0.0.1:5501 -style passive
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	totem "github.com/totem-rrp/totem"
+)
+
+type peerList []string
+
+func (p *peerList) String() string     { return strings.Join(*p, " ") }
+func (p *peerList) Set(v string) error { *p = append(*p, v); return nil }
+
+func main() {
+	var peers peerList
+	id := flag.Uint("id", 0, "node ID (non-zero, unique)")
+	listen := flag.String("listen", "", "comma-separated local addresses, one per redundant network")
+	style := flag.String("style", "passive", "replication style: none, active, passive, active-passive")
+	k := flag.Int("k", 2, "copies for active-passive replication")
+	flag.Var(&peers, "peer", "peer spec id=addr1,addr2,... (repeatable)")
+	flag.Parse()
+	if err := run(uint32(*id), *listen, *style, *k, peers); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func parseStyle(s string) (totem.ReplicationStyle, error) {
+	switch s {
+	case "none":
+		return totem.NoReplication, nil
+	case "active":
+		return totem.Active, nil
+	case "passive":
+		return totem.Passive, nil
+	case "active-passive", "ap":
+		return totem.ActivePassive, nil
+	default:
+		return 0, fmt.Errorf("unknown style %q", s)
+	}
+}
+
+func run(id uint32, listen, styleName string, k int, peers peerList) error {
+	if id == 0 {
+		return fmt.Errorf("-id is required and must be non-zero")
+	}
+	if listen == "" {
+		return fmt.Errorf("-listen is required")
+	}
+	style, err := parseStyle(styleName)
+	if err != nil {
+		return err
+	}
+	cfg := totem.UDPConfig{
+		ID:     totem.NodeID(id),
+		Listen: strings.Split(listen, ","),
+		Peers:  map[totem.NodeID][]string{},
+	}
+	for _, spec := range peers {
+		pid, addrs, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -peer %q, want id=addr1,addr2", spec)
+		}
+		n, err := strconv.ParseUint(pid, 10, 32)
+		if err != nil || n == 0 {
+			return fmt.Errorf("bad peer id in %q", spec)
+		}
+		cfg.Peers[totem.NodeID(n)] = strings.Split(addrs, ",")
+	}
+	tr, err := totem.NewUDPTransport(cfg)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+
+	node, err := totem.NewNode(totem.Config{
+		ID:          totem.NodeID(id),
+		Networks:    len(cfg.Listen),
+		Replication: style,
+		K:           k,
+	}, tr)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	fmt.Printf("node %d up on %d network(s), style %v — type to broadcast; /status /stats /readmit <n>\n",
+		id, len(cfg.Listen), style)
+
+	go func() {
+		for d := range node.Deliveries() {
+			fmt.Printf("[%v seq=%d] %s\n", d.Sender, d.Seq, d.Payload)
+		}
+	}()
+	go func() {
+		for f := range node.Faults() {
+			fmt.Printf("!! FAULT: %v\n", f)
+		}
+	}()
+	go func() {
+		for c := range node.ConfigChanges() {
+			fmt.Printf("** %v\n", c)
+		}
+	}()
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		// Operator commands; anything else is broadcast.
+		switch {
+		case line == "/status":
+			ring, members := node.Ring()
+			fmt.Printf("ring %v members %v faults %v\n", ring, members, node.NetworkFaults())
+		case line == "/stats":
+			s := node.Stats()
+			fmt.Printf("srp: %+v\nrrp tx=%v rx=%v gated=%d timedout=%d\n",
+				s.SRP, s.RRP.TxPackets, s.RRP.RxPackets, s.RRP.TokensGated, s.RRP.TokensTimedOut)
+		case strings.HasPrefix(line, "/readmit "):
+			var net int
+			if _, err := fmt.Sscanf(line, "/readmit %d", &net); err != nil {
+				fmt.Println("usage: /readmit <network>")
+				continue
+			}
+			node.ReadmitNetwork(net)
+			fmt.Printf("network %d readmitted; faults now %v\n", net, node.NetworkFaults())
+		default:
+			if err := node.Send([]byte(line)); err != nil {
+				fmt.Printf("send failed: %v\n", err)
+			}
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,134 @@
+// Failover: the paper's headline behaviour (§1, §3). Three nodes run on
+// two redundant networks with active replication; mid-stream, network 1
+// dies completely. The message stream continues without interruption or
+// membership change, and the RRP monitors raise the operator alarm.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	totem "github.com/totem-rrp/totem"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		members  = 3
+		networks = 2
+	)
+	hub := totem.NewMemHub(networks)
+	nodes := make([]*totem.Node, 0, members)
+	for i := 1; i <= members; i++ {
+		tr, err := hub.Join(totem.NodeID(i))
+		if err != nil {
+			return err
+		}
+		node, err := totem.NewNode(totem.Config{
+			ID:          totem.NodeID(i),
+			Networks:    networks,
+			Replication: totem.Active,
+		}, tr)
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		nodes = append(nodes, node)
+	}
+	for !ready(nodes, members) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	ringBefore, ids := nodes[0].Ring()
+	fmt.Printf("ring %v formed with members %v on %d redundant networks\n", ringBefore, ids, networks)
+
+	// A steady publisher on node 1; a consumer on node 3.
+	stop := make(chan struct{})
+	go func() {
+		seq := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			payload := fmt.Sprintf("tick %d", seq)
+			if err := nodes[0].Send([]byte(payload)); err == nil {
+				seq++
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	defer close(stop)
+
+	consume := func(n int) int {
+		count := 0
+		deadline := time.After(10 * time.Second)
+		for count < n {
+			select {
+			case <-nodes[2].Deliveries():
+				count++
+			case <-deadline:
+				return count
+			}
+		}
+		return count
+	}
+
+	if got := consume(100); got < 100 {
+		return fmt.Errorf("only %d messages before the fault", got)
+	}
+	fmt.Println("100 messages delivered; killing network 1 ...")
+	hub.KillNetwork(1)
+
+	// The stream continues across the fault.
+	if got := consume(300); got < 300 {
+		return fmt.Errorf("stream interrupted by network death: only %d messages after", got)
+	}
+	fmt.Println("300 more messages delivered across the network failure")
+
+	// The operator alarm fires ...
+	select {
+	case f := <-nodes[2].Faults():
+		fmt.Printf("operator alarm: %v\n", f)
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("no fault report raised")
+	}
+
+	// ... and the failure was transparent: same ring, same members.
+	ringAfter, idsAfter := nodes[0].Ring()
+	if ringAfter != ringBefore {
+		return fmt.Errorf("membership changed: %v -> %v", ringBefore, ringAfter)
+	}
+	fmt.Printf("membership unchanged (%v, members %v): the fault was transparent\n", ringAfter, idsAfter)
+	fmt.Printf("per-network fault flags at node 3: %v\n", nodes[2].NetworkFaults())
+
+	// The administrator repairs the network and readmits it: redundancy
+	// is restored without ever stopping the system.
+	hub.ReviveNetwork(1)
+	for _, n := range nodes {
+		n.ReadmitNetwork(1)
+	}
+	if got := consume(100); got < 100 {
+		return fmt.Errorf("stream faltered after readmission: %d", got)
+	}
+	fmt.Printf("network repaired and readmitted; flags now: %v\n", nodes[2].NetworkFaults())
+	return nil
+}
+
+func ready(nodes []*totem.Node, want int) bool {
+	for _, n := range nodes {
+		if _, members := n.Ring(); len(members) != want || !n.Operational() {
+			return false
+		}
+	}
+	return true
+}

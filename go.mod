@@ -1,0 +1,3 @@
+module github.com/totem-rrp/totem
+
+go 1.22

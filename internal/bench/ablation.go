@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/sim"
+	"github.com/totem-rrp/totem/internal/stack"
+)
+
+// Ablations sweep the design parameters the paper leaves implicit, to
+// show how sensitive the headline results are to each choice. Every
+// ablation runs the 4-node, 1 KB configuration of the headline
+// experiment, varying exactly one knob.
+
+// ablationBase is the reference point shared by all sweeps.
+func ablationBase(style proto.ReplicationStyle, networks int) Experiment {
+	return Experiment{
+		Nodes:    4,
+		Networks: networks,
+		Style:    style,
+		MsgLen:   1024,
+	}
+}
+
+// AblateWindowSize sweeps the flow-control window (packets in flight per
+// rotation). Too small starves the wire; beyond the knee the extra
+// window only adds latency.
+func AblateWindowSize(windows []int) (Series, error) {
+	s := Series{Label: "window-size"}
+	for _, w := range windows {
+		e := ablationBase(proto.ReplicationNone, 1)
+		e.Name = fmt.Sprintf("window=%d", w)
+		window := w
+		e.Tune = func(id proto.NodeID, c *stack.Config) {
+			c.SRP.WindowSize = window
+			if c.SRP.MaxPerVisit > window {
+				c.SRP.MaxPerVisit = window
+			}
+		}
+		r, err := Run(e)
+		if err != nil {
+			return Series{}, err
+		}
+		r.MsgLen = window // reuse the table's first column for the knob
+		s.Results = append(s.Results, r)
+	}
+	return s, nil
+}
+
+// AblateMaxPerVisit sweeps the per-token-visit send cap. Small caps make
+// rotations cheap but frequent; large caps batch sends at the cost of
+// per-visit latency for the other members.
+func AblateMaxPerVisit(caps []int) (Series, error) {
+	s := Series{Label: "max-per-visit"}
+	for _, v := range caps {
+		e := ablationBase(proto.ReplicationNone, 1)
+		e.Name = fmt.Sprintf("visit=%d", v)
+		visit := v
+		e.Tune = func(id proto.NodeID, c *stack.Config) {
+			c.SRP.MaxPerVisit = visit
+			if c.SRP.WindowSize < visit {
+				c.SRP.WindowSize = visit
+			}
+		}
+		r, err := Run(e)
+		if err != nil {
+			return Series{}, err
+		}
+		r.MsgLen = visit
+		s.Results = append(s.Results, r)
+	}
+	return s, nil
+}
+
+// AblateRRPTokenTimeout sweeps the active-replication token gather
+// timeout under 1% loss on one network: too short releases tokens before
+// slow copies arrive (wasting the masking benefit and charging problem
+// counters); too long stalls every rotation that loses a copy.
+func AblateRRPTokenTimeout(timeouts []time.Duration) (Series, error) {
+	s := Series{Label: "rrp-token-timeout"}
+	for _, d := range timeouts {
+		e := ablationBase(proto.ReplicationActive, 2)
+		e.Name = fmt.Sprintf("timeout=%v", d)
+		timeout := d
+		e.Tune = func(id proto.NodeID, c *stack.Config) {
+			c.RRP.TokenTimeout = timeout
+		}
+		e.Net = DefaultLossyNet(0.01)
+		r, err := Run(e)
+		if err != nil {
+			return Series{}, err
+		}
+		r.MsgLen = int(d / time.Millisecond)
+		s.Results = append(s.Results, r)
+	}
+	return s, nil
+}
+
+// AblateK sweeps the active-passive copy count on four networks: K=2
+// halves the per-network load vs K=3; K close to N converges on active
+// replication.
+func AblateK(ks []int) (Series, error) {
+	s := Series{Label: "active-passive-K"}
+	for _, k := range ks {
+		e := ablationBase(proto.ReplicationActivePassive, 4)
+		e.Name = fmt.Sprintf("K=%d", k)
+		e.K = k
+		r, err := Run(e)
+		if err != nil {
+			return Series{}, err
+		}
+		r.MsgLen = k
+		s.Results = append(s.Results, r)
+	}
+	return s, nil
+}
+
+// AblateRingSize sweeps the member count at 1 KB messages, showing the
+// token ring's scalability plateau (aggregate rate is wire-bound and
+// nearly flat; per-node share divides).
+func AblateRingSize(sizes []int) (Series, error) {
+	s := Series{Label: "ring-size"}
+	for _, n := range sizes {
+		e := ablationBase(proto.ReplicationNone, 1)
+		e.Nodes = n
+		e.Name = fmt.Sprintf("nodes=%d", n)
+		r, err := Run(e)
+		if err != nil {
+			return Series{}, err
+		}
+		r.MsgLen = n
+		s.Results = append(s.Results, r)
+	}
+	return s, nil
+}
+
+// DefaultLossyNet returns the default network model with a loss rate.
+func DefaultLossyNet(p float64) sim.NetworkParams {
+	np := sim.DefaultNetworkParams()
+	np.LossProb = p
+	return np
+}

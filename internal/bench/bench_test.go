@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+// shapeLengths is the reduced sweep used by the shape tests (full sweeps
+// run in the benchmarks and cmd/totembench).
+var shapeLengths = []int{700, 1000, 1400}
+
+func TestHeadlineUtilization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r, err := Headline(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MsgsPerSec < 9000 {
+		t.Fatalf("headline = %.0f msgs/sec, paper reports >9000", r.MsgsPerSec)
+	}
+	if r.Utilization < 0.80 || r.Utilization > 1.0 {
+		t.Fatalf("utilization = %.2f, paper reports ~0.90", r.Utilization)
+	}
+}
+
+func TestFigureShapes4Nodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	series, err := Figure(4, shapeLengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes, err := Shapes(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range shapes {
+		if !s.ActiveBelowNone {
+			t.Errorf("len %d: active (%.0f) above no-replication (%.0f); paper §8 says active pays for the duplicated stack calls", s.Len, s.Active, s.None)
+		}
+		if !s.PassiveAboveNone {
+			t.Errorf("len %d: passive (%.0f) below no-replication (%.0f); paper §8 says passive exceeds the unreplicated system", s.Len, s.Passiv, s.None)
+		}
+		if !s.PassiveBelowTwiceNone {
+			t.Errorf("len %d: passive (%.0f) not below 2x no-replication (%.0f); paper §8 says CPU keeps it under the doubled wire rate", s.Len, s.Passiv, s.None)
+		}
+	}
+}
+
+func TestFigureShapes6Nodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	series, err := Figure(6, []int{1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes, err := Shapes(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := shapes[0]
+	if !s.ActiveBelowNone || !s.PassiveAboveNone || !s.PassiveBelowTwiceNone {
+		t.Fatalf("6-node shape violated: %+v", s)
+	}
+}
+
+func TestPackingSawtooth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	s, err := Sawtooth(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := map[int]Result{}
+	for _, r := range s.Results {
+		rate[r.MsgLen] = r
+	}
+	// Peak at 700 B: two messages pack into one frame; at 710/730 B only
+	// one fits, so the message rate collapses.
+	if rate[700].MsgsPerSec <= rate[730].MsgsPerSec {
+		t.Errorf("no sawtooth at 700B: %.0f vs %.0f msgs/sec", rate[700].MsgsPerSec, rate[730].MsgsPerSec)
+	}
+	// Peak at ~1400 B: a near-full single frame beats a just-fragmented
+	// message in bandwidth terms.
+	if rate[1400].KBytesPerSec <= rate[1440].KBytesPerSec {
+		t.Errorf("no sawtooth at 1400B: %.0f vs %.0f KB/s", rate[1400].KBytesPerSec, rate[1440].KBytesPerSec)
+	}
+}
+
+func TestActivePassiveRunsOnThreeNetworks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	s, err := ActivePassiveSweep(4, 2, []int{1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Results[0].MsgsPerSec <= 0 {
+		t.Fatal("active-passive produced no throughput")
+	}
+}
+
+func TestRunRejectsBadExperiment(t *testing.T) {
+	_, err := Run(Experiment{Name: "bad", Nodes: 0, Networks: 1, Style: proto.ReplicationNone, MsgLen: 100})
+	if err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+}
+
+func TestPrintTableRendersAllRows(t *testing.T) {
+	series := []Series{{
+		Label: "demo",
+		Results: []Result{
+			{Experiment: Experiment{MsgLen: 100}, MsgsPerSec: 10, KBytesPerSec: 1},
+			{Experiment: Experiment{MsgLen: 200}, MsgsPerSec: 20, KBytesPerSec: 4},
+		},
+	}}
+	var sb strings.Builder
+	PrintTable(&sb, "title", series)
+	out := sb.String()
+	for _, want := range []string{"title", "100", "200", "demo"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationWindowSizeKnee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	s, err := AblateWindowSize([]int{4, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := s.Results[0].MsgsPerSec, s.Results[1].MsgsPerSec
+	if small >= large {
+		t.Fatalf("tiny window (%.0f) should underperform the default (%.0f)", small, large)
+	}
+}
+
+func TestAblationRingSizeAggregateStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	s, err := AblateRingSize([]int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, eight := s.Results[0].MsgsPerSec, s.Results[1].MsgsPerSec
+	// The wire-bound aggregate rate must not collapse as the ring grows.
+	if eight < two*0.7 {
+		t.Fatalf("aggregate rate collapsed with ring size: 2 nodes %.0f vs 8 nodes %.0f", two, eight)
+	}
+}
+
+func TestAblationKOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	s, err := AblateK([]int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, k3 := s.Results[0].MsgsPerSec, s.Results[1].MsgsPerSec
+	// More copies, more per-network load: K=3 must not beat K=2.
+	if k3 > k2*1.02 {
+		t.Fatalf("K=3 (%.0f) outperformed K=2 (%.0f)", k3, k2)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	series := []Series{
+		{Label: "a", Results: []Result{
+			{Experiment: Experiment{MsgLen: 100}, MsgsPerSec: 10, KBytesPerSec: 1},
+			{Experiment: Experiment{MsgLen: 200}, MsgsPerSec: 20, KBytesPerSec: 4},
+		}},
+		{Label: "b", Results: []Result{
+			{Experiment: Experiment{MsgLen: 100}, MsgsPerSec: 11, KBytesPerSec: 2},
+			{Experiment: Experiment{MsgLen: 200}, MsgsPerSec: 21, KBytesPerSec: 5},
+		}},
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "len_bytes,a_msgs_per_sec,a_kbytes_per_sec,b_msgs_per_sec,b_kbytes_per_sec" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "100,10.0,1.0,11.0,2.0" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}

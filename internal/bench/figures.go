@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+// FigureStyles are the three configurations compared in Figures 6–9.
+func FigureStyles(nodes int) []Experiment {
+	return []Experiment{
+		{Name: "no-replication", Nodes: nodes, Networks: 1, Style: proto.ReplicationNone},
+		{Name: "active", Nodes: nodes, Networks: 2, Style: proto.ReplicationActive},
+		{Name: "passive", Nodes: nodes, Networks: 2, Style: proto.ReplicationPassive},
+	}
+}
+
+// Figure runs the full sweep behind one of the paper's figure pairs:
+// figures 6 and 8 share the 4-node data, figures 7 and 9 the 6-node data
+// (they plot msgs/sec and KB/s respectively).
+func Figure(nodes int, lengths []int) ([]Series, error) {
+	var out []Series
+	for _, base := range FigureStyles(nodes) {
+		s, err := SweepLengths(base, lengths)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Headline reproduces the §2/§8 claim: with no replication and 1 KB
+// messages, the ring drives a 100 Mbit/s Ethernet to roughly 90%
+// utilization (more than 9000 msgs/sec).
+func Headline(nodes int) (Result, error) {
+	e := Experiment{
+		Name:     "headline-utilization",
+		Nodes:    nodes,
+		Networks: 1,
+		Style:    proto.ReplicationNone,
+		MsgLen:   1024,
+	}
+	return Run(e)
+}
+
+// Sawtooth reproduces the §8 packing observation: throughput peaks at
+// message lengths of 700 and 1400 bytes because those make optimal use of
+// the 1424-byte Ethernet frame payload; just past each peak the rate
+// drops sharply.
+func Sawtooth(nodes int) (Series, error) {
+	lengths := []int{650, 700, 710, 730, 800, 1300, 1400, 1421, 1440, 1500}
+	base := Experiment{
+		Name:     "packing-sawtooth",
+		Nodes:    nodes,
+		Networks: 1,
+		Style:    proto.ReplicationNone,
+	}
+	return SweepLengths(base, lengths)
+}
+
+// ActivePassiveSweep measures the §7 style on three networks for a range
+// of message lengths (the paper could not run this experiment for lack of
+// a third network; we can).
+func ActivePassiveSweep(nodes, k int, lengths []int) (Series, error) {
+	base := Experiment{
+		Name:     fmt.Sprintf("active-passive-K%d", k),
+		Nodes:    nodes,
+		Networks: 3,
+		Style:    proto.ReplicationActivePassive,
+		K:        k,
+	}
+	return SweepLengths(base, lengths)
+}
+
+// ShapeReport captures the qualitative relationships the paper reports
+// for one message length (used by tests and EXPERIMENTS.md): active stays
+// below no-replication, passive above it but under 2x.
+type ShapeReport struct {
+	Len                   int
+	None, Active, Passiv  float64
+	ActiveBelowNone       bool
+	PassiveAboveNone      bool
+	PassiveBelowTwiceNone bool
+}
+
+// Shapes aligns three series (no-replication, active, passive) and
+// evaluates the paper's ordering claims per message length.
+func Shapes(series []Series) ([]ShapeReport, error) {
+	if len(series) != 3 {
+		return nil, fmt.Errorf("bench: want 3 series, have %d", len(series))
+	}
+	none, act, pas := series[0], series[1], series[2]
+	if len(none.Results) != len(act.Results) || len(none.Results) != len(pas.Results) {
+		return nil, fmt.Errorf("bench: series lengths differ")
+	}
+	var out []ShapeReport
+	for i := range none.Results {
+		n, a, p := none.Results[i], act.Results[i], pas.Results[i]
+		out = append(out, ShapeReport{
+			Len:                   n.MsgLen,
+			None:                  n.MsgsPerSec,
+			Active:                a.MsgsPerSec,
+			Passiv:                p.MsgsPerSec,
+			ActiveBelowNone:       a.MsgsPerSec < n.MsgsPerSec*1.02,
+			PassiveAboveNone:      p.MsgsPerSec > n.MsgsPerSec*0.98,
+			PassiveBelowTwiceNone: p.MsgsPerSec < n.MsgsPerSec*2.0,
+		})
+	}
+	return out, nil
+}
+
+// PrintHeadline renders the headline result.
+func PrintHeadline(w io.Writer, r Result) {
+	fmt.Fprintf(w, "headline (paper §2/§8): %d nodes, no replication, %d B messages\n",
+		r.Nodes, r.MsgLen)
+	fmt.Fprintf(w, "  %8.0f msgs/sec   %8.0f KB/s   utilization %.1f%%  (paper: >9000 msgs/sec, ~90%%)\n",
+		r.MsgsPerSec, r.KBytesPerSec, 100*r.Utilization)
+}

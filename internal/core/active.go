@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/wire"
+)
+
+// active implements active replication (paper §5, Fig. 2): every message
+// and token is sent on all non-faulty networks. Messages are passed up
+// immediately (duplicates are suppressed by the SRP sequence filter —
+// requirement A1); a token is passed up only once a copy has arrived on
+// every non-faulty network (A2/A3) or the token timer expires (A4).
+// Per-network problem counters detect permanently failed networks (A5)
+// and are decayed periodically so sporadic loss never accumulates into a
+// false verdict (A6).
+type active struct {
+	base
+
+	haveToken bool
+	lastKey   tokenKey
+	lastTok   []byte
+	recvLast  []bool
+	delivered bool
+	problem   []int
+}
+
+type tokenKey struct {
+	ring     proto.RingID
+	seq      uint32
+	rotation uint32
+}
+
+// newer reports whether k supersedes o. A token from a different ring is
+// always a new generation: each configuration restarts the sequence space,
+// so (seq, rotation) pairs are only comparable within one ring. Stale-ring
+// tokens handed up are discarded by the SRP's ring filter.
+func (k tokenKey) newer(o tokenKey) bool {
+	if k.ring != o.ring {
+		return true
+	}
+	return k.seq > o.seq || (k.seq == o.seq && k.rotation > o.rotation)
+}
+
+func newActive(cfg Config, acts *proto.Actions, cb Callbacks) *active {
+	return &active{
+		base:     newBase(cfg, acts, cb),
+		recvLast: make([]bool, cfg.Networks),
+		problem:  make([]int, cfg.Networks),
+	}
+}
+
+// Style implements Replicator.
+func (a *active) Style() proto.ReplicationStyle { return proto.ReplicationActive }
+
+// Readmit implements Replicator.
+func (a *active) Readmit(network int) {
+	if network < 0 || network >= a.cfg.Networks || !a.fault[network] {
+		return
+	}
+	a.fault[network] = false
+	a.problem[network] = 0
+	// Treat the in-flight token generation as already received on the
+	// repaired network so the gate does not stall waiting for a copy that
+	// was never sent there.
+	if a.haveToken && !a.delivered {
+		a.recvLast[network] = true
+	}
+}
+
+// Start implements Replicator.
+func (a *active) Start(now proto.Time) {
+	a.acts.SetTimer(proto.TimerID{Class: proto.TimerRRPDecay}, a.cfg.DecayInterval)
+}
+
+// SendMessage implements Replicator: broadcast on all non-faulty networks,
+// in network order (paper §5).
+func (a *active) SendMessage(data []byte) {
+	for i := 0; i < a.cfg.Networks; i++ {
+		if !a.fault[i] {
+			a.send(i, proto.BroadcastID, data)
+		}
+	}
+}
+
+// SendToken implements Replicator.
+func (a *active) SendToken(dest proto.NodeID, data []byte) {
+	for i := 0; i < a.cfg.Networks; i++ {
+		if !a.fault[i] {
+			a.send(i, dest, data)
+		}
+	}
+}
+
+// OnPacket implements Replicator.
+func (a *active) OnPacket(now proto.Time, network int, data []byte) {
+	a.stats.RxPackets[network]++
+	kind, err := wire.PeekKind(data)
+	if err != nil {
+		return
+	}
+	if kind != wire.KindToken {
+		// Messages (and joins/commits) go straight up; the SRP filters
+		// duplicates by sequence number (requirement A1).
+		a.cb.Deliver(now, data)
+		return
+	}
+	seq, rot, err := wire.PeekTokenSeq(data)
+	if err != nil {
+		return
+	}
+	ring, err := wire.PeekRing(data)
+	if err != nil {
+		return
+	}
+	key := tokenKey{ring: ring, seq: seq, rotation: rot}
+	switch {
+	case !a.haveToken || key.newer(a.lastKey):
+		// First copy of a new token generation.
+		a.haveToken = true
+		a.lastKey = key
+		a.lastTok = data
+		for i := range a.recvLast {
+			a.recvLast[i] = false
+		}
+		a.recvLast[network] = true
+		a.delivered = false
+		// The timer is armed exactly once per generation: a new token can
+		// only arrive after the current one completes a rotation.
+		a.acts.SetTimer(proto.TimerID{Class: proto.TimerRRPToken}, a.cfg.TokenTimeout)
+	case key == a.lastKey:
+		a.recvLast[network] = true
+		if a.delivered {
+			// All copies after release are ignored (requirement A4).
+			a.stats.TokensDiscarded++
+			return
+		}
+	default:
+		// Older than the current generation: a straggler from a slower
+		// network; never triggers anything (requirement A2).
+		a.stats.TokensDiscarded++
+		return
+	}
+	if a.delivered {
+		return
+	}
+	for i := 0; i < a.cfg.Networks; i++ {
+		if !a.fault[i] && !a.recvLast[i] {
+			return // keep gathering copies (requirements A2, A3)
+		}
+	}
+	a.delivered = true
+	a.acts.CancelTimer(proto.TimerID{Class: proto.TimerRRPToken})
+	a.stats.TokensGated++
+	a.cb.Deliver(now, a.lastTok)
+}
+
+// OnTimer implements Replicator.
+func (a *active) OnTimer(now proto.Time, id proto.TimerID) {
+	switch id.Class {
+	case proto.TimerRRPToken:
+		if a.delivered || !a.haveToken {
+			return
+		}
+		// Networks that failed to deliver this token get charged
+		// (requirement A5)...
+		for i := 0; i < a.cfg.Networks; i++ {
+			if a.fault[i] || a.recvLast[i] {
+				continue
+			}
+			a.problem[i]++
+			if a.problem[i] >= a.cfg.ProblemThreshold {
+				a.markFaulty(now, i, fmt.Sprintf(
+					"active monitor: %d consecutive token losses", a.problem[i]))
+			}
+		}
+		// ...and the protocol makes progress regardless (requirement A4).
+		a.delivered = true
+		a.stats.TokensTimedOut++
+		a.cb.Deliver(now, a.lastTok)
+	case proto.TimerRRPDecay:
+		// Requirement A6: slowly forgive sporadic losses.
+		for i := range a.problem {
+			if a.problem[i] > 0 {
+				a.problem[i]--
+			}
+		}
+		a.acts.SetTimer(proto.TimerID{Class: proto.TimerRRPDecay}, a.cfg.DecayInterval)
+	}
+}
+
+var _ Replicator = (*active)(nil)

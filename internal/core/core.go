@@ -1,0 +1,263 @@
+// Package core implements the Totem Redundant Ring Protocol (RRP) — the
+// paper's primary contribution: a replication layer inserted between the
+// Totem SRP and N redundant local-area networks.
+//
+// The layer decides which network(s) carry each message and token
+// (replication styles: active §5, passive §6, active-passive §7), gates
+// tokens so that retransmissions are never triggered by cross-network
+// reordering (requirements A2/P1) and networks stay synchronised (A3/P2),
+// guarantees progress under loss via token timers (A4/P3), and monitors
+// network health locally — raising fault reports without ever probing the
+// network (A5/A6, P4/P5, §3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+// Callbacks connect a replicator to the SRP machine above it.
+type Callbacks struct {
+	// Deliver hands one packet up to the SRP. The replicator controls
+	// ordering: e.g. passive replication delivers a buffered token right
+	// after the message that filled the last gap (paper Fig. 4).
+	Deliver func(now proto.Time, data []byte)
+	// Missing reports whether the SRP is still missing any packet with a
+	// sequence number at or below seq (passive replication's
+	// anyMessagesMissing check).
+	Missing func(seq uint32) bool
+}
+
+// Replicator is the RRP layer interface. Implementations are pure state
+// machines: sends are emitted as proto.SendPacket actions, timers via
+// SetTimer, fault reports via Fault.
+type Replicator interface {
+	// Start arms the periodic monitor-decay timer.
+	Start(now proto.Time)
+	// SendMessage maps one SRP broadcast onto the networks.
+	SendMessage(data []byte)
+	// SendToken maps one SRP token unicast onto the networks.
+	SendToken(dest proto.NodeID, data []byte)
+	// OnPacket processes a packet received on the given network,
+	// delivering upward through the callbacks as appropriate.
+	OnPacket(now proto.Time, network int, data []byte)
+	// OnTimer handles an RRP timer expiry.
+	OnTimer(now proto.Time, id proto.TimerID)
+	// Faulty returns a copy of the per-network fault flags.
+	Faulty() []bool
+	// Readmit clears the faulty verdict on a repaired network (the
+	// administrator's action after reacting to the alarm, paper §3). The
+	// monitors restart from a clean slate for that network.
+	Readmit(network int)
+	// Style identifies the replication style.
+	Style() proto.ReplicationStyle
+	// Stats returns a snapshot of the layer's counters.
+	Stats() Stats
+}
+
+// Stats counts RRP-layer events.
+type Stats struct {
+	// TxPackets and RxPackets count per-network traffic.
+	TxPackets []uint64
+	RxPackets []uint64
+	// TokensGated counts tokens delivered upward after full gathering
+	// (active) or gap-free arrival (passive).
+	TokensGated uint64
+	// TokensTimedOut counts tokens released by the token timer.
+	TokensTimedOut uint64
+	// TokensDiscarded counts stale or duplicate token copies dropped.
+	TokensDiscarded uint64
+	// FaultsRaised counts networks declared faulty.
+	FaultsRaised uint64
+}
+
+// Config parameterises a replicator.
+type Config struct {
+	// Networks is N, the number of redundant networks (>= 1).
+	Networks int
+	// Style selects the replication style.
+	Style proto.ReplicationStyle
+	// K is the number of copies for active-passive replication
+	// (1 < K < Networks).
+	K int
+
+	// TokenTimeout bounds the wait for the remaining token copies in
+	// active and active-passive replication (requirement A4).
+	TokenTimeout time.Duration
+	// TokenHold bounds how long passive replication buffers a token while
+	// messages are outstanding (paper §6 uses 10 ms).
+	TokenHold time.Duration
+	// ProblemThreshold is the active-replication problem-counter limit
+	// beyond which a network is declared faulty (requirement A5).
+	ProblemThreshold int
+	// DiffThreshold is the passive-replication message-monitor limit on
+	// the difference between per-network reception counts (requirement
+	// P4).
+	DiffThreshold int
+	// TokenDiffThreshold is the same limit for the token monitor. Tokens
+	// arrive once per rotation, so a much smaller threshold detects a
+	// dead network before the token-loss timer can fire, while remaining
+	// far above any plausible sporadic loss within one decay period.
+	TokenDiffThreshold int
+	// DecayInterval drives the periodic problem-counter decay (active)
+	// and lagging-counter replenishment (passive), preventing sporadic
+	// loss from accumulating into a false fault (requirements A6/P5).
+	DecayInterval time.Duration
+}
+
+// DefaultConfig returns the defaults from DESIGN.md §6.
+func DefaultConfig(networks int, style proto.ReplicationStyle) Config {
+	return Config{
+		Networks:           networks,
+		Style:              style,
+		K:                  2,
+		TokenTimeout:       5 * time.Millisecond,
+		TokenHold:          10 * time.Millisecond,
+		ProblemThreshold:   10,
+		DiffThreshold:      50,
+		TokenDiffThreshold: 8,
+		DecayInterval:      time.Second,
+	}
+}
+
+// Configuration errors.
+var (
+	ErrBadNetworks = errors.New("core: invalid network count for style")
+	ErrBadStyle    = errors.New("core: unknown replication style")
+	ErrBadK        = errors.New("core: active-passive requires 1 < K < N")
+	ErrBadTimer    = errors.New("core: timer intervals must be positive")
+)
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if !c.Style.Valid() {
+		return ErrBadStyle
+	}
+	switch c.Style {
+	case proto.ReplicationNone:
+		if c.Networks < 1 {
+			return fmt.Errorf("%w: need >= 1, have %d", ErrBadNetworks, c.Networks)
+		}
+	case proto.ReplicationActive, proto.ReplicationPassive:
+		if c.Networks < 2 {
+			return fmt.Errorf("%w: %v needs >= 2, have %d", ErrBadNetworks, c.Style, c.Networks)
+		}
+	case proto.ReplicationActivePassive:
+		if c.Networks < 3 {
+			// Paper §7: active-passive needs at least three networks.
+			return fmt.Errorf("%w: active-passive needs >= 3, have %d", ErrBadNetworks, c.Networks)
+		}
+		if c.K <= 1 || c.K >= c.Networks {
+			return fmt.Errorf("%w: K=%d, N=%d", ErrBadK, c.K, c.Networks)
+		}
+	}
+	if c.TokenTimeout <= 0 || c.TokenHold <= 0 || c.DecayInterval <= 0 {
+		return ErrBadTimer
+	}
+	if c.ProblemThreshold <= 0 || c.DiffThreshold <= 0 || c.TokenDiffThreshold <= 0 {
+		return fmt.Errorf("%w: thresholds must be positive", ErrBadTimer)
+	}
+	return nil
+}
+
+// New builds the replicator for cfg.Style.
+func New(cfg Config, acts *proto.Actions, cb Callbacks) (Replicator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if acts == nil || cb.Deliver == nil || cb.Missing == nil {
+		return nil, errors.New("core: nil action buffer or callbacks")
+	}
+	switch cfg.Style {
+	case proto.ReplicationNone:
+		return newNone(cfg, acts, cb), nil
+	case proto.ReplicationActive:
+		return newActive(cfg, acts, cb), nil
+	case proto.ReplicationPassive:
+		return newPassive(cfg, acts, cb), nil
+	case proto.ReplicationActivePassive:
+		return newActivePassive(cfg, acts, cb), nil
+	default:
+		return nil, ErrBadStyle
+	}
+}
+
+// base carries the state shared by every replicator: fault flags, traffic
+// counters and the declare-faulty rule. A node never sends on a network it
+// has marked faulty but keeps accepting from it (paper §3); the last
+// non-faulty network is never marked, since the protocol cannot operate
+// with zero networks — the monitor keeps reporting instead.
+type base struct {
+	cfg   Config
+	acts  *proto.Actions
+	cb    Callbacks
+	fault []bool
+	stats Stats
+}
+
+func newBase(cfg Config, acts *proto.Actions, cb Callbacks) base {
+	return base{
+		cfg:   cfg,
+		acts:  acts,
+		cb:    cb,
+		fault: make([]bool, cfg.Networks),
+		stats: Stats{
+			TxPackets: make([]uint64, cfg.Networks),
+			RxPackets: make([]uint64, cfg.Networks),
+		},
+	}
+}
+
+// Faulty implements part of Replicator.
+func (b *base) Faulty() []bool {
+	return append([]bool(nil), b.fault...)
+}
+
+// Stats implements part of Replicator.
+func (b *base) Stats() Stats {
+	s := b.stats
+	s.TxPackets = append([]uint64(nil), b.stats.TxPackets...)
+	s.RxPackets = append([]uint64(nil), b.stats.RxPackets...)
+	return s
+}
+
+// nonFaultyCount returns the number of usable networks.
+func (b *base) nonFaultyCount() int {
+	n := 0
+	for _, f := range b.fault {
+		if !f {
+			n++
+		}
+	}
+	return n
+}
+
+// markFaulty declares network i faulty and raises a fault report, unless
+// it is the last usable network.
+func (b *base) markFaulty(now proto.Time, i int, reason string) {
+	if b.fault[i] {
+		return
+	}
+	if b.nonFaultyCount() <= 1 {
+		// Refusing to disable the last network keeps the system up; the
+		// operator still gets the alarm.
+		b.acts.Fault(proto.FaultReport{
+			Network: i,
+			Reason:  reason + " (last usable network: not disabled)",
+			Time:    now,
+		})
+		return
+	}
+	b.fault[i] = true
+	b.stats.FaultsRaised++
+	b.acts.Fault(proto.FaultReport{Network: i, Reason: reason, Time: now})
+}
+
+// send transmits on network i and counts it.
+func (b *base) send(network int, dest proto.NodeID, data []byte) {
+	b.acts.Send(network, dest, data)
+	b.stats.TxPackets[network]++
+}

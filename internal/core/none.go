@@ -1,0 +1,47 @@
+package core
+
+import "github.com/totem-rrp/totem/internal/proto"
+
+// none is the unreplicated baseline: the SRP runs directly on network 0.
+// It exists so the evaluation can compare replication styles against the
+// paper's "no replication" configuration.
+type none struct {
+	base
+}
+
+func newNone(cfg Config, acts *proto.Actions, cb Callbacks) *none {
+	return &none{base: newBase(cfg, acts, cb)}
+}
+
+// Style implements Replicator.
+func (n *none) Style() proto.ReplicationStyle { return proto.ReplicationNone }
+
+// Start implements Replicator.
+func (n *none) Start(now proto.Time) {}
+
+// SendMessage implements Replicator.
+func (n *none) SendMessage(data []byte) {
+	n.send(0, proto.BroadcastID, data)
+}
+
+// SendToken implements Replicator.
+func (n *none) SendToken(dest proto.NodeID, data []byte) {
+	n.send(0, dest, data)
+}
+
+// OnPacket implements Replicator.
+func (n *none) OnPacket(now proto.Time, network int, data []byte) {
+	if network < len(n.stats.RxPackets) {
+		n.stats.RxPackets[network]++
+	}
+	n.cb.Deliver(now, data)
+}
+
+// OnTimer implements Replicator.
+func (n *none) OnTimer(now proto.Time, id proto.TimerID) {}
+
+// Readmit implements Replicator (no-op: the baseline never faults its
+// only network).
+func (n *none) Readmit(network int) {}
+
+var _ Replicator = (*none)(nil)

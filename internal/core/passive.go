@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/wire"
+)
+
+// passive implements passive replication (paper §6, Figs. 4–5): each
+// message and token travels on exactly one network, assigned round-robin.
+// A token that arrives while messages are outstanding is buffered and
+// released either by the message that fills the last gap or by a short
+// token timer (requirements P1/P3). Per-sender message monitors and a
+// token monitor compare per-network reception counts and declare the
+// lagging network faulty (P4), with slow replenishment of lagging counters
+// so sporadic loss is forgiven (P5).
+type passive struct {
+	base
+
+	sendMsgVia int
+	sendTokVia int
+
+	held    []byte
+	heldSeq uint32
+	holding bool
+
+	msgMon map[proto.NodeID]*countMonitor
+	tokMon *countMonitor
+}
+
+func newPassive(cfg Config, acts *proto.Actions, cb Callbacks) *passive {
+	return &passive{
+		base:       newBase(cfg, acts, cb),
+		sendMsgVia: cfg.Networks - 1, // first send advances to network 0
+		sendTokVia: cfg.Networks - 1,
+		msgMon:     make(map[proto.NodeID]*countMonitor),
+		tokMon:     newCountMonitor(cfg.Networks),
+	}
+}
+
+// Style implements Replicator.
+func (p *passive) Style() proto.ReplicationStyle { return proto.ReplicationPassive }
+
+// Readmit implements Replicator.
+func (p *passive) Readmit(network int) {
+	if network < 0 || network >= p.cfg.Networks || !p.fault[network] {
+		return
+	}
+	p.fault[network] = false
+	p.tokMon.readmit(network)
+	for _, mon := range p.msgMon {
+		mon.readmit(network)
+	}
+}
+
+// Start implements Replicator.
+func (p *passive) Start(now proto.Time) {
+	p.acts.SetTimer(proto.TimerID{Class: proto.TimerRRPDecay}, p.cfg.DecayInterval)
+}
+
+// nextVia advances a round-robin pointer past faulty networks.
+func (p *passive) nextVia(via int) int {
+	for range p.fault {
+		via = (via + 1) % p.cfg.Networks
+		if !p.fault[via] {
+			return via
+		}
+	}
+	return via // all faulty cannot happen: the last network is never marked
+}
+
+// SendMessage implements Replicator.
+func (p *passive) SendMessage(data []byte) {
+	p.sendMsgVia = p.nextVia(p.sendMsgVia)
+	p.send(p.sendMsgVia, proto.BroadcastID, data)
+}
+
+// SendToken implements Replicator.
+func (p *passive) SendToken(dest proto.NodeID, data []byte) {
+	p.sendTokVia = p.nextVia(p.sendTokVia)
+	p.send(p.sendTokVia, dest, data)
+}
+
+// OnPacket implements Replicator.
+func (p *passive) OnPacket(now proto.Time, network int, data []byte) {
+	p.stats.RxPackets[network]++
+	kind, err := wire.PeekKind(data)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case wire.KindToken:
+		p.observeToken(now, network)
+		seq, _, err := wire.PeekTokenSeq(data)
+		if err != nil {
+			return
+		}
+		if !p.cb.Missing(seq) {
+			p.stats.TokensGated++
+			p.cb.Deliver(now, data)
+			return
+		}
+		// Buffer the token behind the outstanding messages (requirement
+		// P1: a delayed message must never trigger a retransmission).
+		p.held = data
+		p.heldSeq = seq
+		if !p.holding {
+			// The token timer is never restarted while active (paper §6).
+			p.holding = true
+			p.acts.SetTimer(proto.TimerID{Class: proto.TimerRRPToken}, p.cfg.TokenHold)
+		}
+	case wire.KindData:
+		// Retransmissions are reactive gap-fills, not round-robin
+		// assigned, so they would distort the count-difference monitors;
+		// only original transmissions are counted.
+		if flags, err := wire.PeekDataFlags(data); err == nil && flags&wire.FlagRetrans == 0 {
+			if sender, err := wire.PeekSender(data); err == nil {
+				p.observeMessage(now, sender, network)
+			}
+		}
+		p.cb.Deliver(now, data)
+		// Fast release (paper §6): if this message filled the last gap,
+		// the buffered token can go up now instead of waiting out the
+		// timer.
+		if p.holding && !p.cb.Missing(p.heldSeq) {
+			p.releaseHeld(now, false)
+		}
+	default:
+		p.cb.Deliver(now, data)
+	}
+}
+
+// releaseHeld delivers the buffered token.
+func (p *passive) releaseHeld(now proto.Time, byTimer bool) {
+	p.holding = false
+	p.acts.CancelTimer(proto.TimerID{Class: proto.TimerRRPToken})
+	held := p.held
+	p.held = nil
+	if held == nil {
+		return
+	}
+	if byTimer {
+		p.stats.TokensTimedOut++
+	} else {
+		p.stats.TokensGated++
+	}
+	p.cb.Deliver(now, held)
+}
+
+// OnTimer implements Replicator.
+func (p *passive) OnTimer(now proto.Time, id proto.TimerID) {
+	switch id.Class {
+	case proto.TimerRRPToken:
+		if p.holding {
+			// Requirement P3: progress even if the missing message never
+			// arrives — the SRP's retransmission machinery takes over.
+			p.holding = false
+			held := p.held
+			p.held = nil
+			if held != nil {
+				p.stats.TokensTimedOut++
+				p.cb.Deliver(now, held)
+			}
+		}
+	case proto.TimerRRPDecay:
+		// Requirement P5: replenish lagging counters so that sporadic
+		// losses accumulated over hours never fault a healthy network.
+		p.tokMon.replenish(p.fault)
+		for _, mon := range p.msgMon {
+			mon.replenish(p.fault)
+		}
+		p.acts.SetTimer(proto.TimerID{Class: proto.TimerRRPDecay}, p.cfg.DecayInterval)
+	}
+}
+
+// observeToken feeds the token monitor (paper Fig. 5). The token monitor
+// only sees the unicast path to this node, but remains useful when no
+// messages flow (paper §6).
+func (p *passive) observeToken(now proto.Time, network int) {
+	if lag := p.tokMon.observe(network, p.fault); lag >= 0 && p.tokMon.diff(lag) > p.cfg.TokenDiffThreshold {
+		p.markFaulty(now, lag, fmt.Sprintf(
+			"passive token monitor: network lags by %d receptions", p.tokMon.diff(lag)))
+	}
+}
+
+// observeMessage feeds the per-sender message monitor (paper §6: one
+// monitoring module per node).
+func (p *passive) observeMessage(now proto.Time, sender proto.NodeID, network int) {
+	mon := p.msgMon[sender]
+	if mon == nil {
+		mon = newCountMonitor(p.cfg.Networks)
+		p.msgMon[sender] = mon
+	}
+	if lag := mon.observe(network, p.fault); lag >= 0 && mon.diff(lag) > p.cfg.DiffThreshold {
+		p.markFaulty(now, lag, fmt.Sprintf(
+			"passive message monitor (sender %v): network lags by %d receptions", sender, mon.diff(lag)))
+	}
+}
+
+// countMonitor is the monitoring module of paper Fig. 5: it counts
+// receptions per network and flags the network whose count falls more
+// than a threshold behind the maximum.
+type countMonitor struct {
+	recv []int64
+}
+
+func newCountMonitor(n int) *countMonitor {
+	return &countMonitor{recv: make([]int64, n)}
+}
+
+// observe counts a reception on network and returns the index of the
+// most-lagging non-faulty network, or -1 when none lags. It also
+// normalises the counters so they never grow unboundedly.
+func (m *countMonitor) observe(network int, fault []bool) int {
+	m.recv[network]++
+	// Normalise: subtract the minimum so the counters track differences
+	// only.
+	minV := m.recv[0]
+	for _, v := range m.recv[1:] {
+		if v < minV {
+			minV = v
+		}
+	}
+	if minV > 0 {
+		for i := range m.recv {
+			m.recv[i] -= minV
+		}
+	}
+	lag, lagDiff := -1, int64(0)
+	maxV := m.max()
+	for i, v := range m.recv {
+		if fault[i] {
+			continue
+		}
+		if d := maxV - v; d > lagDiff {
+			lag, lagDiff = i, d
+		}
+	}
+	return lag
+}
+
+func (m *countMonitor) max() int64 {
+	maxV := m.recv[0]
+	for _, v := range m.recv[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	return maxV
+}
+
+// diff returns how far network i lags behind the leader.
+func (m *countMonitor) diff(i int) int {
+	return int(m.max() - m.recv[i])
+}
+
+// replenish slowly raises lagging counters (requirement P5). Faulty
+// networks are excluded: their counters stay frozen.
+func (m *countMonitor) replenish(fault []bool) {
+	maxV := m.max()
+	for i := range m.recv {
+		if !fault[i] && m.recv[i] < maxV {
+			m.recv[i]++
+		}
+	}
+}
+
+// readmit resets network i's counter to the current maximum so a repaired
+// network starts with zero lag.
+func (m *countMonitor) readmit(i int) {
+	m.recv[i] = m.max()
+}
+
+var _ Replicator = (*passive)(nil)

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+func newPassiveForTest(t *testing.T, rec *recorder, networks int) *passive {
+	t.Helper()
+	cfg := DefaultConfig(networks, proto.ReplicationPassive)
+	rep, err := New(cfg, &rec.acts, rec.callbacks())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	p, ok := rep.(*passive)
+	if !ok {
+		t.Fatalf("want *passive, got %T", rep)
+	}
+	return p
+}
+
+func TestPassiveRoundRobinSend(t *testing.T) {
+	rec := &recorder{}
+	p := newPassiveForTest(t, rec, 3)
+	for i := 0; i < 6; i++ {
+		p.SendMessage(dataBytes(t, 1, uint32(i+1)))
+	}
+	if got := rec.drainSends(t, 3); got[0] != 2 || got[1] != 2 || got[2] != 2 {
+		t.Fatalf("sends = %v, want perfectly balanced round-robin", got)
+	}
+}
+
+func TestPassiveSendsSingleCopy(t *testing.T) {
+	// Paper §4: bandwidth consumption equals the unreplicated system.
+	rec := &recorder{}
+	p := newPassiveForTest(t, rec, 2)
+	p.SendMessage(dataBytes(t, 1, 1))
+	counts := rec.drainSends(t, 2)
+	if counts[0]+counts[1] != 1 {
+		t.Fatalf("sends = %v, want exactly one copy", counts)
+	}
+}
+
+func TestPassiveTokenRoundRobinIndependentOfMessages(t *testing.T) {
+	rec := &recorder{}
+	p := newPassiveForTest(t, rec, 2)
+	p.SendMessage(dataBytes(t, 1, 1)) // message uses network 0
+	rec.acts.Drain()
+	p.SendToken(2, tokenBytes(t, 1, 0)) // token pointer starts fresh
+	for _, a := range rec.acts.Drain() {
+		if sp, ok := a.(proto.SendPacket); ok {
+			if sp.Network != 0 {
+				t.Fatalf("token went via network %d, want independent rotation starting at 0", sp.Network)
+			}
+			if sp.Dest != 2 {
+				t.Fatalf("token dest %v", sp.Dest)
+			}
+		}
+	}
+}
+
+func TestPassiveSkipsFaultyNetwork(t *testing.T) {
+	rec := &recorder{}
+	p := newPassiveForTest(t, rec, 3)
+	p.fault[1] = true
+	for i := 0; i < 4; i++ {
+		p.SendMessage(dataBytes(t, 1, uint32(i+1)))
+	}
+	if got := rec.drainSends(t, 3); got[1] != 0 || got[0] != 2 || got[2] != 2 {
+		t.Fatalf("sends = %v, want network 1 skipped", got)
+	}
+}
+
+func TestPassiveTokenPassesWhenNothingMissing(t *testing.T) {
+	rec := &recorder{missing: false}
+	p := newPassiveForTest(t, rec, 2)
+	p.OnPacket(0, 0, tokenBytes(t, 10, 0))
+	if len(rec.delivered) != 1 {
+		t.Fatalf("token not passed straight up: %d", len(rec.delivered))
+	}
+	if p.Stats().TokensGated != 1 {
+		t.Fatalf("TokensGated = %d", p.Stats().TokensGated)
+	}
+}
+
+func TestPassiveBuffersTokenWhileMissing(t *testing.T) {
+	// Requirement P1 / Figure 3 scenario 1: a token overtaking a delayed
+	// message must not trigger a retransmission — it is buffered.
+	rec := &recorder{missing: true}
+	p := newPassiveForTest(t, rec, 2)
+	p.OnPacket(0, 0, tokenBytes(t, 10, 0))
+	if len(rec.delivered) != 0 {
+		t.Fatal("token passed up despite missing messages")
+	}
+	if !p.holding {
+		t.Fatal("token not held")
+	}
+	// The delayed message arrives on the other network; the gap closes.
+	rec.missing = false
+	p.OnPacket(0, 1, dataBytes(t, 3, 10))
+	if len(rec.delivered) != 2 {
+		t.Fatalf("deliveries = %d, want message then token", len(rec.delivered))
+	}
+	// Order: message first, then the released token (paper Fig. 4).
+	if k, _ := peekKindForTest(rec.delivered[0]); k != 1 {
+		t.Fatal("message was not delivered before the released token")
+	}
+}
+
+func TestPassiveTokenTimerReleasesHeldToken(t *testing.T) {
+	// Requirement P3: progress even if the missing message never arrives.
+	rec := &recorder{missing: true}
+	p := newPassiveForTest(t, rec, 2)
+	p.OnPacket(0, 0, tokenBytes(t, 10, 0))
+	p.OnTimer(p.cfg.TokenHold, proto.TimerID{Class: proto.TimerRRPToken})
+	if len(rec.delivered) != 1 {
+		t.Fatalf("timer did not release token: %d", len(rec.delivered))
+	}
+	if p.Stats().TokensTimedOut != 1 {
+		t.Fatalf("TokensTimedOut = %d", p.Stats().TokensTimedOut)
+	}
+}
+
+func TestPassiveMessageWithStillMissingKeepsHolding(t *testing.T) {
+	// Figure 3 scenario 2: message m3 arrives while m2 is still missing —
+	// the held token stays held.
+	rec := &recorder{missing: true}
+	p := newPassiveForTest(t, rec, 2)
+	p.OnPacket(0, 0, tokenBytes(t, 10, 0))
+	p.OnPacket(0, 1, dataBytes(t, 3, 9)) // a message, but gaps remain
+	if len(rec.delivered) != 1 {         // only the message went up
+		t.Fatalf("deliveries = %d, want 1", len(rec.delivered))
+	}
+	if !p.holding {
+		t.Fatal("token released despite missing messages")
+	}
+}
+
+func TestPassiveMonitorFlagsLaggingNetwork(t *testing.T) {
+	// Requirement P4: the network that stops delivering is detected.
+	rec := &recorder{missing: false}
+	p := newPassiveForTest(t, rec, 2)
+	var seq uint32
+	for i := 0; i <= p.cfg.DiffThreshold; i++ {
+		seq++
+		p.OnPacket(0, 0, dataBytes(t, 3, seq)) // network 1 delivers nothing
+	}
+	faults := rec.drainFaults()
+	if len(faults) != 1 || faults[0].Network != 1 {
+		t.Fatalf("faults = %v, want network 1", faults)
+	}
+	if !strings.Contains(faults[0].Reason, "message monitor") {
+		t.Fatalf("reason = %q", faults[0].Reason)
+	}
+}
+
+func TestPassiveTokenMonitorFlagsLaggingNetwork(t *testing.T) {
+	rec := &recorder{missing: false}
+	p := newPassiveForTest(t, rec, 2)
+	var seq uint32
+	for i := 0; i <= p.cfg.DiffThreshold; i++ {
+		seq += 5
+		p.OnPacket(0, 0, tokenBytes(t, seq, 0))
+	}
+	faults := rec.drainFaults()
+	if len(faults) != 1 || faults[0].Network != 1 {
+		t.Fatalf("faults = %v, want network 1 via token monitor", faults)
+	}
+}
+
+func TestPassiveMonitorPerSenderIsolation(t *testing.T) {
+	// One sender's traffic imbalance must not be masked by another's.
+	rec := &recorder{missing: false}
+	p := newPassiveForTest(t, rec, 2)
+	var seq uint32
+	for i := 0; i < p.cfg.DiffThreshold/2; i++ {
+		seq++
+		p.OnPacket(0, 0, dataBytes(t, 3, seq))
+		seq++
+		p.OnPacket(0, 1, dataBytes(t, 4, seq))
+	}
+	if faults := rec.drainFaults(); len(faults) != 0 {
+		t.Fatalf("balanced per-sender traffic raised faults: %v", faults)
+	}
+}
+
+func TestPassiveReplenishForgivesSporadicLoss(t *testing.T) {
+	// Requirement P5: occasional loss on one network, spread over time,
+	// never accumulates into a fault when decay runs in between.
+	rec := &recorder{missing: false}
+	p := newPassiveForTest(t, rec, 2)
+	var seq uint32
+	for round := 0; round < 4*p.cfg.DiffThreshold; round++ {
+		// Alternating traffic with one extra reception on network 0 per
+		// round (a sporadic loss on network 1)...
+		seq++
+		p.OnPacket(0, 0, dataBytes(t, 3, seq))
+		seq++
+		p.OnPacket(0, 1, dataBytes(t, 3, seq))
+		seq++
+		p.OnPacket(0, 0, dataBytes(t, 3, seq))
+		// ...followed by a replenish tick.
+		p.OnTimer(0, proto.TimerID{Class: proto.TimerRRPDecay})
+	}
+	if faults := rec.drainFaults(); len(faults) != 0 {
+		t.Fatalf("sporadic loss raised faults: %v", faults)
+	}
+}
+
+func TestPassiveNewerTokenReplacesHeldToken(t *testing.T) {
+	rec := &recorder{missing: true}
+	p := newPassiveForTest(t, rec, 2)
+	p.OnPacket(0, 0, tokenBytes(t, 10, 0))
+	p.OnPacket(0, 1, tokenBytes(t, 20, 0))
+	rec.missing = false
+	p.OnTimer(0, proto.TimerID{Class: proto.TimerRRPToken})
+	if len(rec.delivered) != 1 {
+		t.Fatalf("deliveries = %d", len(rec.delivered))
+	}
+	seq, _, err := peekTokenSeqForTest(rec.delivered[0])
+	if err != nil || seq != 20 {
+		t.Fatalf("released token seq = %d, want the newest (20)", seq)
+	}
+}
+
+func TestPassiveFaultStopsCountingTowardLag(t *testing.T) {
+	// After a network is declared faulty its frozen counter must not keep
+	// raising faults.
+	rec := &recorder{missing: false}
+	p := newPassiveForTest(t, rec, 3)
+	var seq uint32
+	for i := 0; i <= 3*p.cfg.DiffThreshold; i++ {
+		seq++
+		p.OnPacket(0, i%2, dataBytes(t, 3, seq)) // networks 0,1 only
+	}
+	faults := rec.drainFaults()
+	if len(faults) != 1 || faults[0].Network != 2 {
+		t.Fatalf("faults = %v, want exactly one fault on network 2", faults)
+	}
+}
+
+// peekKindForTest re-exports wire.PeekKind without an import cycle risk in
+// these white-box tests.
+func peekKindForTest(data []byte) (byte, error) {
+	if len(data) < 4 {
+		return 0, nil
+	}
+	return data[3], nil
+}
+
+func peekTokenSeqForTest(data []byte) (uint32, uint32, error) {
+	if len(data) < 20 {
+		return 0, 0, nil
+	}
+	return uint32(data[12])<<24 | uint32(data[13])<<16 | uint32(data[14])<<8 | uint32(data[15]),
+		0, nil
+}

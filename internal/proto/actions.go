@@ -1,0 +1,161 @@
+package proto
+
+import (
+	"fmt"
+	"time"
+)
+
+// Action is one output of a protocol state machine. Drivers (the simulator
+// or the real-time runtime) execute actions in the order they were emitted.
+type Action interface {
+	isAction()
+}
+
+// SendPacket transmits an encoded packet on one network. Dest is a node ID
+// for unicast (token passing) or BroadcastID for ring-wide broadcast.
+type SendPacket struct {
+	Network int
+	Dest    NodeID
+	Data    []byte
+}
+
+// SetTimer arms (or re-arms) the timer identified by ID to fire After from
+// now. Arming an already-armed timer replaces its deadline.
+type SetTimer struct {
+	ID    TimerID
+	After time.Duration
+}
+
+// CancelTimer disarms the identified timer. Cancelling an unarmed timer is
+// a no-op.
+type CancelTimer struct {
+	ID TimerID
+}
+
+// Deliver hands a totally-ordered application message up to the user.
+type Deliver struct {
+	Msg Delivery
+}
+
+// Fault surfaces an RRP network-fault report to the user (paper §3: the
+// protocol "raises an alarm" while the system stays operational).
+type Fault struct {
+	Report FaultReport
+}
+
+// Config surfaces a membership configuration change to the user.
+type Config struct {
+	Change ConfigChange
+}
+
+func (SendPacket) isAction()  {}
+func (SetTimer) isAction()    {}
+func (CancelTimer) isAction() {}
+func (Deliver) isAction()     {}
+func (Fault) isAction()       {}
+func (Config) isAction()      {}
+
+// Delivery is a totally-ordered message delivered to the application.
+type Delivery struct {
+	// Ring is the configuration the message was ordered in.
+	Ring RingID
+	// Sender is the node that originated the message.
+	Sender NodeID
+	// Seq is the global packet sequence number that completed the message;
+	// deliveries within one ring are strictly ordered by Seq and identical
+	// at every member.
+	Seq uint32
+	// Payload is the application payload. The slice is owned by the
+	// receiver and never reused by the protocol.
+	Payload []byte
+	// Transitional marks messages delivered in a transitional
+	// configuration during membership recovery (extended virtual
+	// synchrony).
+	Transitional bool
+}
+
+// FaultReport describes a detected network fault (paper §3). The protocol
+// marks the network faulty, stops sending on it, and keeps operating on the
+// remaining networks.
+type FaultReport struct {
+	// Network is the index of the network declared faulty.
+	Network int
+	// Reason is a human-readable diagnosis (e.g. which monitor fired).
+	Reason string
+	// Time is the (virtual or real) time of detection.
+	Time Time
+}
+
+// String implements fmt.Stringer.
+func (f FaultReport) String() string {
+	return fmt.Sprintf("network %d faulty at %v: %s", f.Network, f.Time, f.Reason)
+}
+
+// ConfigChange reports a membership change. Per extended virtual synchrony
+// a regular configuration is preceded by a transitional configuration that
+// scopes the messages delivered between the old and new memberships.
+type ConfigChange struct {
+	Ring         RingID
+	Members      []NodeID
+	Transitional bool
+}
+
+// String implements fmt.Stringer.
+func (c ConfigChange) String() string {
+	kind := "regular"
+	if c.Transitional {
+		kind = "transitional"
+	}
+	return fmt.Sprintf("%s config %v members %v", kind, c.Ring, c.Members)
+}
+
+// Actions is an append-only buffer the machines emit into. The zero value
+// is ready to use.
+type Actions struct {
+	list []Action
+}
+
+// Send appends a SendPacket action.
+func (a *Actions) Send(network int, dest NodeID, data []byte) {
+	a.list = append(a.list, SendPacket{Network: network, Dest: dest, Data: data})
+}
+
+// SetTimer appends a SetTimer action.
+func (a *Actions) SetTimer(id TimerID, after time.Duration) {
+	a.list = append(a.list, SetTimer{ID: id, After: after})
+}
+
+// CancelTimer appends a CancelTimer action.
+func (a *Actions) CancelTimer(id TimerID) {
+	a.list = append(a.list, CancelTimer{ID: id})
+}
+
+// Deliver appends a Deliver action.
+func (a *Actions) Deliver(d Delivery) {
+	a.list = append(a.list, Deliver{Msg: d})
+}
+
+// Fault appends a Fault action.
+func (a *Actions) Fault(r FaultReport) {
+	a.list = append(a.list, Fault{Report: r})
+}
+
+// Config appends a Config action.
+func (a *Actions) Config(c ConfigChange) {
+	a.list = append(a.list, Config{Change: c})
+}
+
+// Append appends an arbitrary action.
+func (a *Actions) Append(act Action) {
+	a.list = append(a.list, act)
+}
+
+// Drain returns the buffered actions and resets the buffer.
+func (a *Actions) Drain() []Action {
+	out := a.list
+	a.list = nil
+	return out
+}
+
+// Len returns the number of buffered actions.
+func (a *Actions) Len() int { return len(a.list) }

@@ -1,0 +1,94 @@
+// Package proto defines the primitive types shared by every layer of the
+// Totem protocol stack: node and ring identifiers, the action vocabulary
+// that the pure state machines emit, timer identifiers, and the events
+// surfaced to the application (deliveries, fault reports, configuration
+// changes).
+//
+// The SRP and RRP machines are deterministic, single-threaded state
+// machines. They never touch the wall clock or spawn goroutines; instead
+// every input carries a timestamp (a time.Duration measured from an
+// arbitrary epoch) and every output is an Action executed by a driver —
+// either the discrete-event simulator (internal/sim) or the real-time
+// runtime (internal/transport).
+package proto
+
+import (
+	"fmt"
+	"time"
+)
+
+// NodeID identifies a processor on the ring. IDs are compared numerically;
+// the smallest ID in a membership acts as the ring representative. The zero
+// value is reserved and never identifies a live node.
+type NodeID uint32
+
+// String implements fmt.Stringer.
+func (n NodeID) String() string { return fmt.Sprintf("n%d", uint32(n)) }
+
+// BroadcastID is the destination used for ring-wide broadcast sends.
+const BroadcastID NodeID = 0
+
+// RingID identifies a ring configuration. A new RingID is minted by the
+// membership protocol each time a new ring forms: Rep is the representative
+// (smallest member ID) and Epoch increases monotonically across
+// configurations observed by any member.
+type RingID struct {
+	Rep   NodeID
+	Epoch uint32
+}
+
+// String implements fmt.Stringer.
+func (r RingID) String() string { return fmt.Sprintf("ring(%s,%d)", r.Rep, r.Epoch) }
+
+// Less orders ring identifiers by (Epoch, Rep).
+func (r RingID) Less(o RingID) bool {
+	if r.Epoch != o.Epoch {
+		return r.Epoch < o.Epoch
+	}
+	return r.Rep < o.Rep
+}
+
+// Time is a point in virtual or real time, measured as an offset from the
+// driver's epoch. Durations between Times behave as expected.
+type Time = time.Duration
+
+// ReplicationStyle selects how the RRP layer maps protocol traffic onto the
+// redundant networks (paper §4).
+type ReplicationStyle int
+
+// Replication styles implemented by internal/core.
+const (
+	// ReplicationNone runs the SRP directly on network 0 with no
+	// redundancy. It is the paper's "no replication" baseline.
+	ReplicationNone ReplicationStyle = iota + 1
+	// ReplicationActive sends every message and token on all non-faulty
+	// networks simultaneously (paper §5).
+	ReplicationActive
+	// ReplicationPassive sends each message and token on exactly one
+	// network, chosen round-robin (paper §6).
+	ReplicationPassive
+	// ReplicationActivePassive sends each message and token on K of the N
+	// networks, with the window advancing round-robin (paper §7).
+	ReplicationActivePassive
+)
+
+// String implements fmt.Stringer.
+func (s ReplicationStyle) String() string {
+	switch s {
+	case ReplicationNone:
+		return "none"
+	case ReplicationActive:
+		return "active"
+	case ReplicationPassive:
+		return "passive"
+	case ReplicationActivePassive:
+		return "active-passive"
+	default:
+		return fmt.Sprintf("ReplicationStyle(%d)", int(s))
+	}
+}
+
+// Valid reports whether s is one of the defined styles.
+func (s ReplicationStyle) Valid() bool {
+	return s >= ReplicationNone && s <= ReplicationActivePassive
+}

@@ -1,0 +1,448 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/stack"
+	"github.com/totem-rrp/totem/internal/trace"
+	"github.com/totem-rrp/totem/internal/wire"
+)
+
+// NetworkParams models one broadcast LAN.
+type NetworkParams struct {
+	// BandwidthBits is the link rate in bits/second (the whole broadcast
+	// medium is serialised, as on a hub or a switch flooding broadcast
+	// frames). Zero means infinitely fast.
+	BandwidthBits int64
+	// Latency is the propagation + stack delay per hop.
+	Latency time.Duration
+	// LossProb drops each (frame, receiver) pair independently.
+	LossProb float64
+}
+
+// DefaultNetworkParams models the paper's 100 Mbit/s Ethernet.
+func DefaultNetworkParams() NetworkParams {
+	return NetworkParams{
+		BandwidthBits: 100_000_000,
+		Latency:       60 * time.Microsecond,
+	}
+}
+
+// NodeParams models one host's packet-processing costs (DESIGN.md §6).
+type NodeParams struct {
+	// SendCost is CPU time per packet handed to one network's stack.
+	SendCost time.Duration
+	// RecvCost is CPU time per packet received from any network.
+	RecvCost time.Duration
+	// DeliverCost is CPU time per message delivered to the application
+	// (ordering, liveness bookkeeping).
+	DeliverCost time.Duration
+}
+
+// DefaultNodeParams is calibrated so the simulated baseline reproduces the
+// paper's headline (~9000+ 1KB msgs/sec ≈ 90% of a 100 Mbit/s Ethernet,
+// network-bound) while passive replication on two networks goes CPU-bound
+// (paper §8).
+func DefaultNodeParams() NodeParams {
+	return NodeParams{
+		SendCost:    28 * time.Microsecond,
+		RecvCost:    30 * time.Microsecond,
+		DeliverCost: 40 * time.Microsecond,
+	}
+}
+
+// wireSlack approximates the header bytes outside the encoded Totem packet
+// (Ethernet, IP, UDP), chosen so a full 1424-byte-payload data packet
+// occupies exactly one maximum 1518-byte frame.
+const wireSlack = wire.FrameOverhead - 22
+
+// frameTime returns the serialisation delay of an encoded packet.
+func (p NetworkParams) frameTime(encodedLen int) time.Duration {
+	if p.BandwidthBits <= 0 {
+		return 0
+	}
+	bits := int64(encodedLen+wireSlack) * 8
+	return time.Duration(bits * int64(time.Second) / p.BandwidthBits)
+}
+
+// network is one simulated LAN.
+type network struct {
+	idx       int
+	params    NetworkParams
+	busyUntil proto.Time
+	down      bool
+	// groups partitions the network: delivery only happens within a
+	// group. nil means fully connected.
+	groups map[proto.NodeID]int
+	rng    *rand.Rand
+}
+
+func (n *network) deliverable(from, to proto.NodeID) bool {
+	if n.down {
+		return false
+	}
+	if n.groups != nil && n.groups[from] != n.groups[to] {
+		return false
+	}
+	if n.params.LossProb > 0 && n.rng.Float64() < n.params.LossProb {
+		return false
+	}
+	return true
+}
+
+// Node is one simulated host: a protocol stack plus its CPU and observed
+// application events.
+type Node struct {
+	ID      proto.NodeID
+	Stack   *stack.Node
+	cluster *Cluster
+
+	cpuBusy  proto.Time
+	timers   map[proto.TimerID]uint64 // generation per timer
+	timerGen uint64
+	crashed  bool
+
+	blockedSend map[int]bool
+	blockedRecv map[int]bool
+
+	// Observed application-facing events.
+	Delivered []proto.Delivery
+	Faults    []proto.FaultReport
+	Configs   []proto.ConfigChange
+
+	// Optional hooks invoked as events happen.
+	OnDeliver func(proto.Delivery)
+	OnFault   func(proto.FaultReport)
+	OnConfig  func(proto.ConfigChange)
+
+	// KeepPayloads controls whether delivered payload bytes are retained
+	// (tests) or dropped to spare memory (benchmarks keep counters only).
+	KeepPayloads   bool
+	DeliveredCount uint64
+	DeliveredBytes uint64
+}
+
+// Config configures a cluster.
+type Config struct {
+	// Nodes is the number of ring members; they get IDs 1..Nodes.
+	Nodes int
+	// Networks is N.
+	Networks int
+	// Style selects the replication style; K applies to active-passive.
+	Style proto.ReplicationStyle
+	K     int
+
+	Net  NetworkParams
+	Host NodeParams
+
+	// Seed drives all randomness (loss); identical seeds replay exactly.
+	Seed int64
+
+	// TuneSRP and TuneRRP optionally adjust the per-layer configs.
+	TuneSRP func(id proto.NodeID, c *stack.Config)
+
+	// Trace, if non-nil, receives a structured event stream (packet
+	// tx/rx, deliveries, faults, configuration changes).
+	Trace trace.Tracer
+}
+
+// Cluster wires Nodes × Networks together over a Simulator.
+type Cluster struct {
+	Sim   *Simulator
+	cfg   Config
+	nets  []*network
+	nodes map[proto.NodeID]*Node
+	order []proto.NodeID
+}
+
+// NewCluster builds (but does not start) a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("sim: need at least one node, have %d", cfg.Nodes)
+	}
+	if cfg.Networks < 1 {
+		return nil, fmt.Errorf("sim: need at least one network, have %d", cfg.Networks)
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = trace.Discard
+	}
+	c := &Cluster{
+		Sim:   NewSimulator(),
+		cfg:   cfg,
+		nodes: make(map[proto.NodeID]*Node, cfg.Nodes),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.Networks; i++ {
+		c.nets = append(c.nets, &network{
+			idx:    i,
+			params: cfg.Net,
+			rng:    rand.New(rand.NewSource(rng.Int63())),
+		})
+	}
+	for i := 1; i <= cfg.Nodes; i++ {
+		id := proto.NodeID(i)
+		scfg := stack.DefaultConfig(id, cfg.Networks, cfg.Style)
+		if cfg.K != 0 {
+			scfg.RRP.K = cfg.K
+		}
+		if cfg.TuneSRP != nil {
+			cfg.TuneSRP(id, &scfg)
+		}
+		st, err := stack.New(scfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: node %v: %w", id, err)
+		}
+		n := &Node{
+			ID:           id,
+			Stack:        st,
+			cluster:      c,
+			timers:       make(map[proto.TimerID]uint64),
+			blockedSend:  make(map[int]bool),
+			blockedRecv:  make(map[int]bool),
+			KeepPayloads: true,
+		}
+		c.nodes[id] = n
+		c.order = append(c.order, id)
+	}
+	return c, nil
+}
+
+// Node returns the simulated node with the given ID.
+func (c *Cluster) Node(id proto.NodeID) *Node { return c.nodes[id] }
+
+// NodeIDs returns all node IDs in ascending order.
+func (c *Cluster) NodeIDs() []proto.NodeID {
+	return append([]proto.NodeID(nil), c.order...)
+}
+
+// Start boots every node, staggered slightly so join storms interleave
+// realistically.
+func (c *Cluster) Start() {
+	for i, id := range c.order {
+		n := c.nodes[id]
+		c.Sim.At(proto.Time(i)*time.Millisecond, func() {
+			n.execute(c.Sim.Now(), n.Stack.Start(c.Sim.Now()))
+		})
+	}
+}
+
+// Run advances virtual time.
+func (c *Cluster) Run(d time.Duration) {
+	c.Sim.Run(c.Sim.Now() + d)
+}
+
+// RunUntil advances time in step increments until cond holds or the
+// budget elapses; it reports whether cond held.
+func (c *Cluster) RunUntil(cond func() bool, step, budget time.Duration) bool {
+	deadline := c.Sim.Now() + budget
+	for c.Sim.Now() < deadline {
+		if cond() {
+			return true
+		}
+		c.Sim.Run(c.Sim.Now() + step)
+	}
+	return cond()
+}
+
+// Submit enqueues an application message at the current virtual time.
+func (c *Cluster) Submit(id proto.NodeID, payload []byte) bool {
+	n := c.nodes[id]
+	if n == nil || n.crashed {
+		return false
+	}
+	ok, acts := n.Stack.Submit(c.Sim.Now(), payload)
+	n.execute(c.Sim.Now(), acts)
+	return ok
+}
+
+// --- fault injection ---
+
+// KillNetwork makes network i drop everything until revived.
+func (c *Cluster) KillNetwork(i int) { c.nets[i].down = true }
+
+// ReviveNetwork restores network i.
+func (c *Cluster) ReviveNetwork(i int) { c.nets[i].down = false }
+
+// SetLoss sets the random loss probability of network i.
+func (c *Cluster) SetLoss(i int, p float64) { c.nets[i].params.LossProb = p }
+
+// Partition splits network i into groups: traffic flows only within a
+// group. Pass nil to heal.
+func (c *Cluster) Partition(i int, groups map[proto.NodeID]int) {
+	c.nets[i].groups = groups
+}
+
+// BlockSend stops node id from sending on network net (paper §3 fault
+// type: "a node A is unable to send any data via a particular network").
+func (c *Cluster) BlockSend(id proto.NodeID, net int, blocked bool) {
+	c.nodes[id].blockedSend[net] = blocked
+}
+
+// BlockRecv stops node id from receiving on network net.
+func (c *Cluster) BlockRecv(id proto.NodeID, net int, blocked bool) {
+	c.nodes[id].blockedRecv[net] = blocked
+}
+
+// Crash stops a node dead: no more packets, timers or submissions.
+func (c *Cluster) Crash(id proto.NodeID) { c.nodes[id].crashed = true }
+
+// --- node internals ---
+
+// dispatch schedules work on the node's CPU: at time at, a slot of length
+// cost is reserved at the end of the CPU's current backlog and fn runs
+// when the slot begins. Reserving eagerly (instead of polling for a free
+// CPU) keeps event processing linear under saturation and preserves FIFO
+// order among simultaneous arrivals.
+func (n *Node) dispatch(at proto.Time, cost time.Duration, fn func(now proto.Time)) {
+	n.cluster.Sim.At(at, func() {
+		if n.crashed {
+			return
+		}
+		now := n.cluster.Sim.Now()
+		start := now
+		if n.cpuBusy > start {
+			start = n.cpuBusy
+		}
+		n.cpuBusy = start + cost
+		if start == now {
+			fn(now)
+			return
+		}
+		n.cluster.Sim.At(start, func() {
+			if n.crashed {
+				return
+			}
+			fn(start)
+		})
+	})
+}
+
+// execute performs the actions emitted by the stack at virtual time now.
+func (n *Node) execute(now proto.Time, actions []proto.Action) {
+	for _, a := range actions {
+		switch act := a.(type) {
+		case proto.SendPacket:
+			// Each send costs CPU and then enters the network's transmit
+			// queue at the moment the CPU finishes handing it off.
+			n.cpuBusy += n.cluster.cfg.Host.SendCost
+			n.cluster.cfg.Trace.Record(trace.Event{
+				At: now, Node: n.ID, Kind: trace.PacketSent,
+				Network: act.Network, Detail: packetDetail(act.Data, act.Dest),
+			})
+			n.transmit(n.cpuBusy, act)
+		case proto.SetTimer:
+			n.timerGen++
+			gen := n.timerGen
+			n.timers[act.ID] = gen
+			id := act.ID
+			n.cluster.Sim.At(now+act.After, func() {
+				if n.crashed || n.timers[id] != gen {
+					return // cancelled or re-armed
+				}
+				delete(n.timers, id)
+				n.dispatch(n.cluster.Sim.Now(), 0, func(t proto.Time) {
+					n.execute(t, n.Stack.OnTimer(t, id))
+				})
+			})
+		case proto.CancelTimer:
+			delete(n.timers, act.ID)
+		case proto.Deliver:
+			n.cpuBusy += n.cluster.cfg.Host.DeliverCost
+			n.cluster.cfg.Trace.Record(trace.Event{
+				At: now, Node: n.ID, Kind: trace.Delivered, Network: -1,
+				Detail: fmt.Sprintf("seq %d from %v (%dB)", act.Msg.Seq, act.Msg.Sender, len(act.Msg.Payload)),
+			})
+			n.DeliveredCount++
+			n.DeliveredBytes += uint64(len(act.Msg.Payload))
+			if n.KeepPayloads {
+				n.Delivered = append(n.Delivered, act.Msg)
+			}
+			if n.OnDeliver != nil {
+				n.OnDeliver(act.Msg)
+			}
+		case proto.Fault:
+			n.cluster.cfg.Trace.Record(trace.Event{
+				At: now, Node: n.ID, Kind: trace.FaultRaised,
+				Network: act.Report.Network, Detail: act.Report.Reason,
+			})
+			n.Faults = append(n.Faults, act.Report)
+			if n.OnFault != nil {
+				n.OnFault(act.Report)
+			}
+		case proto.Config:
+			n.cluster.cfg.Trace.Record(trace.Event{
+				At: now, Node: n.ID, Kind: trace.ConfigChanged, Network: -1,
+				Detail: act.Change.String(),
+			})
+			n.Configs = append(n.Configs, act.Change)
+			if n.OnConfig != nil {
+				n.OnConfig(act.Change)
+			}
+		}
+	}
+}
+
+// transmit puts a frame on a network at time t.
+func (n *Node) transmit(t proto.Time, pkt proto.SendPacket) {
+	if n.blockedSend[pkt.Network] {
+		return
+	}
+	net := n.cluster.nets[pkt.Network]
+	start := max(t, net.busyUntil)
+	net.busyUntil = start + net.params.frameTime(len(pkt.Data))
+	arrival := net.busyUntil + net.params.Latency
+	if pkt.Dest == proto.BroadcastID {
+		for _, id := range n.cluster.order {
+			if id == n.ID {
+				continue
+			}
+			n.cluster.deliverFrame(net, n.ID, id, arrival, pkt)
+		}
+		return
+	}
+	if pkt.Dest != n.ID {
+		n.cluster.deliverFrame(net, n.ID, pkt.Dest, arrival, pkt)
+	} else {
+		// Unicast to self (singleton successor): loop straight back.
+		n.dispatch(arrival, n.cluster.cfg.Host.RecvCost, func(now proto.Time) {
+			n.execute(now, n.Stack.OnPacket(now, pkt.Network, pkt.Data))
+		})
+	}
+}
+
+// deliverFrame delivers one frame to one receiver, applying fault rules.
+func (c *Cluster) deliverFrame(net *network, from, to proto.NodeID, at proto.Time, pkt proto.SendPacket) {
+	dst := c.nodes[to]
+	if dst == nil || dst.crashed {
+		return
+	}
+	if !net.deliverable(from, to) {
+		return
+	}
+	if dst.blockedRecv[net.idx] {
+		return
+	}
+	dst.dispatch(at, c.cfg.Host.RecvCost, func(now proto.Time) {
+		c.cfg.Trace.Record(trace.Event{
+			At: now, Node: dst.ID, Kind: trace.PacketReceived,
+			Network: net.idx, Detail: packetDetail(pkt.Data, pkt.Dest),
+		})
+		dst.execute(now, dst.Stack.OnPacket(now, net.idx, pkt.Data))
+	})
+}
+
+// packetDetail renders a short description of an encoded packet.
+func packetDetail(data []byte, dest proto.NodeID) string {
+	kind, err := wire.PeekKind(data)
+	if err != nil {
+		return fmt.Sprintf("undecodable %dB", len(data))
+	}
+	to := "bcast"
+	if dest != proto.BroadcastID {
+		to = dest.String()
+	}
+	return fmt.Sprintf("%v -> %s (%dB)", kind, to, len(data))
+}

@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/srp"
+)
+
+// operational reports whether every node is Operational on one common ring
+// containing every node.
+func operational(c *Cluster) bool {
+	var ring proto.RingID
+	for i, id := range c.NodeIDs() {
+		m := c.Node(id).Stack.SRP()
+		if m.State() != srp.StateOperational {
+			return false
+		}
+		if len(m.Members()) != len(c.NodeIDs()) {
+			return false
+		}
+		if i == 0 {
+			ring = m.Ring()
+		} else if m.Ring() != ring {
+			return false
+		}
+	}
+	return true
+}
+
+// waitRing runs the cluster until a common full ring forms.
+func waitRing(t *testing.T, c *Cluster, budget time.Duration) {
+	t.Helper()
+	if !c.RunUntil(func() bool { return operational(c) }, 10*time.Millisecond, budget) {
+		for _, id := range c.NodeIDs() {
+			m := c.Node(id).Stack.SRP()
+			t.Logf("node %v: state=%v ring=%v members=%v", id, m.State(), m.Ring(), m.Members())
+		}
+		t.Fatalf("ring did not form within %v", budget)
+	}
+}
+
+func mustCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return c
+}
+
+func baseConfig(nodes, networks int, style proto.ReplicationStyle) Config {
+	return Config{
+		Nodes:    nodes,
+		Networks: networks,
+		Style:    style,
+		Net:      DefaultNetworkParams(),
+		Host:     DefaultNodeParams(),
+		Seed:     1,
+	}
+}
+
+func TestSingletonFormsRing(t *testing.T) {
+	c := mustCluster(t, baseConfig(1, 1, proto.ReplicationNone))
+	c.Start()
+	waitRing(t, c, time.Second)
+	n := c.Node(1)
+	if len(n.Configs) == 0 || n.Configs[len(n.Configs)-1].Transitional {
+		t.Fatalf("expected a regular config change, got %+v", n.Configs)
+	}
+}
+
+func TestSingletonDeliversOwnMessages(t *testing.T) {
+	c := mustCluster(t, baseConfig(1, 1, proto.ReplicationNone))
+	c.Start()
+	waitRing(t, c, time.Second)
+	for i := 0; i < 5; i++ {
+		if !c.Submit(1, []byte(fmt.Sprintf("m%d", i))) {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	c.Run(50 * time.Millisecond)
+	n := c.Node(1)
+	if len(n.Delivered) != 5 {
+		t.Fatalf("delivered %d messages, want 5", len(n.Delivered))
+	}
+	for i, d := range n.Delivered {
+		if string(d.Payload) != fmt.Sprintf("m%d", i) {
+			t.Fatalf("delivery %d = %q", i, d.Payload)
+		}
+	}
+}
+
+func TestRingFormation(t *testing.T) {
+	cases := []struct {
+		nodes, networks int
+		style           proto.ReplicationStyle
+	}{
+		{2, 1, proto.ReplicationNone},
+		{4, 1, proto.ReplicationNone},
+		{4, 2, proto.ReplicationActive},
+		{4, 2, proto.ReplicationPassive},
+		{4, 3, proto.ReplicationActivePassive},
+		{6, 2, proto.ReplicationActive},
+		{6, 2, proto.ReplicationPassive},
+		{3, 3, proto.ReplicationActive},
+		{5, 4, proto.ReplicationActivePassive},
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("%dnodes_%dnets_%v", tc.nodes, tc.networks, tc.style)
+		t.Run(name, func(t *testing.T) {
+			c := mustCluster(t, baseConfig(tc.nodes, tc.networks, tc.style))
+			c.Start()
+			waitRing(t, c, 3*time.Second)
+			// Every node must have delivered a regular configuration
+			// listing the full membership.
+			for _, id := range c.NodeIDs() {
+				n := c.Node(id)
+				last := n.Configs[len(n.Configs)-1]
+				if last.Transitional || len(last.Members) != tc.nodes {
+					t.Fatalf("node %v final config %+v", id, last)
+				}
+			}
+		})
+	}
+}
+
+// submitAndDrain submits count messages from every node and runs until all
+// nodes have delivered everything (or budget expires).
+func submitAndDrain(t *testing.T, c *Cluster, perNode int, budget time.Duration) {
+	t.Helper()
+	total := perNode * len(c.NodeIDs())
+	for i := 0; i < perNode; i++ {
+		for _, id := range c.NodeIDs() {
+			payload := []byte(fmt.Sprintf("%v/%d", id, i))
+			if !c.Submit(id, payload) {
+				t.Fatalf("submit rejected for %v #%d", id, i)
+			}
+		}
+	}
+	ok := c.RunUntil(func() bool {
+		for _, id := range c.NodeIDs() {
+			if len(c.Node(id).Delivered) < total {
+				return false
+			}
+		}
+		return true
+	}, 10*time.Millisecond, budget)
+	if !ok {
+		for _, id := range c.NodeIDs() {
+			t.Logf("node %v delivered %d/%d state=%v", id, len(c.Node(id).Delivered), total, c.Node(id).Stack.SRP().State())
+		}
+		t.Fatalf("not all messages delivered within %v", budget)
+	}
+}
+
+// assertIdenticalOrder verifies all nodes delivered the identical sequence.
+func assertIdenticalOrder(t *testing.T, c *Cluster) {
+	t.Helper()
+	ids := c.NodeIDs()
+	ref := c.Node(ids[0]).Delivered
+	for _, id := range ids[1:] {
+		got := c.Node(id).Delivered
+		if len(got) != len(ref) {
+			t.Fatalf("node %v delivered %d, node %v delivered %d", ids[0], len(ref), id, len(got))
+		}
+		for i := range ref {
+			if ref[i].Sender != got[i].Sender || ref[i].Seq != got[i].Seq ||
+				string(ref[i].Payload) != string(got[i].Payload) {
+				t.Fatalf("order mismatch at %d: %v vs %v", i, ref[i], got[i])
+			}
+		}
+	}
+}
+
+func TestTotalOrder(t *testing.T) {
+	styles := []struct {
+		networks int
+		style    proto.ReplicationStyle
+	}{
+		{1, proto.ReplicationNone},
+		{2, proto.ReplicationActive},
+		{2, proto.ReplicationPassive},
+		{3, proto.ReplicationActivePassive},
+	}
+	for _, tc := range styles {
+		t.Run(tc.style.String(), func(t *testing.T) {
+			c := mustCluster(t, baseConfig(4, tc.networks, tc.style))
+			c.Start()
+			waitRing(t, c, 3*time.Second)
+			submitAndDrain(t, c, 25, 5*time.Second)
+			assertIdenticalOrder(t, c)
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []proto.Delivery {
+		c := mustCluster(t, baseConfig(4, 2, proto.ReplicationPassive))
+		c.SetLoss(0, 0.01)
+		c.Start()
+		waitRing(t, c, 3*time.Second)
+		for i := 0; i < 10; i++ {
+			for _, id := range c.NodeIDs() {
+				c.Submit(id, []byte(fmt.Sprintf("%v-%d", id, i)))
+			}
+		}
+		c.Run(2 * time.Second)
+		return c.Node(1).Delivered
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged: %d vs %d deliveries", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Seq != b[i].Seq || string(a[i].Payload) != string(b[i].Payload) {
+			t.Fatalf("runs diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestScaleEightNodesThreeNetworks(t *testing.T) {
+	// Full stack at a larger scale than the paper's testbed: 8 nodes on
+	// 3 networks with active-passive replication.
+	c := mustCluster(t, baseConfig(8, 3, proto.ReplicationActivePassive))
+	c.Start()
+	waitRing(t, c, 10*time.Second)
+	submitAndDrain(t, c, 10, 10*time.Second)
+	assertIdenticalOrder(t, c)
+}
+
+func TestRunUntilHonoursBudget(t *testing.T) {
+	c := mustCluster(t, baseConfig(1, 1, proto.ReplicationNone))
+	c.Start()
+	start := c.Sim.Now()
+	if c.RunUntil(func() bool { return false }, 10*time.Millisecond, 100*time.Millisecond) {
+		t.Fatal("impossible condition reported true")
+	}
+	if got := c.Sim.Now() - start; got < 100*time.Millisecond {
+		t.Fatalf("budget cut short: %v", got)
+	}
+}

@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/srp"
+)
+
+// TestSoakRandomFaults drives the full stack (SRP + RRP + simulator)
+// through a randomized schedule of network deaths, repairs + readmissions,
+// interface faults, node crashes and load, then checks the global
+// correctness invariants:
+//
+//  1. per-configuration agreement: within any ring, all nodes' delivery
+//     sequences are prefix-consistent;
+//  2. no duplicate deliveries anywhere;
+//  3. after the dust settles, the survivors converge on one operational
+//     ring and still make progress.
+func TestSoakRandomFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	styles := []struct {
+		networks int
+		style    proto.ReplicationStyle
+	}{
+		{2, proto.ReplicationActive},
+		{2, proto.ReplicationPassive},
+		{3, proto.ReplicationActivePassive},
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, tc := range styles {
+			name := fmt.Sprintf("%v/seed%d", tc.style, seed)
+			t.Run(name, func(t *testing.T) {
+				soak(t, tc.networks, tc.style, seed)
+			})
+		}
+	}
+}
+
+func soak(t *testing.T, networks int, style proto.ReplicationStyle, seed int64) {
+	t.Helper()
+	const nodes = 5
+	cfg := baseConfig(nodes, networks, style)
+	cfg.Seed = seed
+	c := mustCluster(t, cfg)
+	c.Start()
+	waitRing(t, c, 5*time.Second)
+
+	rng := rand.New(rand.NewSource(seed * 977))
+	crashed := map[proto.NodeID]bool{}
+	netDown := make([]bool, networks)
+
+	// Light steady traffic from every live node.
+	msgID := 0
+	sendBurst := func() {
+		for _, id := range c.NodeIDs() {
+			if crashed[id] {
+				continue
+			}
+			for k := 0; k < 4; k++ {
+				msgID++
+				c.Submit(id, []byte(fmt.Sprintf("%v-%d", id, msgID)))
+			}
+		}
+	}
+
+	// 40 rounds of 100 ms: traffic plus a random event every few rounds.
+	for round := 0; round < 40; round++ {
+		sendBurst()
+		if round%4 == 3 {
+			switch ev := rng.Intn(5); ev {
+			case 0: // kill a random network (never all of them)
+				up := 0
+				for _, d := range netDown {
+					if !d {
+						up++
+					}
+				}
+				i := rng.Intn(networks)
+				if up > 1 && !netDown[i] {
+					netDown[i] = true
+					c.KillNetwork(i)
+				}
+			case 1: // repair a dead network and readmit it everywhere
+				for i, d := range netDown {
+					if d {
+						netDown[i] = false
+						c.ReviveNetwork(i)
+						for _, id := range c.NodeIDs() {
+							if !crashed[id] {
+								c.Node(id).Stack.Replicator().Readmit(i)
+							}
+						}
+						break
+					}
+				}
+			case 2: // interface fault on a random node/network, later undone
+				id := proto.NodeID(1 + rng.Intn(nodes))
+				net := rng.Intn(networks)
+				if !crashed[id] {
+					c.BlockSend(id, net, true)
+					c.Sim.After(500*time.Millisecond, func() {
+						c.BlockSend(id, net, false)
+					})
+				}
+			case 3: // crash one node (keep a quorum of 3 alive)
+				if len(crashed) < nodes-3 {
+					id := proto.NodeID(2 + rng.Intn(nodes-1))
+					if !crashed[id] {
+						crashed[id] = true
+						c.Crash(id)
+					}
+				}
+			case 4: // transient loss burst on one network
+				net := rng.Intn(networks)
+				c.SetLoss(net, 0.05)
+				c.Sim.After(300*time.Millisecond, func() { c.SetLoss(net, 0) })
+			}
+		}
+		c.Run(100 * time.Millisecond)
+	}
+
+	// Settle: repair everything and let the ring converge.
+	for i := range netDown {
+		if netDown[i] {
+			c.ReviveNetwork(i)
+			netDown[i] = false
+		}
+	}
+	for _, id := range c.NodeIDs() {
+		if crashed[id] {
+			continue
+		}
+		for i := 0; i < networks; i++ {
+			c.Node(id).Stack.Replicator().Readmit(i)
+		}
+	}
+	live := 0
+	for _, id := range c.NodeIDs() {
+		if !crashed[id] {
+			live++
+		}
+	}
+	settled := c.RunUntil(func() bool {
+		var ring proto.RingID
+		first := true
+		for _, id := range c.NodeIDs() {
+			if crashed[id] {
+				continue
+			}
+			m := c.Node(id).Stack.SRP()
+			if m.State() != srp.StateOperational || len(m.Members()) != live {
+				return false
+			}
+			if first {
+				ring, first = m.Ring(), false
+			} else if m.Ring() != ring {
+				return false
+			}
+		}
+		return true
+	}, 50*time.Millisecond, 20*time.Second)
+	if !settled {
+		for _, id := range c.NodeIDs() {
+			m := c.Node(id).Stack.SRP()
+			t.Logf("node %v crashed=%v state=%v members=%v faulty=%v",
+				id, crashed[id], m.State(), m.Members(), c.Node(id).Stack.Replicator().Faulty())
+		}
+		t.Fatal("survivors never settled on one ring")
+	}
+
+	// Progress after the storm.
+	probe := firstLive(c, crashed)
+	before := c.Node(probe).DeliveredCount
+	sendBurst()
+	c.Run(2 * time.Second)
+	if c.Node(probe).DeliveredCount <= before {
+		t.Fatal("no progress after settling")
+	}
+
+	// Invariant checks over the whole run.
+	checkPrefixConsistency(t, c, crashed)
+	checkNoDuplicates(t, c, crashed)
+}
+
+func firstLive(c *Cluster, crashed map[proto.NodeID]bool) proto.NodeID {
+	for _, id := range c.NodeIDs() {
+		if !crashed[id] {
+			return id
+		}
+	}
+	return c.NodeIDs()[0]
+}
+
+// checkPrefixConsistency groups every node's deliveries by ring and
+// verifies pairwise prefix agreement within each ring.
+func checkPrefixConsistency(t *testing.T, c *Cluster, crashed map[proto.NodeID]bool) {
+	t.Helper()
+	perRing := map[proto.RingID]map[proto.NodeID][]proto.Delivery{}
+	for _, id := range c.NodeIDs() {
+		for _, d := range c.Node(id).Delivered {
+			m := perRing[d.Ring]
+			if m == nil {
+				m = map[proto.NodeID][]proto.Delivery{}
+				perRing[d.Ring] = m
+			}
+			m[id] = append(m[id], d)
+		}
+	}
+	for ring, m := range perRing {
+		var ref []proto.Delivery
+		var refNode proto.NodeID
+		for id, s := range m {
+			if ref == nil {
+				ref, refNode = s, id
+				continue
+			}
+			n := min(len(ref), len(s))
+			for i := 0; i < n; i++ {
+				if ref[i].Seq != s[i].Seq || ref[i].Sender != s[i].Sender ||
+					!bytes.Equal(ref[i].Payload, s[i].Payload) {
+					t.Fatalf("ring %v: nodes %v and %v diverge at %d:\n  %v %q\n  %v %q",
+						ring, refNode, id, i, ref[i].Seq, ref[i].Payload, s[i].Seq, s[i].Payload)
+				}
+			}
+		}
+	}
+}
+
+// checkNoDuplicates verifies no node delivered the same message twice.
+func checkNoDuplicates(t *testing.T, c *Cluster, crashed map[proto.NodeID]bool) {
+	t.Helper()
+	for _, id := range c.NodeIDs() {
+		seen := map[string]bool{}
+		for _, d := range c.Node(id).Delivered {
+			// Message payloads are globally unique in this workload.
+			key := string(d.Payload)
+			if seen[key] {
+				t.Fatalf("node %v delivered %q twice", id, key)
+			}
+			seen[key] = true
+		}
+	}
+}

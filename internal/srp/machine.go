@@ -1,0 +1,359 @@
+package srp
+
+import (
+	"fmt"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/wire"
+)
+
+// Outbound is the downward interface of the SRP machine. The RRP layer
+// implements it, mapping each logical send onto one or more of the
+// redundant networks (paper §4–§7).
+type Outbound interface {
+	// Broadcast sends an encoded packet to every ring member.
+	Broadcast(data []byte)
+	// Unicast sends an encoded packet (the token) to one ring member.
+	Unicast(dest proto.NodeID, data []byte)
+}
+
+// State is the membership-protocol state of the machine.
+type State int
+
+// Machine states.
+const (
+	// StateIdle is the pre-Start state.
+	StateIdle State = iota + 1
+	// StateOperational is normal token-ring operation.
+	StateOperational
+	// StateGather is the join/consensus phase of membership.
+	StateGather
+	// StateCommit circulates the commit token around the proposed ring.
+	StateCommit
+	// StateRecovery exchanges old-ring messages on the new ring before the
+	// configuration is installed.
+	StateRecovery
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateOperational:
+		return "operational"
+	case StateGather:
+		return "gather"
+	case StateCommit:
+		return "commit"
+	case StateRecovery:
+		return "recovery"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Stats counts protocol events for tests, monitoring and the benchmark
+// harness.
+type Stats struct {
+	TokensReceived   uint64
+	TokensSent       uint64
+	TokenRetransmits uint64
+	PacketsSent      uint64 // original data packets broadcast
+	PacketsReceived  uint64 // non-duplicate data packets accepted
+	Duplicates       uint64 // duplicate data packets discarded
+	Retransmissions  uint64 // packets re-broadcast to serve RTR requests
+	RetransRequested uint64 // RTR entries this node added to the token
+	MsgsDelivered    uint64
+	BytesDelivered   uint64
+	Submitted        uint64
+	SubmitRejected   uint64
+	TokenLosses      uint64
+	ConfigChanges    uint64
+}
+
+type tokenKey struct {
+	seq      uint32
+	rotation uint32
+}
+
+// newer reports whether k is a strictly newer token generation than o.
+func (k tokenKey) newer(o tokenKey) bool {
+	return k.seq > o.seq || (k.seq == o.seq && k.rotation > o.rotation)
+}
+
+// oldRing snapshots the state of the previous configuration while a new
+// one is being formed; recovery drains it.
+type oldRing struct {
+	ring        proto.RingID
+	members     nodeSet
+	rx          map[uint32]*wire.DataPacket
+	aru         uint32
+	high        uint32
+	deliveredTo uint32
+	asm         *wire.Assembler
+}
+
+// Machine is the Totem single-ring protocol engine for one node. It is not
+// safe for concurrent use; the stack serialises all calls.
+type Machine struct {
+	cfg  Config
+	out  Outbound
+	acts *proto.Actions
+
+	state    State
+	ring     proto.RingID
+	members  nodeSet
+	maxEpoch uint32
+
+	// Operational ring state.
+	packer           wire.Packer
+	asm              *wire.Assembler
+	rx               map[uint32]*wire.DataPacket
+	myAru            uint32
+	highSeq          uint32
+	deliveredTo      uint32
+	safeTo           uint32
+	prevTokenAru     uint32
+	havePrevTokenAru bool
+	prevSent         uint32
+	prevBacklog      uint32
+
+	lastTokenSeen    tokenKey
+	seenAnyToken     bool
+	lastTokenSent    []byte
+	lastTokenSentKey tokenKey
+	tokenRetransOn   bool
+
+	// Gather state.
+	procSet   nodeSet
+	failSet   nodeSet
+	joinsSeen map[proto.NodeID]bool
+	consensus map[proto.NodeID]bool
+
+	// Commit / recovery state.
+	commitPhase    uint8 // 0 none, 1 filled, 2 recovering, 3 token emitted
+	pendingCommit  *wire.CommitToken
+	lastCommitSent []byte
+	commitDest     proto.NodeID
+	commitRetries  int
+	commitWaiting  bool // in Commit without having forwarded yet
+
+	old         *oldRing
+	recQueue    [][]byte    // encoded old packets awaiting re-broadcast
+	quietSetter bool        // rep: we have set TokenFlagQuiet at least once
+	heldToken   *wire.Token // idle-ring token held by the representative
+
+	stats Stats
+}
+
+// NewMachine builds a machine. It validates cfg and panics on programmer
+// error (nil interfaces); configuration errors are returned.
+func NewMachine(cfg Config, out Outbound, acts *proto.Actions) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if out == nil || acts == nil {
+		return nil, fmt.Errorf("%w: nil outbound or action buffer", ErrBadConfig)
+	}
+	return &Machine{
+		cfg:   cfg,
+		out:   out,
+		acts:  acts,
+		state: StateIdle,
+		asm:   wire.NewAssembler(),
+		rx:    make(map[uint32]*wire.DataPacket),
+	}, nil
+}
+
+// ID returns this node's identifier.
+func (m *Machine) ID() proto.NodeID { return m.cfg.ID }
+
+// State returns the current membership state.
+func (m *Machine) State() State { return m.state }
+
+// Ring returns the current (or pending, during recovery) ring identifier.
+func (m *Machine) Ring() proto.RingID { return m.ring }
+
+// Members returns the current membership (sorted). The returned slice is a
+// copy.
+func (m *Machine) Members() []proto.NodeID {
+	return append([]proto.NodeID(nil), m.members...)
+}
+
+// Stats returns a snapshot of the protocol counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Backlog returns the number of queued, not yet broadcast application
+// messages.
+func (m *Machine) Backlog() int { return m.packer.Backlog() }
+
+// MissingBefore reports whether this node is missing any packet with
+// sequence number at or below seq on the current ring. The passive RRP
+// layer consults it before passing a token up (paper §6, requirement P1).
+func (m *Machine) MissingBefore(seq uint32) bool {
+	if m.state != StateOperational && m.state != StateRecovery {
+		return false
+	}
+	return m.myAru < seq
+}
+
+// Start brings the node up: it immediately attempts to form a ring by
+// entering the Gather state (forming a singleton ring if alone).
+func (m *Machine) Start(now proto.Time) {
+	if m.state != StateIdle {
+		return
+	}
+	m.enterGather(now, nil, nil)
+}
+
+// Submit queues an application message for totally-ordered broadcast. It
+// returns false when the send queue is full (backpressure) or the machine
+// has not started.
+func (m *Machine) Submit(now proto.Time, payload []byte) bool {
+	if m.state == StateIdle {
+		return false
+	}
+	if m.packer.Backlog() >= m.cfg.MaxQueued {
+		m.stats.SubmitRejected++
+		return false
+	}
+	m.packer.Enqueue(payload)
+	m.stats.Submitted++
+	if m.state == StateOperational && len(m.members) == 1 {
+		m.flushSingleton(now)
+	} else if m.heldToken != nil {
+		// We are holding the token on an idle ring: use it right away.
+		m.releaseHeldToken(true)
+	}
+	return true
+}
+
+// OnPacket processes one packet received from the RRP layer (which has
+// already applied token gating and duplicate-copy handling across
+// networks).
+func (m *Machine) OnPacket(now proto.Time, data []byte) {
+	kind, err := wire.PeekKind(data)
+	if err != nil {
+		return // undecodable noise: drop
+	}
+	switch kind {
+	case wire.KindData:
+		pkt, err := wire.DecodeData(data)
+		if err != nil {
+			return
+		}
+		m.onData(now, pkt)
+	case wire.KindToken:
+		tok, err := wire.DecodeToken(data)
+		if err != nil {
+			return
+		}
+		m.onToken(now, tok)
+	case wire.KindJoin:
+		j, err := wire.DecodeJoin(data)
+		if err != nil {
+			return
+		}
+		m.onJoin(now, j)
+	case wire.KindCommit:
+		c, err := wire.DecodeCommit(data)
+		if err != nil {
+			return
+		}
+		m.onCommit(now, c)
+	case wire.KindMergeDetect:
+		md, err := wire.DecodeMergeDetect(data)
+		if err != nil {
+			return
+		}
+		m.onMergeDetect(now, md)
+	}
+}
+
+// OnTimer processes an expired timer.
+func (m *Machine) OnTimer(now proto.Time, id proto.TimerID) {
+	switch id.Class {
+	case proto.TimerTokenLoss:
+		if m.state == StateOperational || m.state == StateRecovery {
+			m.stats.TokenLosses++
+			m.enterGather(now, nil, nil)
+		}
+	case proto.TimerTokenRetransmit:
+		if m.tokenRetransOn && m.lastTokenSent != nil {
+			m.out.Unicast(m.successor(), m.lastTokenSent)
+			m.stats.TokenRetransmits++
+			m.acts.SetTimer(proto.TimerID{Class: proto.TimerTokenRetransmit}, m.cfg.TokenRetransmitInterval)
+		}
+	case proto.TimerJoin:
+		if m.state == StateGather {
+			m.sendJoin()
+			m.acts.SetTimer(proto.TimerID{Class: proto.TimerJoin}, m.cfg.JoinInterval)
+		}
+	case proto.TimerConsensus:
+		if m.state == StateGather {
+			m.onConsensusTimeout(now)
+		}
+	case proto.TimerCommitRetransmit:
+		if m.state == StateCommit || m.state == StateRecovery {
+			m.onCommitTimeout(now)
+		}
+	case proto.TimerMergeDetect:
+		if m.state == StateOperational && m.isRep() {
+			m.sendMergeDetect()
+			m.acts.SetTimer(proto.TimerID{Class: proto.TimerMergeDetect}, m.cfg.MergeDetectInterval)
+		}
+	case proto.TimerTokenHold:
+		m.releaseHeldToken(false)
+	}
+}
+
+// successor returns the next member on the ring after this node.
+func (m *Machine) successor() proto.NodeID {
+	if len(m.members) == 0 {
+		return m.cfg.ID
+	}
+	for i, id := range m.members {
+		if id == m.cfg.ID {
+			return m.members[(i+1)%len(m.members)]
+		}
+	}
+	return m.members[0]
+}
+
+// isRep reports whether this node is the ring representative (the member
+// with the smallest ID, which maintains the rotation counter and drives
+// the recovery handshake).
+func (m *Machine) isRep() bool {
+	return len(m.members) > 0 && m.members[0] == m.cfg.ID
+}
+
+// resetRingState clears the per-ring sequencing state when a new ring's
+// sequence space begins (at the transition into Recovery).
+func (m *Machine) resetRingState() {
+	m.heldToken = nil
+	m.acts.CancelTimer(proto.TimerID{Class: proto.TimerTokenHold})
+	m.rx = make(map[uint32]*wire.DataPacket)
+	m.myAru = 0
+	m.highSeq = 0
+	m.deliveredTo = 0
+	m.safeTo = 0
+	m.prevTokenAru = 0
+	m.havePrevTokenAru = false
+	m.prevSent = 0
+	m.prevBacklog = 0
+	m.seenAnyToken = false
+	m.lastTokenSent = nil
+	m.tokenRetransOn = false
+	m.asm.Reset()
+	m.quietSetter = false
+}
+
+// cancelOperationalTimers disarms the token timers.
+func (m *Machine) cancelOperationalTimers() {
+	m.acts.CancelTimer(proto.TimerID{Class: proto.TimerTokenLoss})
+	m.acts.CancelTimer(proto.TimerID{Class: proto.TimerTokenRetransmit})
+	m.acts.CancelTimer(proto.TimerID{Class: proto.TimerTokenHold})
+	m.tokenRetransOn = false
+	m.heldToken = nil
+}

@@ -1,0 +1,419 @@
+package srp
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/wire"
+)
+
+// ringsConsistent verifies the extended-virtual-synchrony agreement
+// property across the whole run: group deliveries by the configuration
+// they were delivered in; within each configuration, the delivery
+// sequences of any two nodes must be equal up to the shorter one
+// (prefix-consistent), with identical payloads at identical positions.
+func ringsConsistent(t *testing.T, h *harness) {
+	t.Helper()
+	type stream = []proto.Delivery
+	perRing := map[proto.RingID]map[proto.NodeID]stream{}
+	for _, id := range h.order {
+		for _, d := range h.machines[id].delivered {
+			m := perRing[d.Ring]
+			if m == nil {
+				m = map[proto.NodeID]stream{}
+				perRing[d.Ring] = m
+			}
+			m[id] = append(m[id], d)
+		}
+	}
+	for ring, m := range perRing {
+		var ref stream
+		var refNode proto.NodeID
+		for id, s := range m {
+			if ref == nil {
+				ref, refNode = s, id
+				continue
+			}
+			n := min(len(ref), len(s))
+			for i := 0; i < n; i++ {
+				if ref[i].Seq != s[i].Seq || ref[i].Sender != s[i].Sender ||
+					!bytes.Equal(ref[i].Payload, s[i].Payload) {
+					t.Fatalf("ring %v: node %v and %v diverge at %d: %v vs %v",
+						ring, refNode, id, i, ref[i], s[i])
+				}
+			}
+		}
+	}
+}
+
+// noDuplicateDeliveries verifies no node delivered the same (ring, seq,
+// chunk) twice. Seq alone can repeat across packed messages, so use the
+// position of the message within the packet implicitly via full equality
+// of adjacent entries.
+func noDuplicateDeliveries(t *testing.T, h *harness) {
+	t.Helper()
+	for _, id := range h.order {
+		seen := map[string]int{}
+		for _, d := range h.machines[id].delivered {
+			key := fmt.Sprintf("%v/%d/%x", d.Ring, d.Seq, d.Payload)
+			seen[key]++
+		}
+		for key, n := range seen {
+			if n > 1 {
+				t.Fatalf("node %v delivered %s %d times", id, key, n)
+			}
+		}
+	}
+}
+
+func TestMergeDetectReunitesIdleRings(t *testing.T) {
+	// Two rings that heal while completely idle only discover each other
+	// through the merge-detect advertisement.
+	h := newHarness(t, 4, nil)
+	h.start()
+	h.waitRing(3 * time.Second)
+	h.drop = func(from, to proto.NodeID, data []byte) bool {
+		return (from <= 2) != (to <= 2)
+	}
+	ok := h.runUntil(func() bool {
+		return len(h.machines[1].m.Members()) == 2 && len(h.machines[3].m.Members()) == 2 &&
+			h.machines[1].m.State() == StateOperational && h.machines[3].m.State() == StateOperational
+	}, 5*time.Second)
+	if !ok {
+		t.Fatal("partition did not split")
+	}
+	// Let both sides go fully idle, then heal with zero traffic.
+	h.run(500 * time.Millisecond)
+	h.drop = nil
+	ok = h.runUntil(func() bool {
+		for _, id := range h.order {
+			if len(h.machines[id].m.Members()) != 4 || h.machines[id].m.State() != StateOperational {
+				return false
+			}
+		}
+		return true
+	}, 5*time.Second)
+	if !ok {
+		t.Fatal("idle rings never merged (merge detect broken)")
+	}
+}
+
+func TestStaleJoinDoesNotDisturbOperationalRing(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	h.start()
+	h.waitRing(3 * time.Second)
+	ring := h.machines[1].m.Ring()
+	cfgs := len(h.machines[1].configs)
+	// Replay a stale join from the forming round: member 2 with an old
+	// epoch.
+	j := &joinForTest{sender: 2, ringSeq: ring.Epoch - 1, proc: []proto.NodeID{1, 2, 3}}
+	h.machines[1].m.OnPacket(h.now, j.encode(t))
+	h.machines[1].drain()
+	h.run(500 * time.Millisecond)
+	if got := h.machines[1].m.Ring(); got != ring {
+		t.Fatalf("stale join changed the ring: %v -> %v", ring, got)
+	}
+	if len(h.machines[1].configs) != cfgs {
+		t.Fatalf("stale join produced config changes")
+	}
+}
+
+func TestForeignJoinFromStrangerTriggersMerge(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	h.start()
+	h.waitRing(3 * time.Second)
+	// A brand-new node appears.
+	h2 := addNode(t, h, 9)
+	ok := h.runUntil(func() bool {
+		return len(h.machines[1].m.Members()) == 4 &&
+			h.machines[1].m.State() == StateOperational &&
+			h2.m.State() == StateOperational
+	}, 5*time.Second)
+	if !ok {
+		t.Fatalf("stranger never joined: n1 members=%v stranger state=%v",
+			h.machines[1].m.Members(), h2.m.State())
+	}
+	ringsConsistent(t, h)
+}
+
+func TestTwoSimultaneousCrashes(t *testing.T) {
+	h := newHarness(t, 5, nil)
+	h.start()
+	h.waitRing(3 * time.Second)
+	for i := 0; i < 10; i++ {
+		h.submit(1, []byte(fmt.Sprintf("pre-%d", i)))
+	}
+	h.run(5 * time.Millisecond)
+	h.machines[3].crashed = true
+	h.machines[5].crashed = true
+	ok := h.runUntil(func() bool {
+		for _, id := range []proto.NodeID{1, 2, 4} {
+			m := h.machines[id].m
+			if m.State() != StateOperational || len(m.Members()) != 3 {
+				return false
+			}
+		}
+		return true
+	}, 5*time.Second)
+	if !ok {
+		t.Fatal("ring did not reform after double crash")
+	}
+	// Survivors still agree on everything delivered.
+	ringsConsistent(t, h)
+	noDuplicateDeliveries(t, h)
+	// And the ring still works.
+	h.submit(2, []byte("post-crash"))
+	ok = h.runUntil(func() bool {
+		for _, id := range []proto.NodeID{1, 2, 4} {
+			ms := h.machines[id].delivered
+			if len(ms) == 0 || string(ms[len(ms)-1].Payload) != "post-crash" {
+				return false
+			}
+		}
+		return true
+	}, 3*time.Second)
+	if !ok {
+		t.Fatal("post-crash message not delivered")
+	}
+}
+
+func TestCrashDuringRecoveryRegathers(t *testing.T) {
+	h := newHarness(t, 4, nil)
+	h.start()
+	h.waitRing(3 * time.Second)
+	for i := 0; i < 30; i++ {
+		h.submit(proto.NodeID(1+i%4), []byte(fmt.Sprintf("m%d", i)))
+	}
+	h.run(3 * time.Millisecond)
+	// First crash forces a membership change...
+	h.machines[4].crashed = true
+	// ...and as soon as any survivor leaves Operational, crash another.
+	crashed := false
+	ok := h.runUntil(func() bool {
+		if !crashed {
+			for _, id := range []proto.NodeID{1, 2, 3} {
+				if s := h.machines[id].m.State(); s == StateGather || s == StateCommit || s == StateRecovery {
+					h.machines[3].crashed = true
+					crashed = true
+					break
+				}
+			}
+			return false
+		}
+		for _, id := range []proto.NodeID{1, 2} {
+			m := h.machines[id].m
+			if m.State() != StateOperational || len(m.Members()) != 2 {
+				return false
+			}
+		}
+		return true
+	}, 10*time.Second)
+	if !ok {
+		t.Fatalf("cascaded crash not survived: crashedSecond=%v n1=%v n2=%v",
+			crashed, h.machines[1].m.State(), h.machines[2].m.State())
+	}
+	ringsConsistent(t, h)
+	noDuplicateDeliveries(t, h)
+}
+
+func TestFragmentedMessageSurvivesMembershipChange(t *testing.T) {
+	// A 5 KB message is mid-flight (multiple fragments) when a bystander
+	// node crashes; recovery must deliver the message exactly once and
+	// uncorrupted at all survivors.
+	h := newHarness(t, 4, nil)
+	h.start()
+	h.waitRing(3 * time.Second)
+	big := make([]byte, 5000)
+	rng := rand.New(rand.NewSource(3))
+	rng.Read(big)
+	h.submit(2, append([]byte(nil), big...))
+	h.run(300 * time.Microsecond) // a fragment or two in flight
+	h.machines[4].crashed = true
+	ok := h.runUntil(func() bool {
+		for _, id := range []proto.NodeID{1, 2, 3} {
+			found := false
+			for _, d := range h.machines[id].delivered {
+				if bytes.Equal(d.Payload, big) {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}, 5*time.Second)
+	if !ok {
+		t.Fatal("fragmented message lost across membership change")
+	}
+	noDuplicateDeliveries(t, h)
+}
+
+func TestChurnJoinLeaveCycles(t *testing.T) {
+	// Node 3 repeatedly crashes and rejoins; the ring must stabilise each
+	// time and agreement must hold throughout.
+	h := newHarness(t, 3, nil)
+	h.start()
+	h.waitRing(3 * time.Second)
+	for cycle := 0; cycle < 3; cycle++ {
+		h.submit(1, []byte(fmt.Sprintf("cycle-%d", cycle)))
+		h.machines[3].crashed = true
+		ok := h.runUntil(func() bool {
+			return len(h.machines[1].m.Members()) == 2 &&
+				h.machines[1].m.State() == StateOperational
+		}, 5*time.Second)
+		if !ok {
+			t.Fatalf("cycle %d: ring did not shrink", cycle)
+		}
+		// Fresh instance rejoins under the same identity.
+		hn := h.machines[3]
+		hn.crashed = false
+		hn.timers = make(map[proto.TimerID]uint64)
+		hn.acts = proto.Actions{}
+		m, err := NewMachine(DefaultConfig(3), (*hOut)(hn), &hn.acts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hn.m = m
+		h.at(h.now, func() { hn.m.Start(h.now); hn.drain() })
+		ok = h.runUntil(func() bool {
+			for _, id := range h.order {
+				if len(h.machines[id].m.Members()) != 3 ||
+					h.machines[id].m.State() != StateOperational {
+					return false
+				}
+			}
+			return true
+		}, 8*time.Second)
+		if !ok {
+			t.Fatalf("cycle %d: rejoin did not stabilise", cycle)
+		}
+	}
+	ringsConsistent(t, h)
+}
+
+func TestRandomChurnPropertyAgreement(t *testing.T) {
+	// Property: under randomized loss and crash schedules, surviving
+	// nodes never diverge (per-configuration prefix consistency) and
+	// never deliver duplicates.
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			h := newHarness(t, 4, nil)
+			// 2% random loss on everything.
+			h.drop = func(from, to proto.NodeID, data []byte) bool {
+				return rng.Intn(50) == 0
+			}
+			h.start()
+			h.waitRing(10 * time.Second)
+			for i := 0; i < 60; i++ {
+				h.submit(proto.NodeID(1+rng.Intn(4)), []byte(fmt.Sprintf("s%d-m%d", seed, i)))
+				if i%20 == 19 {
+					h.run(20 * time.Millisecond)
+				}
+			}
+			// One random crash mid-run.
+			victim := proto.NodeID(2 + rng.Intn(3))
+			h.machines[victim].crashed = true
+			h.run(3 * time.Second)
+			ringsConsistent(t, h)
+			noDuplicateDeliveries(t, h)
+			// Survivors stabilise on a 3-member ring.
+			for _, id := range h.order {
+				if id == victim {
+					continue
+				}
+				m := h.machines[id].m
+				if m.State() != StateOperational || len(m.Members()) != 3 {
+					t.Fatalf("node %v not stable: %v %v", id, m.State(), m.Members())
+				}
+			}
+		})
+	}
+}
+
+// --- helpers ---
+
+// joinForTest builds raw join packets for adversarial injection.
+type joinForTest struct {
+	sender  proto.NodeID
+	ringSeq uint32
+	proc    []proto.NodeID
+	fail    []proto.NodeID
+}
+
+func (j *joinForTest) encode(t *testing.T) []byte {
+	t.Helper()
+	pkt := &wire.JoinPacket{Sender: j.sender, RingSeq: j.ringSeq, ProcSet: j.proc, FailSet: j.fail}
+	data, err := pkt.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// addNode attaches a fresh machine to a running harness.
+func addNode(t *testing.T, h *harness, id proto.NodeID) *hNode {
+	t.Helper()
+	hn := &hNode{h: h, id: id, timers: make(map[proto.TimerID]uint64)}
+	m, err := NewMachine(DefaultConfig(id), (*hOut)(hn), &hn.acts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hn.m = m
+	h.machines[id] = hn
+	h.order = append(h.order, id)
+	h.at(h.now, func() { hn.m.Start(h.now); hn.drain() })
+	return hn
+}
+
+func TestJoinUnderSaturatedLoad(t *testing.T) {
+	// A node joins while the ring is saturated with traffic; the
+	// membership change must complete and agreement must hold.
+	h := newHarness(t, 3, nil)
+	h.start()
+	h.waitRing(3 * time.Second)
+	stop := false
+	var feed func()
+	feed = func() {
+		if stop {
+			return
+		}
+		for _, id := range []proto.NodeID{1, 2, 3} {
+			n := h.machines[id]
+			if n.m.Backlog() < 16 {
+				h.submit(id, []byte(fmt.Sprintf("%v@%v", id, h.now)))
+			}
+		}
+		h.at(h.now+time.Millisecond, feed)
+	}
+	h.at(h.now, feed)
+	h.run(50 * time.Millisecond)
+
+	addNode(t, h, 4)
+	ok := h.runUntil(func() bool {
+		for _, id := range h.order {
+			m := h.machines[id].m
+			if m.State() != StateOperational || len(m.Members()) != 4 {
+				return false
+			}
+		}
+		return true
+	}, 10*time.Second)
+	stop = true
+	if !ok {
+		for _, id := range h.order {
+			m := h.machines[id].m
+			t.Logf("node %v: %v %v", id, m.State(), m.Members())
+		}
+		t.Fatal("join under load never completed")
+	}
+	h.run(200 * time.Millisecond)
+	ringsConsistent(t, h)
+	noDuplicateDeliveries(t, h)
+}

@@ -1,0 +1,85 @@
+package srp
+
+import (
+	"slices"
+
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+// nodeSet is a sorted, duplicate-free set of node IDs. The zero value is
+// the empty set. All operations return new or in-place sorted slices; the
+// membership protocol relies on the canonical (sorted) form for set
+// equality comparisons.
+type nodeSet []proto.NodeID
+
+func newNodeSet(ids ...proto.NodeID) nodeSet {
+	s := nodeSet{}
+	for _, id := range ids {
+		s = s.add(id)
+	}
+	return s
+}
+
+func (s nodeSet) contains(id proto.NodeID) bool {
+	_, ok := slices.BinarySearch(s, id)
+	return ok
+}
+
+func (s nodeSet) add(id proto.NodeID) nodeSet {
+	i, ok := slices.BinarySearch(s, id)
+	if ok {
+		return s
+	}
+	return slices.Insert(s, i, id)
+}
+
+func (s nodeSet) union(o nodeSet) nodeSet {
+	// Copy first: add (slices.Insert) may otherwise shift elements inside
+	// the receiver's backing array, corrupting s while the union is being
+	// built.
+	out := s.clone()
+	for _, id := range o {
+		out = out.add(id)
+	}
+	return out
+}
+
+// containsAll reports whether every element of o is in s.
+func (s nodeSet) containsAll(o nodeSet) bool {
+	for _, id := range o {
+		if !s.contains(id) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s nodeSet) equal(o nodeSet) bool {
+	return slices.Equal(s, o)
+}
+
+// minus returns s \ o.
+func (s nodeSet) minus(o nodeSet) nodeSet {
+	out := make(nodeSet, 0, len(s))
+	for _, id := range s {
+		if !o.contains(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// intersect returns s ∩ o.
+func (s nodeSet) intersect(o nodeSet) nodeSet {
+	out := make(nodeSet, 0, min(len(s), len(o)))
+	for _, id := range s {
+		if o.contains(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (s nodeSet) clone() nodeSet {
+	return slices.Clone(s)
+}

@@ -1,0 +1,106 @@
+package srp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+func TestNodeSetBasics(t *testing.T) {
+	s := newNodeSet(3, 1, 2, 2, 1)
+	if len(s) != 3 || s[0] != 1 || s[1] != 2 || s[2] != 3 {
+		t.Fatalf("set = %v, want sorted unique [1 2 3]", s)
+	}
+	if !s.contains(2) || s.contains(9) {
+		t.Fatal("contains broken")
+	}
+}
+
+func TestNodeSetAddIdempotent(t *testing.T) {
+	s := newNodeSet(1, 2)
+	s2 := s.add(2)
+	if len(s2) != 2 {
+		t.Fatalf("add duplicate grew the set: %v", s2)
+	}
+	s3 := s2.add(0)
+	if len(s3) != 3 || s3[0] != 0 {
+		t.Fatalf("add smallest: %v", s3)
+	}
+}
+
+func TestNodeSetUnionMinusIntersect(t *testing.T) {
+	a := newNodeSet(1, 2, 3)
+	b := newNodeSet(3, 4)
+	if got := a.union(b); !got.equal(newNodeSet(1, 2, 3, 4)) {
+		t.Fatalf("union = %v", got)
+	}
+	if got := a.minus(b); !got.equal(newNodeSet(1, 2)) {
+		t.Fatalf("minus = %v", got)
+	}
+	if got := a.intersect(b); !got.equal(newNodeSet(3)) {
+		t.Fatalf("intersect = %v", got)
+	}
+	if got := a.minus(a); len(got) != 0 {
+		t.Fatalf("a\\a = %v", got)
+	}
+}
+
+func TestNodeSetContainsAllAndEqual(t *testing.T) {
+	a := newNodeSet(1, 2, 3)
+	if !a.containsAll(newNodeSet(1, 3)) {
+		t.Fatal("containsAll subset failed")
+	}
+	if a.containsAll(newNodeSet(1, 4)) {
+		t.Fatal("containsAll accepted non-subset")
+	}
+	if !a.containsAll(nil) {
+		t.Fatal("empty set must be a subset")
+	}
+	if !a.equal(newNodeSet(3, 2, 1)) {
+		t.Fatal("equal failed on permuted input")
+	}
+	if a.equal(newNodeSet(1, 2)) {
+		t.Fatal("equal accepted shorter set")
+	}
+}
+
+func TestNodeSetCloneIndependence(t *testing.T) {
+	a := newNodeSet(1, 2)
+	b := a.clone()
+	b = b.add(3)
+	if a.contains(3) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+// Property: union is commutative and contains both operands; minus never
+// contains elements of the subtrahend; intersect is a subset of both.
+func TestQuickSetAlgebra(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		var a, b nodeSet
+		for _, x := range xs {
+			a = a.add(proto.NodeID(x%64 + 1))
+		}
+		for _, y := range ys {
+			b = b.add(proto.NodeID(y%64 + 1))
+		}
+		u1, u2 := a.union(b.clone()), b.union(a.clone())
+		if !u1.equal(u2) || !u1.containsAll(a) || !u1.containsAll(b) {
+			return false
+		}
+		for _, id := range a.minus(b) {
+			if b.contains(id) {
+				return false
+			}
+		}
+		inter := a.intersect(b)
+		if !a.containsAll(inter) || !b.containsAll(inter) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

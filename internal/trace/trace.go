@@ -1,0 +1,204 @@
+// Package trace provides structured, low-overhead event tracing for the
+// protocol stack: packet transmissions and receptions, timer expirations,
+// deliveries, fault reports and configuration changes. The simulator (and
+// any other driver) records into a Tracer; tests and the fault-injection
+// tool read back a time-ordered event log to diagnose protocol behaviour.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	PacketSent Kind = iota + 1
+	PacketReceived
+	TimerFired
+	Delivered
+	FaultRaised
+	ConfigChanged
+	Note
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case PacketSent:
+		return "tx"
+	case PacketReceived:
+		return "rx"
+	case TimerFired:
+		return "timer"
+	case Delivered:
+		return "deliver"
+	case FaultRaised:
+		return "fault"
+	case ConfigChanged:
+		return "config"
+	case Note:
+		return "note"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one traced occurrence.
+type Event struct {
+	// At is the (virtual or real) time of the event.
+	At time.Duration
+	// Node is the observing node.
+	Node proto.NodeID
+	// Kind classifies the event.
+	Kind Kind
+	// Network is the network index for packet events (-1 otherwise).
+	Network int
+	// Detail is a short human-readable description.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	if e.Network >= 0 {
+		return fmt.Sprintf("%-12v %v %-7s net%d %s", e.At, e.Node, e.Kind, e.Network, e.Detail)
+	}
+	return fmt.Sprintf("%-12v %v %-7s      %s", e.At, e.Node, e.Kind, e.Detail)
+}
+
+// Tracer receives events. Implementations must be safe for concurrent
+// use; the simulator is single-threaded but the real-time runtime is not.
+type Tracer interface {
+	Record(Event)
+}
+
+// Discard is a Tracer that drops everything.
+var Discard Tracer = discard{}
+
+type discard struct{}
+
+func (discard) Record(Event) {}
+
+// Ring is a fixed-capacity ring-buffer tracer: recording never allocates
+// after construction and old events are overwritten, so it can stay
+// enabled in long runs.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	count uint64
+}
+
+// NewRing returns a tracer retaining the last capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record implements Tracer.
+func (r *Ring) Record(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	r.count++
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count < uint64(len(r.buf)) {
+		return int(r.count)
+	}
+	return len(r.buf)
+}
+
+// Total returns the number of events ever recorded.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.buf)
+	if r.count < uint64(n) {
+		out := make([]Event, r.count)
+		copy(out, r.buf[:r.count])
+		return out
+	}
+	out := make([]Event, 0, n)
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dump writes the retained events to w, oldest first.
+func (r *Ring) Dump(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Filter forwards only events matching the predicate.
+type Filter struct {
+	Next Tracer
+	Keep func(Event) bool
+}
+
+// Record implements Tracer.
+func (f Filter) Record(e Event) {
+	if f.Keep == nil || f.Keep(e) {
+		f.Next.Record(e)
+	}
+}
+
+// Multi fans events out to several tracers.
+type Multi []Tracer
+
+// Record implements Tracer.
+func (m Multi) Record(e Event) {
+	for _, t := range m {
+		t.Record(e)
+	}
+}
+
+// Counter tallies events per kind; useful in assertions.
+type Counter struct {
+	mu     sync.Mutex
+	counts map[Kind]uint64
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[Kind]uint64)}
+}
+
+// Record implements Tracer.
+func (c *Counter) Record(e Event) {
+	c.mu.Lock()
+	c.counts[e.Kind]++
+	c.mu.Unlock()
+}
+
+// Count returns the tally for one kind.
+func (c *Counter) Count(k Kind) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[k]
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ev(i int) Event {
+	return Event{At: time.Duration(i) * time.Millisecond, Node: 1, Kind: PacketSent, Network: 0, Detail: "x"}
+}
+
+func TestRingRetainsLastN(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Record(ev(i))
+	}
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("len = %d", len(events))
+	}
+	for i, e := range events {
+		if e.At != time.Duration(i+2)*time.Millisecond {
+			t.Fatalf("event %d at %v", i, e.At)
+		}
+	}
+	if r.Total() != 5 || r.Len() != 3 {
+		t.Fatalf("Total=%d Len=%d", r.Total(), r.Len())
+	}
+}
+
+func TestRingPartiallyFilled(t *testing.T) {
+	r := NewRing(10)
+	r.Record(ev(0))
+	r.Record(ev(1))
+	if got := r.Events(); len(got) != 2 || got[0].At != 0 {
+		t.Fatalf("events = %v", got)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestRingZeroCapacityClamped(t *testing.T) {
+	r := NewRing(0)
+	r.Record(ev(1))
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestRingConcurrentRecord(t *testing.T) {
+	r := NewRing(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(ev(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 8000 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := NewRing(4)
+	r.Record(Event{At: time.Second, Node: 2, Kind: FaultRaised, Network: 1, Detail: "dead"})
+	r.Record(Event{At: 2 * time.Second, Node: 3, Kind: ConfigChanged, Network: -1, Detail: "new ring"})
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"fault", "net1", "dead", "config", "new ring"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	c := NewCounter()
+	f := Filter{Next: c, Keep: func(e Event) bool { return e.Kind == FaultRaised }}
+	f.Record(Event{Kind: PacketSent})
+	f.Record(Event{Kind: FaultRaised})
+	if c.Count(FaultRaised) != 1 || c.Count(PacketSent) != 0 {
+		t.Fatalf("filter leaked: faults=%d sent=%d", c.Count(FaultRaised), c.Count(PacketSent))
+	}
+	// Nil predicate keeps everything.
+	f2 := Filter{Next: c}
+	f2.Record(Event{Kind: PacketSent})
+	if c.Count(PacketSent) != 1 {
+		t.Fatal("nil predicate dropped event")
+	}
+}
+
+func TestMulti(t *testing.T) {
+	a, b := NewCounter(), NewCounter()
+	m := Multi{a, b}
+	m.Record(Event{Kind: Delivered})
+	if a.Count(Delivered) != 1 || b.Count(Delivered) != 1 {
+		t.Fatal("multi did not fan out")
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	Discard.Record(Event{Kind: Note}) // must not panic
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{PacketSent, PacketReceived, TimerFired, Delivered, FaultRaised, ConfigChanged, Note}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d bad string %q", int(k), s)
+		}
+		seen[s] = true
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Fatal("unknown kind string")
+	}
+}

@@ -1,0 +1,206 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+func recvOne(t *testing.T, tr Transport, timeout time.Duration) Packet {
+	t.Helper()
+	select {
+	case p, ok := <-tr.Packets():
+		if !ok {
+			t.Fatal("packet channel closed")
+		}
+		return p
+	case <-time.After(timeout):
+		t.Fatal("timed out waiting for packet")
+		return Packet{}
+	}
+}
+
+func expectSilence(t *testing.T, tr Transport, d time.Duration) {
+	t.Helper()
+	select {
+	case p := <-tr.Packets():
+		t.Fatalf("unexpected packet on network %d: %q", p.Network, p.Data)
+	case <-time.After(d):
+	}
+}
+
+func TestMemHubUnicast(t *testing.T) {
+	hub := NewMemHub(2)
+	t1, err := hub.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := hub.Join(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Send(1, 2, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	p := recvOne(t, t2, time.Second)
+	if p.Network != 1 || string(p.Data) != "hi" {
+		t.Fatalf("got %+v", p)
+	}
+	expectSilence(t, t1, 20*time.Millisecond) // no self-delivery
+}
+
+func TestMemHubBroadcastReachesAllButSender(t *testing.T) {
+	hub := NewMemHub(1)
+	trs := map[proto.NodeID]*MemTransport{}
+	for i := proto.NodeID(1); i <= 3; i++ {
+		tr, err := hub.Join(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[i] = tr
+	}
+	if err := trs[1].Send(0, proto.BroadcastID, []byte("all")); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []proto.NodeID{2, 3} {
+		if p := recvOne(t, trs[id], time.Second); string(p.Data) != "all" {
+			t.Fatalf("node %v got %q", id, p.Data)
+		}
+	}
+	expectSilence(t, trs[1], 20*time.Millisecond)
+}
+
+func TestMemHubRejectsDuplicateJoin(t *testing.T) {
+	hub := NewMemHub(1)
+	if _, err := hub.Join(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Join(1); err == nil {
+		t.Fatal("duplicate join accepted")
+	}
+}
+
+func TestMemHubBadNetworkIndex(t *testing.T) {
+	hub := NewMemHub(1)
+	tr, _ := hub.Join(1)
+	if err := tr.Send(5, proto.BroadcastID, []byte("x")); !errors.Is(err, ErrBadNetwork) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := tr.Send(-1, proto.BroadcastID, []byte("x")); !errors.Is(err, ErrBadNetwork) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMemHubUnknownPeer(t *testing.T) {
+	hub := NewMemHub(1)
+	tr, _ := hub.Join(1)
+	if err := tr.Send(0, 99, []byte("x")); !errors.Is(err, ErrNoPeer) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMemHubKillAndRevive(t *testing.T) {
+	hub := NewMemHub(2)
+	t1, _ := hub.Join(1)
+	t2, _ := hub.Join(2)
+	hub.KillNetwork(0)
+	t1.Send(0, 2, []byte("lost"))
+	expectSilence(t, t2, 20*time.Millisecond)
+	t1.Send(1, 2, []byte("via-1"))
+	if p := recvOne(t, t2, time.Second); p.Network != 1 {
+		t.Fatalf("got %+v", p)
+	}
+	hub.ReviveNetwork(0)
+	t1.Send(0, 2, []byte("back"))
+	if p := recvOne(t, t2, time.Second); p.Network != 0 || string(p.Data) != "back" {
+		t.Fatalf("got %+v", p)
+	}
+}
+
+func TestMemHubBlockSendAndRecv(t *testing.T) {
+	hub := NewMemHub(2)
+	t1, _ := hub.Join(1)
+	t2, _ := hub.Join(2)
+
+	hub.BlockSend(1, 0, true)
+	t1.Send(0, 2, []byte("blocked"))
+	expectSilence(t, t2, 20*time.Millisecond)
+	hub.BlockSend(1, 0, false)
+
+	hub.BlockRecv(2, 1, true)
+	t1.Send(1, 2, []byte("deaf"))
+	expectSilence(t, t2, 20*time.Millisecond)
+	hub.BlockRecv(2, 1, false)
+
+	t1.Send(0, 2, []byte("ok"))
+	if p := recvOne(t, t2, time.Second); string(p.Data) != "ok" {
+		t.Fatalf("got %+v", p)
+	}
+}
+
+func TestMemTransportDataIsolation(t *testing.T) {
+	// The hub must copy payloads: mutating the sender's buffer after Send
+	// must not corrupt the delivered packet.
+	hub := NewMemHub(1)
+	t1, _ := hub.Join(1)
+	t2, _ := hub.Join(2)
+	buf := []byte("original")
+	t1.Send(0, 2, buf)
+	copy(buf, "CLOBBER!")
+	if p := recvOne(t, t2, time.Second); string(p.Data) != "original" {
+		t.Fatalf("payload aliased sender buffer: %q", p.Data)
+	}
+}
+
+func TestMemTransportClose(t *testing.T) {
+	hub := NewMemHub(1)
+	t1, _ := hub.Join(1)
+	t2, _ := hub.Join(2)
+	if err := t2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	// Sending to a closed peer is not an error (it is just gone).
+	if err := t1.Send(0, proto.BroadcastID, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Send(0, 1, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send on closed transport: %v", err)
+	}
+	// The ID can be reused after Close.
+	if _, err := hub.Join(2); err != nil {
+		t.Fatalf("rejoin after close: %v", err)
+	}
+}
+
+func TestMemTransportNetworks(t *testing.T) {
+	hub := NewMemHub(3)
+	tr, _ := hub.Join(1)
+	if tr.Networks() != 3 {
+		t.Fatalf("Networks = %d", tr.Networks())
+	}
+}
+
+func TestMemHubFIFOPerSenderPerNetwork(t *testing.T) {
+	// The paper's §5 relies on UDP-over-Ethernet preserving send order
+	// per (sender, network); the in-process hub must too.
+	hub := NewMemHub(1)
+	t1, _ := hub.Join(1)
+	t2, _ := hub.Join(2)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := t1.Send(0, 2, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		p := recvOne(t, t2, time.Second)
+		if p.Data[0] != byte(i) {
+			t.Fatalf("reordered at %d: got %d", i, p.Data[0])
+		}
+	}
+}

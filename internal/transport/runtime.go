@@ -1,0 +1,292 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/stack"
+)
+
+// Runtime drives one stack.Node in real time: a single goroutine
+// serialises packets, timer expirations and submissions into the pure
+// state machine and executes the resulting actions against the transport
+// and wall-clock timers. Application-facing events are forwarded on
+// unbounded queues so a slow consumer can never stall the token ring.
+type Runtime struct {
+	stack *stack.Node
+	tr    Transport
+	epoch time.Time
+
+	events chan runtimeEvent
+
+	timerMu  sync.Mutex
+	timerGen map[proto.TimerID]uint64
+	nextGen  uint64
+	timers   map[proto.TimerID]*time.Timer
+
+	deliveries *queue[proto.Delivery]
+	faults     *queue[proto.FaultReport]
+	configs    *queue[proto.ConfigChange]
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+type runtimeEvent struct {
+	pkt    *Packet
+	timer  *timerFire
+	submit *submitReq
+	query  func()
+}
+
+type timerFire struct {
+	id  proto.TimerID
+	gen uint64
+}
+
+type submitReq struct {
+	payload []byte
+	reply   chan bool
+}
+
+// NewRuntime wires a stack to a transport. Call Start to begin.
+func NewRuntime(st *stack.Node, tr Transport) *Runtime {
+	return &Runtime{
+		stack:      st,
+		tr:         tr,
+		events:     make(chan runtimeEvent, 256),
+		timerGen:   make(map[proto.TimerID]uint64),
+		timers:     make(map[proto.TimerID]*time.Timer),
+		deliveries: newQueue[proto.Delivery](),
+		faults:     newQueue[proto.FaultReport](),
+		configs:    newQueue[proto.ConfigChange](),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+}
+
+// Start boots the protocol stack and the event loop.
+func (r *Runtime) Start() {
+	r.epoch = time.Now()
+	go r.loop()
+}
+
+func (r *Runtime) now() proto.Time { return time.Since(r.epoch) }
+
+func (r *Runtime) loop() {
+	defer close(r.done)
+	r.execute(r.stack.Start(r.now()))
+	packets := r.tr.Packets()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case pkt, ok := <-packets:
+			if !ok {
+				return
+			}
+			r.execute(r.stack.OnPacket(r.now(), pkt.Network, pkt.Data))
+		case ev := <-r.events:
+			switch {
+			case ev.timer != nil:
+				if r.takeTimer(ev.timer) {
+					r.execute(r.stack.OnTimer(r.now(), ev.timer.id))
+				}
+			case ev.submit != nil:
+				ok, acts := r.stack.Submit(r.now(), ev.submit.payload)
+				r.execute(acts)
+				ev.submit.reply <- ok
+			case ev.query != nil:
+				ev.query()
+			}
+		}
+	}
+}
+
+// takeTimer validates a timer firing against cancellation/re-arming.
+func (r *Runtime) takeTimer(tf *timerFire) bool {
+	r.timerMu.Lock()
+	defer r.timerMu.Unlock()
+	if r.timerGen[tf.id] != tf.gen {
+		return false
+	}
+	delete(r.timerGen, tf.id)
+	delete(r.timers, tf.id)
+	return true
+}
+
+func (r *Runtime) execute(actions []proto.Action) {
+	for _, a := range actions {
+		switch act := a.(type) {
+		case proto.SendPacket:
+			// Send errors are deliberately absorbed: a dead network is
+			// exactly what the RRP monitors are there to detect.
+			r.tr.Send(act.Network, act.Dest, act.Data) //nolint:errcheck
+		case proto.SetTimer:
+			r.setTimer(act.ID, act.After)
+		case proto.CancelTimer:
+			r.cancelTimer(act.ID)
+		case proto.Deliver:
+			r.deliveries.push(act.Msg)
+		case proto.Fault:
+			r.faults.push(act.Report)
+		case proto.Config:
+			r.configs.push(act.Change)
+		}
+	}
+}
+
+func (r *Runtime) setTimer(id proto.TimerID, after time.Duration) {
+	r.timerMu.Lock()
+	defer r.timerMu.Unlock()
+	if t, ok := r.timers[id]; ok {
+		t.Stop()
+	}
+	r.nextGen++
+	gen := r.nextGen
+	r.timerGen[id] = gen
+	r.timers[id] = time.AfterFunc(after, func() {
+		select {
+		case r.events <- runtimeEvent{timer: &timerFire{id: id, gen: gen}}:
+		case <-r.stop:
+		}
+	})
+}
+
+func (r *Runtime) cancelTimer(id proto.TimerID) {
+	r.timerMu.Lock()
+	defer r.timerMu.Unlock()
+	if t, ok := r.timers[id]; ok {
+		t.Stop()
+		delete(r.timers, id)
+	}
+	delete(r.timerGen, id)
+}
+
+// Submit queues an application message, returning false under
+// backpressure or after Close.
+func (r *Runtime) Submit(payload []byte) bool {
+	req := &submitReq{payload: payload, reply: make(chan bool, 1)}
+	select {
+	case r.events <- runtimeEvent{submit: req}:
+	case <-r.stop:
+		return false
+	}
+	select {
+	case ok := <-req.reply:
+		return ok
+	case <-r.stop:
+		return false
+	}
+}
+
+// Inspect runs fn inside the event loop, giving it exclusive, race-free
+// access to the stack (for state snapshots).
+func (r *Runtime) Inspect(fn func(*stack.Node)) bool {
+	done := make(chan struct{})
+	q := func() {
+		fn(r.stack)
+		close(done)
+	}
+	select {
+	case r.events <- runtimeEvent{query: q}:
+	case <-r.stop:
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	case <-r.stop:
+		return false
+	}
+}
+
+// Deliveries returns the totally-ordered message stream.
+func (r *Runtime) Deliveries() <-chan proto.Delivery { return r.deliveries.out }
+
+// Faults returns the network fault-report stream.
+func (r *Runtime) Faults() <-chan proto.FaultReport { return r.faults.out }
+
+// Configs returns the membership configuration-change stream.
+func (r *Runtime) Configs() <-chan proto.ConfigChange { return r.configs.out }
+
+// Close stops the loop, all timers and the event queues. It does not
+// close the transport (the caller owns it).
+func (r *Runtime) Close() {
+	r.stopOnce.Do(func() {
+		close(r.stop)
+		<-r.done
+		r.timerMu.Lock()
+		for _, t := range r.timers {
+			t.Stop()
+		}
+		r.timerMu.Unlock()
+		r.deliveries.close()
+		r.faults.close()
+		r.configs.close()
+	})
+}
+
+// queue is an unbounded FIFO bridging the protocol loop to a consumer
+// channel: pushes never block, so a slow application cannot stall the
+// ring.
+type queue[T any] struct {
+	mu   sync.Mutex
+	buf  []T
+	wake chan struct{}
+	quit chan struct{}
+	out  chan T
+}
+
+func newQueue[T any]() *queue[T] {
+	q := &queue[T]{
+		wake: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+		out:  make(chan T),
+	}
+	go q.pump()
+	return q
+}
+
+func (q *queue[T]) push(v T) {
+	q.mu.Lock()
+	q.buf = append(q.buf, v)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (q *queue[T]) pump() {
+	defer close(q.out)
+	for {
+		q.mu.Lock()
+		var (
+			v  T
+			ok bool
+		)
+		if len(q.buf) > 0 {
+			v, ok = q.buf[0], true
+			q.buf = q.buf[1:]
+		}
+		q.mu.Unlock()
+		if !ok {
+			select {
+			case <-q.wake:
+				continue
+			case <-q.quit:
+				return
+			}
+		}
+		select {
+		case q.out <- v:
+		case <-q.quit:
+			return
+		}
+	}
+}
+
+func (q *queue[T]) close() { close(q.quit) }

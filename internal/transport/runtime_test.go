@@ -1,0 +1,196 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/srp"
+	"github.com/totem-rrp/totem/internal/stack"
+)
+
+func newRuntimeRing(t *testing.T, n int, style proto.ReplicationStyle, networks int) (*MemHub, []*Runtime) {
+	t.Helper()
+	hub := NewMemHub(networks)
+	var rts []*Runtime
+	for i := 1; i <= n; i++ {
+		id := proto.NodeID(i)
+		tr, err := hub.Join(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := stack.DefaultConfig(id, networks, style)
+		cfg.SRP.IdleTokenHold = 2 * time.Millisecond
+		st, err := stack.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := NewRuntime(st, tr)
+		rt.Start()
+		t.Cleanup(func() {
+			rt.Close()
+			tr.Close()
+		})
+		rts = append(rts, rt)
+	}
+	return hub, rts
+}
+
+func waitOperational(t *testing.T, rts []*Runtime, want int, budget time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, rt := range rts {
+			good := false
+			rt.Inspect(func(st *stack.Node) {
+				good = st.SRP().State() == srp.StateOperational && len(st.SRP().Members()) == want
+			})
+			if !good {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("runtime ring never became operational")
+}
+
+func TestRuntimeRingDelivers(t *testing.T) {
+	_, rts := newRuntimeRing(t, 3, proto.ReplicationActive, 2)
+	waitOperational(t, rts, 3, 15*time.Second)
+	if !rts[0].Submit([]byte("ping")) {
+		t.Fatal("submit rejected")
+	}
+	for i, rt := range rts {
+		select {
+		case d := <-rt.Deliveries():
+			if string(d.Payload) != "ping" {
+				t.Fatalf("node %d got %q", i+1, d.Payload)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("node %d never delivered", i+1)
+		}
+	}
+}
+
+func TestRuntimeSlowConsumerDoesNotStallRing(t *testing.T) {
+	// Nobody reads node 2's delivery channel while hundreds of messages
+	// flow: the unbounded queue must absorb them and the ring must stay
+	// alive (no token loss, no membership change).
+	_, rts := newRuntimeRing(t, 3, proto.ReplicationPassive, 2)
+	waitOperational(t, rts, 3, 15*time.Second)
+	const n = 500
+	sent := 0
+	for sent < n {
+		if rts[0].Submit(make([]byte, 64)) {
+			sent++
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Now drain node 2 late; everything must be there.
+	got := 0
+	deadline := time.After(20 * time.Second)
+	for got < n {
+		select {
+		case <-rts[1].Deliveries():
+			got++
+		case <-deadline:
+			t.Fatalf("drained only %d/%d after the fact", got, n)
+		}
+	}
+	// Membership must not have churned.
+	rts[1].Inspect(func(st *stack.Node) {
+		if st.SRP().Stats().TokenLosses != 0 {
+			t.Errorf("token losses while consumer was slow: %d", st.SRP().Stats().TokenLosses)
+		}
+	})
+}
+
+func TestRuntimeSubmitAfterCloseReturnsFalse(t *testing.T) {
+	_, rts := newRuntimeRing(t, 1, proto.ReplicationNone, 1)
+	rts[0].Close()
+	if rts[0].Submit([]byte("x")) {
+		t.Fatal("submit accepted after close")
+	}
+	if rts[0].Inspect(func(*stack.Node) {}) {
+		t.Fatal("inspect succeeded after close")
+	}
+}
+
+func TestRuntimeCloseIsIdempotentAndClosesStreams(t *testing.T) {
+	_, rts := newRuntimeRing(t, 1, proto.ReplicationNone, 1)
+	rts[0].Close()
+	rts[0].Close()
+	for name, ch := range map[string]func() bool{
+		"deliveries": func() bool { _, ok := <-rts[0].Deliveries(); return ok },
+		"faults":     func() bool { _, ok := <-rts[0].Faults(); return ok },
+	} {
+		if ch() {
+			t.Fatalf("%s channel still open after close", name)
+		}
+	}
+}
+
+func TestRuntimeInspectIsSerialisedWithEvents(t *testing.T) {
+	_, rts := newRuntimeRing(t, 2, proto.ReplicationNone, 1)
+	waitOperational(t, rts, 2, 15*time.Second)
+	// Hammer Inspect concurrently with submissions; the race detector
+	// validates serialisation.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			rts[0].Submit([]byte(fmt.Sprintf("m%d", i)))
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		rts[0].Inspect(func(st *stack.Node) {
+			_ = st.SRP().Stats()
+			_ = st.Replicator().Stats()
+		})
+	}
+	<-done
+}
+
+func TestQueueUnboundedFIFO(t *testing.T) {
+	q := newQueue[int]()
+	defer q.close()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		q.push(i)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case v := <-q.out:
+			if v != i {
+				t.Fatalf("out of order: got %d want %d", v, i)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("queue stalled at %d", i)
+		}
+	}
+}
+
+func TestQueueCloseUnblocksConsumer(t *testing.T) {
+	q := newQueue[int]()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range q.out {
+		}
+	}()
+	q.push(1)
+	time.Sleep(10 * time.Millisecond)
+	q.close()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("consumer not unblocked by close")
+	}
+}

