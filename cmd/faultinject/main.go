@@ -1,13 +1,18 @@
 // Command faultinject runs scripted fault-injection scenarios on the
-// discrete-event simulator and prints an event timeline, demonstrating
-// the paper's §3 fault model: every fault class stays transparent to the
-// application while the RRP monitors raise the operator alarm.
+// discrete-event simulator, prints an event timeline and verifies each
+// scenario's post-conditions, exiting non-zero if any fail. The scenarios
+// demonstrate the paper's §3 fault model — every fault class stays
+// transparent to the application while the RRP monitors raise the
+// operator alarm — plus the recovery monitor's automatic readmission of
+// healed networks.
 //
 //	faultinject -scenario netfail   # total failure of one network
 //	faultinject -scenario sendfault # one node cannot send on one network
 //	faultinject -scenario recvfault # one node cannot receive on one network
 //	faultinject -scenario partition # one network splits in half
 //	faultinject -scenario crash     # network death plus node crash
+//	faultinject -scenario heal      # network dies, heals, is auto-readmitted
+//	faultinject -scenario flap      # network oscillates; probation doubles
 //	faultinject -scenario all
 package main
 
@@ -19,11 +24,13 @@ import (
 
 	"github.com/totem-rrp/totem/internal/proto"
 	"github.com/totem-rrp/totem/internal/sim"
+	"github.com/totem-rrp/totem/internal/stack"
 	"github.com/totem-rrp/totem/internal/trace"
 )
 
 func main() {
-	scenario := flag.String("scenario", "all", "netfail | sendfault | recvfault | partition | crash | all")
+	scenario := flag.String("scenario", "all",
+		"netfail | sendfault | recvfault | partition | crash | heal | flap | all")
 	style := flag.String("style", "active", "replication style: active | passive | active-passive")
 	traceN := flag.Int("trace", 0, "dump the last N protocol trace events after each scenario")
 	flag.Parse()
@@ -46,52 +53,268 @@ func parseStyle(s string) (proto.ReplicationStyle, int, error) {
 	}
 }
 
-func run(scenario, styleName string, traceN int) error {
-	style, networks, err := parseStyle(styleName)
-	if err != nil {
-		return err
-	}
-	scenarios := map[string]func(*sim.Cluster){
-		"netfail": func(c *sim.Cluster) {
-			fmt.Println("injecting: total failure of network 1 (paper §3, third fault type, full sets)")
-			c.KillNetwork(1)
-		},
-		"sendfault": func(c *sim.Cluster) {
-			fmt.Println("injecting: node 2 cannot send on network 0 (paper §3, first fault type)")
-			c.BlockSend(2, 0, true)
-		},
-		"recvfault": func(c *sim.Cluster) {
-			fmt.Println("injecting: node 3 cannot receive on network 0 (paper §3, second fault type)")
-			c.BlockRecv(3, 0, true)
-		},
-		"partition": func(c *sim.Cluster) {
-			fmt.Println("injecting: network 0 partitioned into {1,2} | {3,4} (paper §3, subset fault)")
-			c.Partition(0, map[proto.NodeID]int{1: 0, 2: 0, 3: 1, 4: 1})
-		},
-		"crash": func(c *sim.Cluster) {
-			fmt.Println("injecting: network 1 death, then node 4 crash")
-			c.KillNetwork(1)
-			c.Sim.After(500*time.Millisecond, func() { c.Crash(4) })
-		},
-	}
-	names := []string{"netfail", "sendfault", "recvfault", "partition", "crash"}
-	if scenario != "all" {
-		if _, ok := scenarios[scenario]; !ok {
-			return fmt.Errorf("unknown scenario %q", scenario)
-		}
-		names = []string{scenario}
-	}
-	for _, name := range names {
-		fmt.Printf("=== scenario %s (%v replication, %d networks) ===\n", name, style, networks)
-		if err := runOne(style, networks, traceN, scenarios[name]); err != nil {
-			return err
-		}
-		fmt.Println()
+// snapshot captures the cluster's application-visible state at injection
+// time; checks compare against it to verify what the fault did and did
+// not disturb.
+type snapshot struct {
+	delivered uint64                // messages ordered at node 1
+	configs   map[proto.NodeID]int  // membership changes seen so far
+}
+
+// scenario is one scripted fault run: optional per-node tuning, the
+// injection script, how long to let it play out, and the post-conditions.
+// check returns a list of violated post-conditions (empty = pass).
+type scenario struct {
+	tune   func(c *stack.Config)
+	inject func(c *sim.Cluster)
+	settle time.Duration
+	check  func(c *sim.Cluster, pre snapshot) []string
+}
+
+// deliveryContinued is the universal post-condition (paper §3): the
+// application keeps receiving totally-ordered messages across the fault.
+func deliveryContinued(c *sim.Cluster, pre snapshot) []string {
+	if c.Node(1).DeliveredCount <= pre.delivered {
+		return []string{"delivery stalled across the fault"}
 	}
 	return nil
 }
 
-func runOne(style proto.ReplicationStyle, networks, traceN int, inject func(*sim.Cluster)) error {
+// membershipStable asserts that no node saw a configuration change after
+// injection — network faults must never look like node faults.
+func membershipStable(c *sim.Cluster, pre snapshot) []string {
+	var fails []string
+	for _, id := range c.NodeIDs() {
+		n := c.Node(id)
+		if n.Stack == nil {
+			continue
+		}
+		if got := len(n.Configs); got != pre.configs[id] {
+			fails = append(fails, fmt.Sprintf("node %v saw %d membership change(s) after injection", id, got-pre.configs[id]))
+		}
+	}
+	return fails
+}
+
+// fastRecovery shortens the decay interval so probation (3 windows by
+// default) completes in hundreds of milliseconds of virtual time.
+func fastRecovery(c *stack.Config) {
+	c.RRP.DecayInterval = 100 * time.Millisecond
+}
+
+func netfailScenario() scenario {
+	return scenario{
+		inject: func(c *sim.Cluster) {
+			fmt.Println("injecting: total failure of network 1 (paper §3, third fault type, full sets)")
+			c.KillNetwork(1)
+		},
+		settle: 3 * time.Second,
+		check: func(c *sim.Cluster, pre snapshot) []string {
+			fails := append(deliveryContinued(c, pre), membershipStable(c, pre)...)
+			// The network never heals, so the verdict must stand: the
+			// recovery monitor sees no receptions and keeps it excluded.
+			for _, id := range c.NodeIDs() {
+				if !c.Node(id).Stack.Replicator().Faulty()[1] {
+					fails = append(fails, fmt.Sprintf("node %v readmitted the dead network", id))
+				}
+			}
+			return fails
+		},
+	}
+}
+
+func sendfaultScenario() scenario {
+	return scenario{
+		inject: func(c *sim.Cluster) {
+			fmt.Println("injecting: node 2 cannot send on network 0 (paper §3, first fault type)")
+			c.BlockSend(2, 0, true)
+		},
+		settle: 3 * time.Second,
+		check: func(c *sim.Cluster, pre snapshot) []string {
+			return append(deliveryContinued(c, pre), membershipStable(c, pre)...)
+		},
+	}
+}
+
+func recvfaultScenario() scenario {
+	return scenario{
+		inject: func(c *sim.Cluster) {
+			fmt.Println("injecting: node 3 cannot receive on network 0 (paper §3, second fault type)")
+			c.BlockRecv(3, 0, true)
+		},
+		settle: 3 * time.Second,
+		check: func(c *sim.Cluster, pre snapshot) []string {
+			return append(deliveryContinued(c, pre), membershipStable(c, pre)...)
+		},
+	}
+}
+
+func partitionScenario() scenario {
+	return scenario{
+		inject: func(c *sim.Cluster) {
+			fmt.Println("injecting: network 0 partitioned into {1,2} | {3,4} (paper §3, subset fault)")
+			c.Partition(0, map[proto.NodeID]int{1: 0, 2: 0, 3: 1, 4: 1})
+		},
+		settle: 3 * time.Second,
+		check: func(c *sim.Cluster, pre snapshot) []string {
+			return append(deliveryContinued(c, pre), membershipStable(c, pre)...)
+		},
+	}
+}
+
+func crashScenario() scenario {
+	return scenario{
+		inject: func(c *sim.Cluster) {
+			fmt.Println("injecting: network 1 death, then node 4 crash")
+			c.KillNetwork(1)
+			c.Sim.After(500*time.Millisecond, func() { c.Crash(4) })
+		},
+		settle: 3 * time.Second,
+		check: func(c *sim.Cluster, pre snapshot) []string {
+			fails := deliveryContinued(c, pre)
+			// Here a membership change is the point: the survivors must
+			// reform as a three-member ring.
+			for _, id := range c.NodeIDs() {
+				n := c.Node(id)
+				if n.Stack == nil || n.Crashed() {
+					continue
+				}
+				if got := len(n.Stack.SRP().Members()); got != 3 {
+					fails = append(fails, fmt.Sprintf("node %v has %d members, want 3", id, got))
+				}
+			}
+			return fails
+		},
+	}
+}
+
+// healScenario is the headline self-healing run: a network dies, is
+// repaired two seconds later, and — without any operator readmit — the
+// recovery monitor returns it to service and traffic resumes on it.
+func healScenario() scenario {
+	var txAtRevive uint64
+	return scenario{
+		tune: fastRecovery,
+		inject: func(c *sim.Cluster) {
+			fmt.Println("injecting: total failure of network 1, repaired after 2s — no operator readmit")
+			c.KillNetwork(1)
+			c.Sim.After(2*time.Second, func() {
+				c.ReviveNetwork(1)
+				txAtRevive = c.Node(1).Stack.Replicator().Stats().TxPackets[1]
+				fmt.Printf("  t=%-12v network 1 repaired; waiting out probation\n", c.Sim.Now())
+			})
+		},
+		settle: 4 * time.Second,
+		check: func(c *sim.Cluster, pre snapshot) []string {
+			fails := append(deliveryContinued(c, pre), membershipStable(c, pre)...)
+			for _, id := range c.NodeIDs() {
+				n := c.Node(id)
+				if len(n.Faults) == 0 {
+					fails = append(fails, fmt.Sprintf("node %v never raised the fault alarm", id))
+				}
+				cleared := false
+				for _, cr := range n.Cleared {
+					if cr.Network == 1 {
+						cleared = true
+					}
+				}
+				if !cleared {
+					fails = append(fails, fmt.Sprintf("node %v never auto-readmitted network 1", id))
+				}
+				if n.Stack.Replicator().Faulty()[1] {
+					fails = append(fails, fmt.Sprintf("node %v still marks network 1 faulty", id))
+				}
+			}
+			if tx := c.Node(1).Stack.Replicator().Stats().TxPackets[1]; tx <= txAtRevive {
+				fails = append(fails, "no traffic resumed on the healed network")
+			}
+			return fails
+		},
+	}
+}
+
+// flapScenario drives an oscillating network and verifies flap damping:
+// each re-fault within the flap window doubles the next probation, so the
+// readmission reports show a growing clean-window requirement.
+func flapScenario() scenario {
+	return scenario{
+		tune: fastRecovery,
+		inject: func(c *sim.Cluster) {
+			fmt.Println("injecting: network 1 flapping — down 500ms, up 2s, three cycles")
+			c.ScheduleFlap(1, 500*time.Millisecond, 2*time.Second, 3)
+		},
+		settle: 9 * time.Second,
+		check: func(c *sim.Cluster, pre snapshot) []string {
+			fails := append(deliveryContinued(c, pre), membershipStable(c, pre)...)
+			damped := false
+			for _, id := range c.NodeIDs() {
+				n := c.Node(id)
+				if len(n.Cleared) >= 2 && n.Cleared[len(n.Cleared)-1].Probation > n.Cleared[0].Probation {
+					damped = true
+				}
+			}
+			if !damped {
+				fails = append(fails, "no node showed probation doubling across flap cycles")
+			}
+			backoffs := false
+			for _, id := range c.NodeIDs() {
+				if c.Node(id).Stack.Replicator().Stats().FlapBackoffs > 0 {
+					backoffs = true
+				}
+			}
+			if !backoffs {
+				fails = append(fails, "no node counted a flap backoff")
+			}
+			return fails
+		},
+	}
+}
+
+func run(name, styleName string, traceN int) error {
+	style, networks, err := parseStyle(styleName)
+	if err != nil {
+		return err
+	}
+	scenarios := map[string]func() scenario{
+		"netfail":   netfailScenario,
+		"sendfault": sendfaultScenario,
+		"recvfault": recvfaultScenario,
+		"partition": partitionScenario,
+		"crash":     crashScenario,
+		"heal":      healScenario,
+		"flap":      flapScenario,
+	}
+	names := []string{"netfail", "sendfault", "recvfault", "partition", "crash", "heal", "flap"}
+	if name != "all" {
+		if _, ok := scenarios[name]; !ok {
+			return fmt.Errorf("unknown scenario %q", name)
+		}
+		names = []string{name}
+	}
+	failed := 0
+	for _, n := range names {
+		fmt.Printf("=== scenario %s (%v replication, %d networks) ===\n", n, style, networks)
+		fails, err := runOne(style, networks, traceN, scenarios[n]())
+		if err != nil {
+			return err
+		}
+		if len(fails) == 0 {
+			fmt.Println("  PASS")
+		} else {
+			failed++
+			for _, f := range fails {
+				fmt.Printf("  FAIL: %s\n", f)
+			}
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenario(s) failed their post-conditions", failed, len(names))
+	}
+	return nil
+}
+
+func runOne(style proto.ReplicationStyle, networks, traceN int, sc scenario) ([]string, error) {
 	var ring *trace.Ring
 	var tracer trace.Tracer = trace.Discard
 	if traceN > 0 {
@@ -103,6 +326,10 @@ func runOne(style proto.ReplicationStyle, networks, traceN int, inject func(*sim
 				e.Kind != trace.Delivered
 		}}
 	}
+	var tune func(proto.NodeID, *stack.Config)
+	if sc.tune != nil {
+		tune = func(_ proto.NodeID, c *stack.Config) { sc.tune(c) }
+	}
 	c, err := sim.NewCluster(sim.Config{
 		Nodes:    4,
 		Networks: networks,
@@ -110,10 +337,11 @@ func runOne(style proto.ReplicationStyle, networks, traceN int, inject func(*sim
 		Net:      sim.DefaultNetworkParams(),
 		Host:     sim.DefaultNodeParams(),
 		Seed:     1,
+		TuneSRP:  tune,
 		Trace:    tracer,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	// Timeline hooks.
 	for _, id := range c.NodeIDs() {
@@ -121,6 +349,9 @@ func runOne(style proto.ReplicationStyle, networks, traceN int, inject func(*sim
 		n.KeepPayloads = false
 		n.OnFault = func(f proto.FaultReport) {
 			fmt.Printf("  t=%-12v node %v ALARM: %v\n", c.Sim.Now(), n.ID, f)
+		}
+		n.OnCleared = func(cr proto.ClearReport) {
+			fmt.Printf("  t=%-12v node %v HEALED: %v\n", c.Sim.Now(), n.ID, cr)
 		}
 		n.OnConfig = func(cc proto.ConfigChange) {
 			fmt.Printf("  t=%-12v node %v config: %v\n", c.Sim.Now(), n.ID, cc)
@@ -136,7 +367,7 @@ func runOne(style proto.ReplicationStyle, networks, traceN int, inject func(*sim
 		return true
 	}, 10*time.Millisecond, 10*time.Second)
 	if !formed {
-		return fmt.Errorf("ring never formed")
+		return nil, fmt.Errorf("ring never formed")
 	}
 
 	// Steady workload.
@@ -156,15 +387,21 @@ func runOne(style proto.ReplicationStyle, networks, traceN int, inject func(*sim
 	c.Sim.After(0, pump)
 	c.Run(300 * time.Millisecond)
 
-	before := c.Node(1).DeliveredCount
-	fmt.Printf("  t=%-12v steady state: %d messages ordered at node 1\n", c.Sim.Now(), before)
-	inject(c)
-	c.Run(3 * time.Second)
+	pre := snapshot{
+		delivered: c.Node(1).DeliveredCount,
+		configs:   make(map[proto.NodeID]int),
+	}
+	for _, id := range c.NodeIDs() {
+		pre.configs[id] = len(c.Node(id).Configs)
+	}
+	fmt.Printf("  t=%-12v steady state: %d messages ordered at node 1\n", c.Sim.Now(), pre.delivered)
+	sc.inject(c)
+	c.Run(sc.settle)
 
 	after := c.Node(1).DeliveredCount
-	rate := float64(after-before) / 3.0
+	rate := float64(after-pre.delivered) / sc.settle.Seconds()
 	fmt.Printf("  t=%-12v delivery continued: +%d messages (%.0f msgs/sec) across the fault\n",
-		c.Sim.Now(), after-before, rate)
+		c.Sim.Now(), after-pre.delivered, rate)
 	for _, id := range c.NodeIDs() {
 		n := c.Node(id)
 		if n.Stack == nil {
@@ -176,8 +413,8 @@ func runOne(style proto.ReplicationStyle, networks, traceN int, inject func(*sim
 	if ring != nil {
 		fmt.Printf("  --- last %d control-plane trace events ---\n", ring.Len())
 		if err := ring.Dump(os.Stdout); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return nil
+	return sc.check(c, pre), nil
 }

@@ -114,6 +114,11 @@ func run(id uint32, listen, styleName string, k int, peers peerList) error {
 		}
 	}()
 	go func() {
+		for c := range node.FaultsCleared() {
+			fmt.Printf("!! HEALED: %v\n", c)
+		}
+	}()
+	go func() {
 		for c := range node.ConfigChanges() {
 			fmt.Printf("** %v\n", c)
 		}
@@ -134,6 +139,8 @@ func run(id uint32, listen, styleName string, k int, peers peerList) error {
 			s := node.Stats()
 			fmt.Printf("srp: %+v\nrrp tx=%v rx=%v gated=%d timedout=%d\n",
 				s.SRP, s.RRP.TxPackets, s.RRP.RxPackets, s.RRP.TokensGated, s.RRP.TokensTimedOut)
+			fmt.Printf("rrp faults=%d cleared=%d readmits=%d flapbackoffs=%d\n",
+				s.RRP.FaultsRaised, s.RRP.FaultsCleared, s.RRP.Readmits, s.RRP.FlapBackoffs)
 		case strings.HasPrefix(line, "/readmit "):
 			var net int
 			if _, err := fmt.Sscanf(line, "/readmit %d", &net); err != nil {

@@ -59,7 +59,7 @@ func (a *active) Readmit(network int) {
 	if network < 0 || network >= a.cfg.Networks || !a.fault[network] {
 		return
 	}
-	a.fault[network] = false
+	a.readmitCommon(network)
 	a.problem[network] = 0
 	// Treat the in-flight token generation as already received on the
 	// repaired network so the gate does not stall waiting for a copy that
@@ -82,6 +82,7 @@ func (a *active) SendMessage(data []byte) {
 			a.send(i, proto.BroadcastID, data)
 		}
 	}
+	a.probeSend(proto.BroadcastID, data)
 }
 
 // SendToken implements Replicator.
@@ -91,6 +92,7 @@ func (a *active) SendToken(dest proto.NodeID, data []byte) {
 			a.send(i, dest, data)
 		}
 	}
+	a.probeSend(dest, data)
 }
 
 // OnPacket implements Replicator.
@@ -171,6 +173,12 @@ func (a *active) OnTimer(now proto.Time, id proto.TimerID) {
 			}
 			a.problem[i]++
 			if a.problem[i] >= a.cfg.ProblemThreshold {
+				if a.inReadmitGrace(i) {
+					// Losses across the peers' readmission skew are not
+					// evidence against the repaired network; drop them.
+					a.problem[i] = 0
+					continue
+				}
 				a.markFaulty(now, i, fmt.Sprintf(
 					"active monitor: %d consecutive token losses", a.problem[i]))
 			}
@@ -186,6 +194,7 @@ func (a *active) OnTimer(now proto.Time, id proto.TimerID) {
 				a.problem[i]--
 			}
 		}
+		a.recoveryTick(now, a.Readmit)
 		a.acts.SetTimer(proto.TimerID{Class: proto.TimerRRPDecay}, a.cfg.DecayInterval)
 	}
 }

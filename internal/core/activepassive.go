@@ -48,7 +48,7 @@ func (ap *activePassive) Readmit(network int) {
 	if network < 0 || network >= ap.cfg.Networks || !ap.fault[network] {
 		return
 	}
-	ap.fault[network] = false
+	ap.readmitCommon(network)
 	ap.tokMon.readmit(network)
 	for _, mon := range ap.msgMon {
 		mon.readmit(network)
@@ -86,11 +86,13 @@ func (ap *activePassive) effectiveK() int {
 // SendMessage implements Replicator.
 func (ap *activePassive) SendMessage(data []byte) {
 	ap.sendK(&ap.msgStart, proto.BroadcastID, data)
+	ap.probeSend(proto.BroadcastID, data)
 }
 
 // SendToken implements Replicator.
 func (ap *activePassive) SendToken(dest proto.NodeID, data []byte) {
 	ap.sendK(&ap.tokStart, dest, data)
+	ap.probeSend(dest, data)
 }
 
 // OnPacket implements Replicator.
@@ -166,12 +168,19 @@ func (ap *activePassive) OnTimer(now proto.Time, id proto.TimerID) {
 		for _, mon := range ap.msgMon {
 			mon.replenish(ap.fault)
 		}
+		ap.recoveryTick(now, ap.Readmit)
 		ap.acts.SetTimer(proto.TimerID{Class: proto.TimerRRPDecay}, ap.cfg.DecayInterval)
 	}
 }
 
 func (ap *activePassive) observeToken(now proto.Time, network int) {
 	if lag := ap.tokMon.observe(network, ap.fault); lag >= 0 && ap.tokMon.diff(lag) > ap.cfg.TokenDiffThreshold {
+		if ap.inReadmitGrace(lag) {
+			// The lag accrued while slower peers were still excluding the
+			// repaired network; discard it instead of convicting.
+			ap.tokMon.readmit(lag)
+			return
+		}
 		ap.markFaulty(now, lag, fmt.Sprintf(
 			"active-passive token monitor: network lags by %d receptions", ap.tokMon.diff(lag)))
 	}
@@ -184,6 +193,10 @@ func (ap *activePassive) observeMessage(now proto.Time, sender proto.NodeID, net
 		ap.msgMon[sender] = mon
 	}
 	if lag := mon.observe(network, ap.fault); lag >= 0 && mon.diff(lag) > ap.cfg.DiffThreshold {
+		if ap.inReadmitGrace(lag) {
+			mon.readmit(lag)
+			return
+		}
 		ap.markFaulty(now, lag, fmt.Sprintf(
 			"active-passive message monitor (sender %v): network lags by %d receptions", sender, mon.diff(lag)))
 	}

@@ -72,6 +72,15 @@ type Stats struct {
 	TokensDiscarded uint64
 	// FaultsRaised counts networks declared faulty.
 	FaultsRaised uint64
+	// FaultsCleared counts networks automatically readmitted by the
+	// recovery monitor after a clean probation period.
+	FaultsCleared uint64
+	// Readmits counts every successful readmission, automatic or manual
+	// (operator-driven Readmit calls).
+	Readmits uint64
+	// FlapBackoffs counts re-faults within the flap window of the previous
+	// readmission; each one doubles the network's next probation.
+	FlapBackoffs uint64
 }
 
 // Config parameterises a replicator.
@@ -106,6 +115,23 @@ type Config struct {
 	// and lagging-counter replenishment (passive), preventing sporadic
 	// loss from accumulating into a false fault (requirements A6/P5).
 	DecayInterval time.Duration
+
+	// AutoReadmit enables the recovery monitor: a faulty network that
+	// shows clean receptions for ProbationWindows consecutive decay
+	// windows is readmitted automatically and a FaultCleared report is
+	// emitted. When false, readmission stays a purely manual operator
+	// action (the paper's §3 model).
+	AutoReadmit bool
+	// ProbationWindows is the number of consecutive decay windows with
+	// receptions a faulty network must serve before automatic readmission.
+	ProbationWindows int
+	// FlapWindow bounds flap detection: a network that re-faults within
+	// FlapWindow of its last readmission has its next probation doubled.
+	FlapWindow time.Duration
+	// MaxProbation caps the exponential probation growth, in decay
+	// windows; a persistently flapping network converges to spending
+	// MaxProbation windows disabled between (rare) readmissions.
+	MaxProbation int
 }
 
 // DefaultConfig returns the defaults from DESIGN.md §6.
@@ -120,6 +146,10 @@ func DefaultConfig(networks int, style proto.ReplicationStyle) Config {
 		DiffThreshold:      50,
 		TokenDiffThreshold: 8,
 		DecayInterval:      time.Second,
+		AutoReadmit:        true,
+		ProbationWindows:   3,
+		FlapWindow:         10 * time.Second,
+		MaxProbation:       60,
 	}
 }
 
@@ -129,6 +159,7 @@ var (
 	ErrBadStyle    = errors.New("core: unknown replication style")
 	ErrBadK        = errors.New("core: active-passive requires 1 < K < N")
 	ErrBadTimer    = errors.New("core: timer intervals must be positive")
+	ErrBadReadmit  = errors.New("core: invalid auto-readmit parameters")
 )
 
 // Validate checks the configuration.
@@ -159,6 +190,17 @@ func (c Config) Validate() error {
 	}
 	if c.ProblemThreshold <= 0 || c.DiffThreshold <= 0 || c.TokenDiffThreshold <= 0 {
 		return fmt.Errorf("%w: thresholds must be positive", ErrBadTimer)
+	}
+	if c.AutoReadmit {
+		if c.ProbationWindows <= 0 {
+			return fmt.Errorf("%w: ProbationWindows must be positive with AutoReadmit", ErrBadReadmit)
+		}
+		if c.MaxProbation < c.ProbationWindows {
+			return fmt.Errorf("%w: MaxProbation %d < ProbationWindows %d", ErrBadReadmit, c.MaxProbation, c.ProbationWindows)
+		}
+		if c.FlapWindow <= 0 {
+			return fmt.Errorf("%w: FlapWindow must be positive with AutoReadmit", ErrBadReadmit)
+		}
 	}
 	return nil
 }
@@ -196,6 +238,7 @@ type base struct {
 	cb    Callbacks
 	fault []bool
 	stats Stats
+	rec   recoveryState
 }
 
 func newBase(cfg Config, acts *proto.Actions, cb Callbacks) base {
@@ -208,6 +251,7 @@ func newBase(cfg Config, acts *proto.Actions, cb Callbacks) base {
 			TxPackets: make([]uint64, cfg.Networks),
 			RxPackets: make([]uint64, cfg.Networks),
 		},
+		rec: newRecoveryState(cfg),
 	}
 }
 
@@ -241,6 +285,13 @@ func (b *base) markFaulty(now proto.Time, i int, reason string) {
 	if b.fault[i] {
 		return
 	}
+	if b.inReadmitGrace(i) {
+		// A freshly readmitted network misses the traffic of peers whose
+		// own readmission lags by a window; convicting it again on that
+		// evidence would be a spurious flap. Genuine faults re-raise as
+		// soon as the grace expires.
+		return
+	}
 	if b.nonFaultyCount() <= 1 {
 		// Refusing to disable the last network keeps the system up; the
 		// operator still gets the alarm.
@@ -254,6 +305,7 @@ func (b *base) markFaulty(now proto.Time, i int, reason string) {
 	b.fault[i] = true
 	b.stats.FaultsRaised++
 	b.acts.Fault(proto.FaultReport{Network: i, Reason: reason, Time: now})
+	b.noteFault(i)
 }
 
 // send transmits on network i and counts it.

@@ -47,7 +47,7 @@ func (p *passive) Readmit(network int) {
 	if network < 0 || network >= p.cfg.Networks || !p.fault[network] {
 		return
 	}
-	p.fault[network] = false
+	p.readmitCommon(network)
 	p.tokMon.readmit(network)
 	for _, mon := range p.msgMon {
 		mon.readmit(network)
@@ -74,12 +74,14 @@ func (p *passive) nextVia(via int) int {
 func (p *passive) SendMessage(data []byte) {
 	p.sendMsgVia = p.nextVia(p.sendMsgVia)
 	p.send(p.sendMsgVia, proto.BroadcastID, data)
+	p.probeSend(proto.BroadcastID, data)
 }
 
 // SendToken implements Replicator.
 func (p *passive) SendToken(dest proto.NodeID, data []byte) {
 	p.sendTokVia = p.nextVia(p.sendTokVia)
 	p.send(p.sendTokVia, dest, data)
+	p.probeSend(dest, data)
 }
 
 // OnPacket implements Replicator.
@@ -170,6 +172,7 @@ func (p *passive) OnTimer(now proto.Time, id proto.TimerID) {
 		for _, mon := range p.msgMon {
 			mon.replenish(p.fault)
 		}
+		p.recoveryTick(now, p.Readmit)
 		p.acts.SetTimer(proto.TimerID{Class: proto.TimerRRPDecay}, p.cfg.DecayInterval)
 	}
 }
@@ -179,6 +182,12 @@ func (p *passive) OnTimer(now proto.Time, id proto.TimerID) {
 // messages flow (paper §6).
 func (p *passive) observeToken(now proto.Time, network int) {
 	if lag := p.tokMon.observe(network, p.fault); lag >= 0 && p.tokMon.diff(lag) > p.cfg.TokenDiffThreshold {
+		if p.inReadmitGrace(lag) {
+			// The lag accrued while slower peers were still excluding the
+			// repaired network; discard it instead of convicting.
+			p.tokMon.readmit(lag)
+			return
+		}
 		p.markFaulty(now, lag, fmt.Sprintf(
 			"passive token monitor: network lags by %d receptions", p.tokMon.diff(lag)))
 	}
@@ -193,6 +202,10 @@ func (p *passive) observeMessage(now proto.Time, sender proto.NodeID, network in
 		p.msgMon[sender] = mon
 	}
 	if lag := mon.observe(network, p.fault); lag >= 0 && mon.diff(lag) > p.cfg.DiffThreshold {
+		if p.inReadmitGrace(lag) {
+			mon.readmit(lag)
+			return
+		}
 		p.markFaulty(now, lag, fmt.Sprintf(
 			"passive message monitor (sender %v): network lags by %d receptions", sender, mon.diff(lag)))
 	}

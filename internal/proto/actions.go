@@ -43,17 +43,25 @@ type Fault struct {
 	Report FaultReport
 }
 
+// FaultCleared surfaces an RRP recovery report: a previously faulty
+// network passed its probation and was automatically readmitted. The
+// counterpart of Fault, so operators see recovery as well as failure.
+type FaultCleared struct {
+	Report ClearReport
+}
+
 // Config surfaces a membership configuration change to the user.
 type Config struct {
 	Change ConfigChange
 }
 
-func (SendPacket) isAction()  {}
-func (SetTimer) isAction()    {}
-func (CancelTimer) isAction() {}
-func (Deliver) isAction()     {}
-func (Fault) isAction()       {}
-func (Config) isAction()      {}
+func (SendPacket) isAction()   {}
+func (SetTimer) isAction()     {}
+func (CancelTimer) isAction()  {}
+func (Deliver) isAction()      {}
+func (Fault) isAction()        {}
+func (FaultCleared) isAction() {}
+func (Config) isAction()       {}
 
 // Delivery is a totally-ordered message delivered to the application.
 type Delivery struct {
@@ -89,6 +97,25 @@ type FaultReport struct {
 // String implements fmt.Stringer.
 func (f FaultReport) String() string {
 	return fmt.Sprintf("network %d faulty at %v: %s", f.Network, f.Time, f.Reason)
+}
+
+// ClearReport describes the automatic readmission of a healed network: the
+// RRP recovery monitor observed clean receptions on the faulty network for
+// a full probation period and re-enabled it without operator action.
+type ClearReport struct {
+	// Network is the index of the readmitted network.
+	Network int
+	// Probation is the number of consecutive clean decay windows the
+	// network had to serve. It grows exponentially under flap damping, so
+	// a rising value across reports identifies an oscillating network.
+	Probation int
+	// Time is the (virtual or real) time of readmission.
+	Time Time
+}
+
+// String implements fmt.Stringer.
+func (c ClearReport) String() string {
+	return fmt.Sprintf("network %d readmitted at %v after %d clean windows", c.Network, c.Time, c.Probation)
 }
 
 // ConfigChange reports a membership change. Per extended virtual synchrony
@@ -138,6 +165,11 @@ func (a *Actions) Deliver(d Delivery) {
 // Fault appends a Fault action.
 func (a *Actions) Fault(r FaultReport) {
 	a.list = append(a.list, Fault{Report: r})
+}
+
+// FaultCleared appends a FaultCleared action.
+func (a *Actions) FaultCleared(r ClearReport) {
+	a.list = append(a.list, FaultCleared{Report: r})
 }
 
 // Config appends a Config action.

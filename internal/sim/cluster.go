@@ -111,11 +111,13 @@ type Node struct {
 	// Observed application-facing events.
 	Delivered []proto.Delivery
 	Faults    []proto.FaultReport
+	Cleared   []proto.ClearReport
 	Configs   []proto.ConfigChange
 
 	// Optional hooks invoked as events happen.
 	OnDeliver func(proto.Delivery)
 	OnFault   func(proto.FaultReport)
+	OnCleared func(proto.ClearReport)
 	OnConfig  func(proto.ConfigChange)
 
 	// KeepPayloads controls whether delivered payload bytes are retained
@@ -289,6 +291,10 @@ func (c *Cluster) BlockRecv(id proto.NodeID, net int, blocked bool) {
 // Crash stops a node dead: no more packets, timers or submissions.
 func (c *Cluster) Crash(id proto.NodeID) { c.nodes[id].crashed = true }
 
+// Crashed reports whether the node has been crashed. Its Stack remains
+// readable but is frozen at its pre-crash state.
+func (n *Node) Crashed() bool { return n.crashed }
+
 // --- node internals ---
 
 // dispatch schedules work on the node's CPU: at time at, a slot of length
@@ -371,6 +377,16 @@ func (n *Node) execute(now proto.Time, actions []proto.Action) {
 			n.Faults = append(n.Faults, act.Report)
 			if n.OnFault != nil {
 				n.OnFault(act.Report)
+			}
+		case proto.FaultCleared:
+			n.cluster.cfg.Trace.Record(trace.Event{
+				At: now, Node: n.ID, Kind: trace.FaultCleared,
+				Network: act.Report.Network,
+				Detail:  fmt.Sprintf("readmitted after %d clean windows", act.Report.Probation),
+			})
+			n.Cleared = append(n.Cleared, act.Report)
+			if n.OnCleared != nil {
+				n.OnCleared(act.Report)
 			}
 		case proto.Config:
 			n.cluster.cfg.Trace.Record(trace.Event{

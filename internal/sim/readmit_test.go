@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/stack"
+)
+
+// Regression tests for the automatic-readmission subsystem: a healed
+// network returns to service without operator action, an oscillating
+// network is flap-damped, and disabling the feature restores the paper's
+// manual-only model. All run with a shortened decay interval so probation
+// (3 windows) completes in hundreds of milliseconds of virtual time.
+
+func fastRecoveryConfig(nodes, networks int, style proto.ReplicationStyle) Config {
+	cfg := baseConfig(nodes, networks, style)
+	cfg.TuneSRP = func(_ proto.NodeID, sc *stack.Config) {
+		sc.RRP.DecayInterval = 100 * time.Millisecond
+	}
+	return cfg
+}
+
+func allFaulty(c *Cluster, net int) bool {
+	for _, id := range c.NodeIDs() {
+		if !c.Node(id).Stack.Replicator().Faulty()[net] {
+			return false
+		}
+	}
+	return true
+}
+
+func noneFaulty(c *Cluster, net int) bool {
+	for _, id := range c.NodeIDs() {
+		if c.Node(id).Stack.Replicator().Faulty()[net] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAutoReadmitHealedNetwork(t *testing.T) {
+	styles := []struct {
+		networks int
+		style    proto.ReplicationStyle
+	}{
+		{2, proto.ReplicationActive},
+		{2, proto.ReplicationPassive},
+		{3, proto.ReplicationActivePassive},
+	}
+	for _, tc := range styles {
+		t.Run(tc.style.String(), func(t *testing.T) {
+			c := mustCluster(t, fastRecoveryConfig(4, tc.networks, tc.style))
+			for _, id := range c.NodeIDs() {
+				c.Node(id).KeepPayloads = false
+			}
+			c.Start()
+			waitRing(t, c, 3*time.Second)
+			pump(c, make([]byte, 512), 32)
+			c.Run(200 * time.Millisecond)
+			configsBefore := totalConfigs(c)
+
+			c.KillNetwork(1)
+			if !c.RunUntil(func() bool { return allFaulty(c, 1) }, 10*time.Millisecond, 5*time.Second) {
+				t.Fatal("network death never convicted")
+			}
+
+			c.ReviveNetwork(1)
+			txAtRevive := c.Node(1).Stack.Replicator().Stats().TxPackets[1]
+			if !c.RunUntil(func() bool { return noneFaulty(c, 1) }, 10*time.Millisecond, 5*time.Second) {
+				t.Fatal("healed network never auto-readmitted")
+			}
+			for _, id := range c.NodeIDs() {
+				n := c.Node(id)
+				cleared := false
+				for _, cr := range n.Cleared {
+					if cr.Network == 1 {
+						cleared = true
+					}
+				}
+				if !cleared {
+					t.Fatalf("node %v readmitted without a ClearReport", id)
+				}
+			}
+
+			// Replication traffic (not just probes) resumes on the network.
+			c.Run(500 * time.Millisecond)
+			if tx := c.Node(1).Stack.Replicator().Stats().TxPackets[1]; tx <= txAtRevive {
+				t.Fatalf("no traffic on the healed network: %d at revive, %d now", txAtRevive, tx)
+			}
+			// The whole fault-and-heal cycle stayed below the membership
+			// layer (paper §3).
+			if got := totalConfigs(c); got != configsBefore {
+				t.Fatalf("membership changed: %d -> %d config events", configsBefore, got)
+			}
+		})
+	}
+}
+
+func TestFlapDampingBacksOffWithoutMembershipChange(t *testing.T) {
+	c := mustCluster(t, fastRecoveryConfig(4, 2, proto.ReplicationActive))
+	for _, id := range c.NodeIDs() {
+		c.Node(id).KeepPayloads = false
+	}
+	c.Start()
+	waitRing(t, c, 3*time.Second)
+	pump(c, make([]byte, 512), 32)
+	c.Run(200 * time.Millisecond)
+	configsBefore := totalConfigs(c)
+
+	c.ScheduleFlap(1, 500*time.Millisecond, 2*time.Second, 3)
+	c.Run(9 * time.Second)
+
+	// Each re-fault within the flap window doubles the next probation, so
+	// the sequence of clear reports shows a growing requirement.
+	damped := false
+	for _, id := range c.NodeIDs() {
+		cl := c.Node(id).Cleared
+		for i := 1; i < len(cl); i++ {
+			if cl[i].Probation < cl[i-1].Probation {
+				t.Fatalf("node %v: probation shrank across flaps: %v", id, cl)
+			}
+		}
+		if len(cl) >= 2 && cl[len(cl)-1].Probation > cl[0].Probation {
+			damped = true
+		}
+	}
+	if !damped {
+		t.Fatal("no node showed probation doubling across flap cycles")
+	}
+	backoffs := uint64(0)
+	for _, id := range c.NodeIDs() {
+		backoffs += c.Node(id).Stack.Replicator().Stats().FlapBackoffs
+	}
+	if backoffs == 0 {
+		t.Fatal("no flap backoff counted")
+	}
+	// However hard the network flaps, the ring membership never moves.
+	if got := totalConfigs(c); got != configsBefore {
+		t.Fatalf("flapping network changed membership: %d -> %d config events", configsBefore, got)
+	}
+}
+
+func TestAutoReadmitDisabledRequiresOperator(t *testing.T) {
+	cfg := fastRecoveryConfig(4, 2, proto.ReplicationPassive)
+	inner := cfg.TuneSRP
+	cfg.TuneSRP = func(id proto.NodeID, sc *stack.Config) {
+		inner(id, sc)
+		sc.RRP.AutoReadmit = false
+	}
+	c := mustCluster(t, cfg)
+	for _, id := range c.NodeIDs() {
+		c.Node(id).KeepPayloads = false
+	}
+	c.Start()
+	waitRing(t, c, 3*time.Second)
+	pump(c, make([]byte, 512), 32)
+	c.Run(200 * time.Millisecond)
+
+	c.KillNetwork(1)
+	if !c.RunUntil(func() bool { return allFaulty(c, 1) }, 10*time.Millisecond, 5*time.Second) {
+		t.Fatal("network death never convicted")
+	}
+	c.ReviveNetwork(1)
+	// Dozens of probation-lengths of clean running: the verdict must stand
+	// until the operator acts.
+	c.Run(3 * time.Second)
+	if !allFaulty(c, 1) {
+		t.Fatal("network readmitted without operator action despite AutoReadmit=false")
+	}
+	for _, id := range c.NodeIDs() {
+		if n := c.Node(id); len(n.Cleared) != 0 {
+			t.Fatalf("node %v emitted clear reports with AutoReadmit off: %v", id, n.Cleared)
+		}
+	}
+	for _, id := range c.NodeIDs() {
+		c.Node(id).Stack.Replicator().Readmit(1)
+	}
+	if !noneFaulty(c, 1) {
+		t.Fatal("manual readmission failed")
+	}
+	tx := c.Node(1).Stack.Replicator().Stats().TxPackets[1]
+	c.Run(500 * time.Millisecond)
+	if got := c.Node(1).Stack.Replicator().Stats().TxPackets[1]; got <= tx {
+		t.Fatal("no traffic after manual readmission")
+	}
+}

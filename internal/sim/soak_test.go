@@ -9,18 +9,22 @@ import (
 
 	"github.com/totem-rrp/totem/internal/proto"
 	"github.com/totem-rrp/totem/internal/srp"
+	"github.com/totem-rrp/totem/internal/stack"
 )
 
 // TestSoakRandomFaults drives the full stack (SRP + RRP + simulator)
-// through a randomized schedule of network deaths, repairs + readmissions,
-// interface faults, node crashes and load, then checks the global
-// correctness invariants:
+// through a randomized schedule of network deaths and repairs, interface
+// faults, node crashes and load, then checks the global correctness
+// invariants:
 //
 //  1. per-configuration agreement: within any ring, all nodes' delivery
 //     sequences are prefix-consistent;
 //  2. no duplicate deliveries anywhere;
 //  3. after the dust settles, the survivors converge on one operational
 //     ring and still make progress.
+//
+// Repaired networks are left to the recovery monitor: nobody calls
+// Readmit, exercising the automatic-readmission path under chaos.
 func TestSoakRandomFaults(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test")
@@ -37,17 +41,32 @@ func TestSoakRandomFaults(t *testing.T) {
 		for _, tc := range styles {
 			name := fmt.Sprintf("%v/seed%d", tc.style, seed)
 			t.Run(name, func(t *testing.T) {
-				soak(t, tc.networks, tc.style, seed)
+				soak(t, tc.networks, tc.style, seed, false)
 			})
 		}
 	}
 }
 
-func soak(t *testing.T, networks int, style proto.ReplicationStyle, seed int64) {
+// TestSoakManualReadmitCompat replays one soak schedule with AutoReadmit
+// disabled and explicit operator readmissions, pinning the paper's
+// original manual-only model.
+func TestSoakManualReadmitCompat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	soak(t, 2, proto.ReplicationPassive, 1, true)
+}
+
+func soak(t *testing.T, networks int, style proto.ReplicationStyle, seed int64, manual bool) {
 	t.Helper()
 	const nodes = 5
 	cfg := baseConfig(nodes, networks, style)
 	cfg.Seed = seed
+	if manual {
+		cfg.TuneSRP = func(_ proto.NodeID, sc *stack.Config) {
+			sc.RRP.AutoReadmit = false
+		}
+	}
 	c := mustCluster(t, cfg)
 	c.Start()
 	waitRing(t, c, 5*time.Second)
@@ -87,14 +106,17 @@ func soak(t *testing.T, networks int, style proto.ReplicationStyle, seed int64) 
 					netDown[i] = true
 					c.KillNetwork(i)
 				}
-			case 1: // repair a dead network and readmit it everywhere
+			case 1: // repair a dead network; readmit manually or let the
+				// recovery monitor notice on its own
 				for i, d := range netDown {
 					if d {
 						netDown[i] = false
 						c.ReviveNetwork(i)
-						for _, id := range c.NodeIDs() {
-							if !crashed[id] {
-								c.Node(id).Stack.Replicator().Readmit(i)
+						if manual {
+							for _, id := range c.NodeIDs() {
+								if !crashed[id] {
+									c.Node(id).Stack.Replicator().Readmit(i)
+								}
 							}
 						}
 						break
@@ -126,19 +148,23 @@ func soak(t *testing.T, networks int, style proto.ReplicationStyle, seed int64) 
 		c.Run(100 * time.Millisecond)
 	}
 
-	// Settle: repair everything and let the ring converge.
+	// Settle: repair everything and let the ring converge. In manual mode
+	// the operator readmits every network; otherwise the recovery monitor
+	// is left to do it.
 	for i := range netDown {
 		if netDown[i] {
 			c.ReviveNetwork(i)
 			netDown[i] = false
 		}
 	}
-	for _, id := range c.NodeIDs() {
-		if crashed[id] {
-			continue
-		}
-		for i := 0; i < networks; i++ {
-			c.Node(id).Stack.Replicator().Readmit(i)
+	if manual {
+		for _, id := range c.NodeIDs() {
+			if crashed[id] {
+				continue
+			}
+			for i := 0; i < networks; i++ {
+				c.Node(id).Stack.Replicator().Readmit(i)
+			}
 		}
 	}
 	live := 0

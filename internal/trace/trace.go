@@ -24,6 +24,7 @@ const (
 	TimerFired
 	Delivered
 	FaultRaised
+	FaultCleared
 	ConfigChanged
 	Note
 )
@@ -41,6 +42,8 @@ func (k Kind) String() string {
 		return "deliver"
 	case FaultRaised:
 		return "fault"
+	case FaultCleared:
+		return "cleared"
 	case ConfigChanged:
 		return "config"
 	case Note:

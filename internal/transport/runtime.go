@@ -27,6 +27,7 @@ type Runtime struct {
 
 	deliveries *queue[proto.Delivery]
 	faults     *queue[proto.FaultReport]
+	cleared    *queue[proto.ClearReport]
 	configs    *queue[proto.ConfigChange]
 
 	stopOnce sync.Once
@@ -61,6 +62,7 @@ func NewRuntime(st *stack.Node, tr Transport) *Runtime {
 		timers:     make(map[proto.TimerID]*time.Timer),
 		deliveries: newQueue[proto.Delivery](),
 		faults:     newQueue[proto.FaultReport](),
+		cleared:    newQueue[proto.ClearReport](),
 		configs:    newQueue[proto.ConfigChange](),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
@@ -132,6 +134,8 @@ func (r *Runtime) execute(actions []proto.Action) {
 			r.deliveries.push(act.Msg)
 		case proto.Fault:
 			r.faults.push(act.Report)
+		case proto.FaultCleared:
+			r.cleared.push(act.Report)
 		case proto.Config:
 			r.configs.push(act.Change)
 		}
@@ -209,6 +213,9 @@ func (r *Runtime) Deliveries() <-chan proto.Delivery { return r.deliveries.out }
 // Faults returns the network fault-report stream.
 func (r *Runtime) Faults() <-chan proto.FaultReport { return r.faults.out }
 
+// Cleared returns the stream of automatic readmission reports.
+func (r *Runtime) Cleared() <-chan proto.ClearReport { return r.cleared.out }
+
 // Configs returns the membership configuration-change stream.
 func (r *Runtime) Configs() <-chan proto.ConfigChange { return r.configs.out }
 
@@ -225,6 +232,7 @@ func (r *Runtime) Close() {
 		r.timerMu.Unlock()
 		r.deliveries.close()
 		r.faults.close()
+		r.cleared.close()
 		r.configs.close()
 	})
 }

@@ -17,7 +17,12 @@
 //
 // When a network fails, the built-in monitors raise a FaultReport while
 // the ring keeps running on the surviving networks — no membership change
-// occurs (paper §3). Node joins, crashes and partition merges are handled
+// occurs (paper §3). A recovery monitor then watches the faulted network
+// and readmits it automatically once it demonstrates sustained clean
+// reception, with exponential flap damping for unstable links; the
+// readmission is announced on FaultsCleared (set DisableAutoReadmit to
+// keep the paper's manual-only model). Node joins, crashes and
+// partition merges are handled
 // by the membership protocol and surfaced as ConfigChange events with
 // extended-virtual-synchrony semantics.
 //
@@ -61,6 +66,8 @@ type (
 	Delivery = proto.Delivery
 	// FaultReport is a network-fault alarm from the RRP monitors.
 	FaultReport = proto.FaultReport
+	// ClearReport announces the automatic readmission of a healed network.
+	ClearReport = proto.ClearReport
 	// ConfigChange is a membership change (transitional or regular).
 	ConfigChange = proto.ConfigChange
 	// ReplicationStyle selects how traffic maps onto the networks.
@@ -125,6 +132,14 @@ type Config struct {
 	K int
 	// Delivery selects Agreed (default) or Safe delivery.
 	Delivery srp.DeliveryMode
+
+	// DisableAutoReadmit turns off the automatic readmission of healed
+	// networks, restoring the paper's manual-only model: a faulty network
+	// then stays excluded until ReadmitNetwork is called. By default the
+	// recovery monitor places faulted networks on probation and readmits
+	// them once they demonstrate sustained clean reception, announcing
+	// each readmission on FaultsCleared.
+	DisableAutoReadmit bool
 
 	// Tune, if non-nil, may adjust the low-level protocol parameters
 	// (timeouts, window sizes, monitor thresholds) before validation.
@@ -191,6 +206,9 @@ func NewNode(cfg Config, tr Transport) (*Node, error) {
 	if cfg.Delivery != 0 {
 		opts.SRP.Delivery = cfg.Delivery
 	}
+	if cfg.DisableAutoReadmit {
+		opts.RRP.AutoReadmit = false
+	}
 	if cfg.Tune != nil {
 		cfg.Tune(&opts)
 		opts.SRP.ID = cfg.ID // the identity is not tunable
@@ -230,6 +248,12 @@ func (n *Node) Deliveries() <-chan Delivery { return n.rt.Deliveries() }
 // Faults returns the network fault-report stream (paper §3: the alarm an
 // administrator reacts to while the system keeps running).
 func (n *Node) Faults() <-chan FaultReport { return n.rt.Faults() }
+
+// FaultsCleared returns the stream of automatic readmissions: one
+// ClearReport per network the recovery monitor returned to service after
+// it served out its probation. Empty when DisableAutoReadmit is set. The
+// channel closes on Close.
+func (n *Node) FaultsCleared() <-chan ClearReport { return n.rt.Cleared() }
 
 // ConfigChanges returns the membership change stream. Per extended
 // virtual synchrony, each regular configuration is preceded by a
@@ -273,7 +297,9 @@ func (n *Node) NetworkFaults() []bool {
 // ReadmitNetwork clears the faulty verdict on a repaired network — the
 // administrator's action after reacting to the alarm (paper §3). The
 // network immediately rejoins the replication pattern with fresh monitor
-// state. It is a no-op if the network was not marked faulty.
+// state. It is a no-op if the network was not marked faulty. With
+// automatic readmission enabled (the default) calling it is optional: the
+// recovery monitor readmits healed networks on its own after probation.
 func (n *Node) ReadmitNetwork(network int) {
 	n.rt.Inspect(func(st *stack.Node) {
 		st.Replicator().Readmit(network)
