@@ -10,6 +10,8 @@
 //	totembench -figure sawtooth # packing peaks at 700/1400 B
 //	totembench -figure ap       # active-passive (3 networks, K=2)
 //	totembench -figure all
+//	totembench -json            # hot-path allocation budget + wall-clock
+//	                            # figure data, written to BENCH_hotpath.json
 package main
 
 import (
@@ -24,11 +26,40 @@ import (
 func main() {
 	figure := flag.String("figure", "all", "which figure to regenerate: 6, 7, 8, 9, headline, sawtooth, ap, ablations, all")
 	csvDir := flag.String("csv", "", "also write the sweep data as CSV files into this directory")
+	jsonOut := flag.Bool("json", false, "run the hot-path benchmark suite and write it as JSON (skips -figure)")
+	outPath := flag.String("out", "BENCH_hotpath.json", "output path for -json")
 	flag.Parse()
+	if *jsonOut {
+		if err := runHotPath(*outPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*figure, *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// runHotPath regenerates the allocation-budget report (micro allocs/op
+// plus wall-clock Figure 6 points) and saves it for EXPERIMENTS.md.
+func runHotPath(path string) error {
+	rep, err := bench.HotPath()
+	if err != nil {
+		return err
+	}
+	bench.PrintHotPath(os.Stdout, rep)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := bench.WriteHotPathJSON(f, rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 // writeCSV saves one figure's series when -csv is set.

@@ -29,7 +29,7 @@ func (r *recorder) drainSends(t *testing.T, networks int) []int {
 	t.Helper()
 	counts := make([]int, networks)
 	for _, a := range r.acts.Drain() {
-		if sp, ok := a.(proto.SendPacket); ok {
+		if sp, ok := a.(*proto.SendPacket); ok {
 			counts[sp.Network]++
 		}
 	}

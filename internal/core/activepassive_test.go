@@ -193,7 +193,7 @@ func TestNoneBaselineUsesNetworkZero(t *testing.T) {
 	rep.SendMessage(dataBytes(t, 1, 1))
 	rep.SendToken(2, tokenBytes(t, 1, 0))
 	for _, a := range rec.acts.Drain() {
-		if sp, ok := a.(proto.SendPacket); ok && sp.Network != 0 {
+		if sp, ok := a.(*proto.SendPacket); ok && sp.Network != 0 {
 			t.Fatalf("baseline sent on network %d", sp.Network)
 		}
 	}

@@ -37,9 +37,16 @@ type Callbacks struct {
 type Replicator interface {
 	// Start arms the periodic monitor-decay timer.
 	Start(now proto.Time)
-	// SendMessage maps one SRP broadcast onto the networks.
+	// SendMessage maps one SRP broadcast onto the networks. The packet is
+	// encoded exactly once: every emitted SendPacket action references the
+	// same read-only data slice, and the replicator retains no reference
+	// after returning, so the caller's buffer ownership passes intact to
+	// the driver (which may pool KindData frames; see wire.PutFrame).
 	SendMessage(data []byte)
-	// SendToken maps one SRP token unicast onto the networks.
+	// SendToken maps one SRP token unicast onto the networks. Unlike
+	// messages, token buffers may be retained by the replicator (passive
+	// replication holds the last token for gating) and by the SRP for
+	// retransmission, so they must not come from the frame pool.
 	SendToken(dest proto.NodeID, data []byte)
 	// OnPacket processes a packet received on the given network,
 	// delivering upward through the callbacks as appropriate.
@@ -308,7 +315,8 @@ func (b *base) markFaulty(now proto.Time, i int, reason string) {
 	b.noteFault(i)
 }
 
-// send transmits on network i and counts it.
+// send transmits on network i and counts it. The same data slice is
+// shared by every network's SendPacket action — fan-out never copies.
 func (b *base) send(network int, dest proto.NodeID, data []byte) {
 	b.acts.Send(network, dest, data)
 	b.stats.TxPackets[network]++

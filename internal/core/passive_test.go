@@ -50,7 +50,7 @@ func TestPassiveTokenRoundRobinIndependentOfMessages(t *testing.T) {
 	rec.acts.Drain()
 	p.SendToken(2, tokenBytes(t, 1, 0)) // token pointer starts fresh
 	for _, a := range rec.acts.Drain() {
-		if sp, ok := a.(proto.SendPacket); ok {
+		if sp, ok := a.(*proto.SendPacket); ok {
 			if sp.Network != 0 {
 				t.Fatalf("token went via network %d, want independent rotation starting at 0", sp.Network)
 			}

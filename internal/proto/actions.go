@@ -13,6 +13,12 @@ type Action interface {
 
 // SendPacket transmits an encoded packet on one network. Dest is a node ID
 // for unicast (token passing) or BroadcastID for ring-wide broadcast.
+//
+// SendPacket travels as *SendPacket inside Action: boxing a pointer is
+// allocation-free, which keeps the per-packet fan-out (one action per
+// network, several per token visit) off the heap. The objects come from a
+// free list replenished by Recycle, so a driver must copy any field it
+// needs after recycling a batch.
 type SendPacket struct {
 	Network int
 	Dest    NodeID
@@ -55,7 +61,7 @@ type Config struct {
 	Change ConfigChange
 }
 
-func (SendPacket) isAction()   {}
+func (*SendPacket) isAction()  {}
 func (SetTimer) isAction()     {}
 func (CancelTimer) isAction()  {}
 func (Deliver) isAction()      {}
@@ -73,8 +79,10 @@ type Delivery struct {
 	// deliveries within one ring are strictly ordered by Seq and identical
 	// at every member.
 	Seq uint32
-	// Payload is the application payload. The slice is owned by the
-	// receiver and never reused by the protocol.
+	// Payload is the application payload. The slice is a read-only view
+	// that may alias buffers the protocol retains for retransmission
+	// until the safe horizon passes; the receiver may keep it but must
+	// copy before mutating.
 	Payload []byte
 	// Transitional marks messages delivered in a transitional
 	// configuration during membership recovery (extended virtual
@@ -138,47 +146,80 @@ func (c ConfigChange) String() string {
 
 // Actions is an append-only buffer the machines emit into. The zero value
 // is ready to use.
+//
+// Drivers that run the protocol in a loop can avoid allocating a fresh
+// backing array per event by returning drained batches with Recycle; the
+// next emission after a Drain reuses the most recently recycled array.
+// Reuse is deliberately not done in place on Drain because handlers can
+// re-enter the machine while a batch is still being executed (e.g. an
+// application submitting from its delivery callback).
 type Actions struct {
-	list []Action
+	list   []Action
+	free   [][]Action
+	spFree []*SendPacket
 }
 
 // Send appends a SendPacket action.
 func (a *Actions) Send(network int, dest NodeID, data []byte) {
-	a.list = append(a.list, SendPacket{Network: network, Dest: dest, Data: data})
+	a.grab()
+	var sp *SendPacket
+	if n := len(a.spFree); n > 0 {
+		sp = a.spFree[n-1]
+		a.spFree = a.spFree[:n-1]
+	} else {
+		sp = new(SendPacket)
+	}
+	sp.Network, sp.Dest, sp.Data = network, dest, data
+	a.list = append(a.list, sp)
+}
+
+// grab installs a recycled backing array when the buffer is empty.
+func (a *Actions) grab() {
+	if a.list == nil && len(a.free) > 0 {
+		a.list = a.free[len(a.free)-1]
+		a.free = a.free[:len(a.free)-1]
+	}
 }
 
 // SetTimer appends a SetTimer action.
 func (a *Actions) SetTimer(id TimerID, after time.Duration) {
+	a.grab()
 	a.list = append(a.list, SetTimer{ID: id, After: after})
 }
 
 // CancelTimer appends a CancelTimer action.
 func (a *Actions) CancelTimer(id TimerID) {
+	a.grab()
 	a.list = append(a.list, CancelTimer{ID: id})
 }
 
 // Deliver appends a Deliver action.
 func (a *Actions) Deliver(d Delivery) {
+	a.grab()
 	a.list = append(a.list, Deliver{Msg: d})
 }
 
 // Fault appends a Fault action.
 func (a *Actions) Fault(r FaultReport) {
+	a.grab()
 	a.list = append(a.list, Fault{Report: r})
 }
 
 // FaultCleared appends a FaultCleared action.
 func (a *Actions) FaultCleared(r ClearReport) {
+	a.grab()
 	a.list = append(a.list, FaultCleared{Report: r})
 }
 
 // Config appends a Config action.
 func (a *Actions) Config(c ConfigChange) {
+	a.grab()
 	a.list = append(a.list, Config{Change: c})
 }
 
 // Append appends an arbitrary action.
 func (a *Actions) Append(act Action) {
+	a.grab()
 	a.list = append(a.list, act)
 }
 
@@ -187,6 +228,28 @@ func (a *Actions) Drain() []Action {
 	out := a.list
 	a.list = nil
 	return out
+}
+
+// Recycle returns a batch obtained from Drain once the driver has finished
+// executing it. The backing array is cleared (so recycled batches do not
+// pin packet buffers or payloads) and reused by a later emission. Callers
+// must not touch the batch afterwards.
+func (a *Actions) Recycle(batch []Action) {
+	if cap(batch) == 0 {
+		return
+	}
+	for _, act := range batch {
+		if sp, ok := act.(*SendPacket); ok {
+			sp.Data = nil
+			if len(a.spFree) < 256 {
+				a.spFree = append(a.spFree, sp)
+			}
+		}
+	}
+	clear(batch[:cap(batch)])
+	if len(a.free) < 4 {
+		a.free = append(a.free, batch[:0])
+	}
 }
 
 // Len returns the number of buffered actions.

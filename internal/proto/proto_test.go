@@ -113,7 +113,7 @@ func TestActionsBufferAccumulatesAndDrains(t *testing.T) {
 	a.Deliver(Delivery{Sender: 1, Seq: 2})
 	a.Fault(FaultReport{Network: 1})
 	a.Config(ConfigChange{})
-	a.Append(SendPacket{Network: 0})
+	a.Append(&SendPacket{Network: 0})
 	if a.Len() != 7 {
 		t.Fatalf("Len = %d", a.Len())
 	}
@@ -125,7 +125,7 @@ func TestActionsBufferAccumulatesAndDrains(t *testing.T) {
 		t.Fatal("buffer not reset after drain")
 	}
 	// Types in emission order.
-	if _, ok := got[0].(SendPacket); !ok {
+	if _, ok := got[0].(*SendPacket); !ok {
 		t.Fatalf("action 0 is %T", got[0])
 	}
 	if st, ok := got[1].(SetTimer); !ok || st.After != time.Second {
@@ -142,6 +142,36 @@ func TestActionsBufferAccumulatesAndDrains(t *testing.T) {
 	}
 	if _, ok := got[5].(Config); !ok {
 		t.Fatalf("action 5 is %T", got[5])
+	}
+}
+
+func TestActionsRecycleReusesBackingArray(t *testing.T) {
+	var a Actions
+	a.Send(0, 1, []byte("x"))
+	a.Send(1, 1, []byte("x"))
+	batch := a.Drain()
+	a.Recycle(batch)
+	// The recycled array must be cleared so it pins no buffers.
+	if batch[:cap(batch)][0] != nil {
+		t.Fatal("recycled batch not cleared")
+	}
+	a.Send(0, 2, []byte("y"))
+	next := a.Drain()
+	if &next[0] != &batch[0] {
+		t.Fatal("emission after recycle should reuse the returned array")
+	}
+	if sp, ok := next[0].(*SendPacket); !ok || sp.Dest != 2 {
+		t.Fatalf("recycled batch carries wrong action: %#v", next[0])
+	}
+}
+
+func TestActionsRecycleToleratesEmptyBatch(t *testing.T) {
+	var a Actions
+	a.Recycle(nil)
+	a.Recycle(a.Drain())
+	a.Send(0, 1, nil)
+	if a.Len() != 1 {
+		t.Fatalf("Len = %d", a.Len())
 	}
 }
 

@@ -158,6 +158,80 @@ type Cluster struct {
 	nets  []*network
 	nodes map[proto.NodeID]*Node
 	order []proto.NodeID
+
+	// Pooled-frame tracking (see trackFrame). frameScratch dedupes the
+	// frames of the action batch currently executing (one data frame fans
+	// out as several SendPacket actions); frameDepth counts nested execute
+	// calls (an OnDeliver hook may Submit) so the scratch is only swept at
+	// the outermost batch boundary. refFree recycles the tracker objects.
+	frameScratch []*frameRef
+	frameDepth   int
+	refFree      []*frameRef
+}
+
+// frameRef counts the scheduled deliveries of one pooled data frame; the
+// frame rejoins the wire pool when the last receiver has processed it. A
+// delivery whose closure never runs (receiver crashed after scheduling)
+// strands its reference and the frame falls to the GC instead — safe,
+// merely unpooled.
+type frameRef struct {
+	data []byte
+	refs int
+}
+
+// trackFrame returns the batch-scoped tracker for a pooled data frame, or
+// nil when data is not poolable (control packets, unpooled buffers).
+func (c *Cluster) trackFrame(data []byte) *frameRef {
+	if len(data) == 0 || cap(data) != wire.FrameCap {
+		return nil
+	}
+	if k, err := wire.PeekKind(data); err != nil || k != wire.KindData {
+		return nil
+	}
+	p := &data[0]
+	for _, r := range c.frameScratch {
+		if &r.data[0] == p {
+			return r
+		}
+	}
+	var r *frameRef
+	if n := len(c.refFree); n > 0 {
+		r = c.refFree[n-1]
+		c.refFree = c.refFree[:n-1]
+		r.data, r.refs = data, 0
+	} else {
+		r = &frameRef{data: data}
+	}
+	c.frameScratch = append(c.frameScratch, r)
+	return r
+}
+
+// unref releases one scheduled delivery's hold on a frame.
+func (c *Cluster) unref(r *frameRef) {
+	if r == nil {
+		return
+	}
+	r.refs--
+	if r.refs == 0 {
+		wire.PutFrame(r.data)
+		r.data = nil
+		c.refFree = append(c.refFree, r)
+	}
+}
+
+// sweepFrames runs at the outermost batch boundary: frames none of whose
+// sends got scheduled (all receivers blocked, lost or crashed) have no
+// pending release, so they rejoin the pool here.
+func (c *Cluster) sweepFrames() {
+	for i, r := range c.frameScratch {
+		if r.refs == 0 && r.data != nil {
+			wire.PutFrame(r.data)
+			r.data = nil
+			c.refFree = append(c.refFree, r)
+		}
+		c.frameScratch[i] = nil
+	}
+	c.frameScratch = c.frameScratch[:0]
 }
 
 // NewCluster builds (but does not start) a cluster.
@@ -328,9 +402,11 @@ func (n *Node) dispatch(at proto.Time, cost time.Duration, fn func(now proto.Tim
 
 // execute performs the actions emitted by the stack at virtual time now.
 func (n *Node) execute(now proto.Time, actions []proto.Action) {
+	c := n.cluster
+	c.frameDepth++
 	for _, a := range actions {
 		switch act := a.(type) {
-		case proto.SendPacket:
+		case *proto.SendPacket:
 			// Each send costs CPU and then enters the network's transmit
 			// queue at the moment the CPU finishes handing it off.
 			n.cpuBusy += n.cluster.cfg.Host.SendCost
@@ -338,7 +414,9 @@ func (n *Node) execute(now proto.Time, actions []proto.Action) {
 				At: now, Node: n.ID, Kind: trace.PacketSent,
 				Network: act.Network, Detail: packetDetail(act.Data, act.Dest),
 			})
-			n.transmit(n.cpuBusy, act)
+			// Copy the action: delivery closures outlive the batch, whose
+			// *SendPacket objects are recycled when execute returns.
+			n.transmit(n.cpuBusy, *act)
 		case proto.SetTimer:
 			n.timerGen++
 			gen := n.timerGen
@@ -399,6 +477,11 @@ func (n *Node) execute(now proto.Time, actions []proto.Action) {
 			}
 		}
 	}
+	c.frameDepth--
+	if c.frameDepth == 0 {
+		c.sweepFrames()
+	}
+	n.Stack.Recycle(actions)
 }
 
 // transmit puts a frame on a network at time t.
@@ -410,27 +493,35 @@ func (n *Node) transmit(t proto.Time, pkt proto.SendPacket) {
 	start := max(t, net.busyUntil)
 	net.busyUntil = start + net.params.frameTime(len(pkt.Data))
 	arrival := net.busyUntil + net.params.Latency
+	ref := n.cluster.trackFrame(pkt.Data)
 	if pkt.Dest == proto.BroadcastID {
 		for _, id := range n.cluster.order {
 			if id == n.ID {
 				continue
 			}
-			n.cluster.deliverFrame(net, n.ID, id, arrival, pkt)
+			n.cluster.deliverFrame(net, n.ID, id, arrival, pkt, ref)
 		}
 		return
 	}
 	if pkt.Dest != n.ID {
-		n.cluster.deliverFrame(net, n.ID, pkt.Dest, arrival, pkt)
+		n.cluster.deliverFrame(net, n.ID, pkt.Dest, arrival, pkt, ref)
 	} else {
 		// Unicast to self (singleton successor): loop straight back.
+		if ref != nil {
+			ref.refs++
+		}
 		n.dispatch(arrival, n.cluster.cfg.Host.RecvCost, func(now proto.Time) {
 			n.execute(now, n.Stack.OnPacket(now, pkt.Network, pkt.Data))
+			n.cluster.unref(ref)
 		})
 	}
 }
 
 // deliverFrame delivers one frame to one receiver, applying fault rules.
-func (c *Cluster) deliverFrame(net *network, from, to proto.NodeID, at proto.Time, pkt proto.SendPacket) {
+// ref (which may be nil) is released once the receiver has processed the
+// frame, so pooled buffers are recycled exactly when the last scheduled
+// delivery completes.
+func (c *Cluster) deliverFrame(net *network, from, to proto.NodeID, at proto.Time, pkt proto.SendPacket, ref *frameRef) {
 	dst := c.nodes[to]
 	if dst == nil || dst.crashed {
 		return
@@ -441,12 +532,16 @@ func (c *Cluster) deliverFrame(net *network, from, to proto.NodeID, at proto.Tim
 	if dst.blockedRecv[net.idx] {
 		return
 	}
+	if ref != nil {
+		ref.refs++
+	}
 	dst.dispatch(at, c.cfg.Host.RecvCost, func(now proto.Time) {
 		c.cfg.Trace.Record(trace.Event{
 			At: now, Node: dst.ID, Kind: trace.PacketReceived,
 			Network: net.idx, Detail: packetDetail(pkt.Data, pkt.Dest),
 		})
 		dst.execute(now, dst.Stack.OnPacket(now, net.idx, pkt.Data))
+		c.unref(ref)
 	})
 }
 

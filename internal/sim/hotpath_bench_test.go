@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+// BenchmarkHotPathSimStep measures one discrete event of a saturated
+// 4-node ring end to end: scheduler pop (pooled events), stack handlers
+// (pooled frames, recycled action batches) and frame refcounting. This is
+// the unit the wall-clock figure benchmarks are made of.
+func BenchmarkHotPathSimStep(b *testing.B) {
+	c, err := NewCluster(Config{
+		Nodes:    4,
+		Networks: 1,
+		Style:    proto.ReplicationNone,
+		Net:      DefaultNetworkParams(),
+		Host:     DefaultNodeParams(),
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, id := range c.NodeIDs() {
+		c.Node(id).KeepPayloads = false
+	}
+	c.Start()
+	formed := c.RunUntil(func() bool {
+		for _, id := range c.NodeIDs() {
+			if len(c.Node(id).Stack.SRP().Members()) != 4 {
+				return false
+			}
+		}
+		return true
+	}, 10*time.Millisecond, 10*time.Second)
+	if !formed {
+		b.Fatal("ring never formed")
+	}
+	payload := make([]byte, 1000)
+	var pump func()
+	pump = func() {
+		for _, id := range c.NodeIDs() {
+			n := c.Node(id)
+			for i := 0; i < 32 && n.Stack.Backlog() < 32; i++ {
+				if !c.Submit(id, payload) {
+					break
+				}
+			}
+		}
+		c.Sim.After(time.Millisecond, pump)
+	}
+	c.Sim.After(0, pump)
+	c.Run(100 * time.Millisecond) // reach steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.Sim.Step() {
+			b.Fatal("event queue empty")
+		}
+	}
+}

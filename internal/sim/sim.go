@@ -42,11 +42,14 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
-// Simulator owns the virtual clock and event queue.
+// Simulator owns the virtual clock and event queue. Executed events are
+// kept on a free list and reused, so a steady-state simulation schedules
+// without allocating.
 type Simulator struct {
 	now    proto.Time
 	events eventHeap
 	seq    uint64
+	free   []*event
 }
 
 // NewSimulator returns an empty simulator at time zero.
@@ -63,7 +66,15 @@ func (s *Simulator) At(t proto.Time, fn func()) {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		e = new(event)
+	}
+	e.at, e.seq, e.fn = t, s.seq, fn
+	heap.Push(&s.events, e)
 }
 
 // After schedules fn d after the current time.
@@ -78,7 +89,11 @@ func (s *Simulator) Step() bool {
 	}
 	e := heap.Pop(&s.events).(*event)
 	s.now = e.at
-	e.fn()
+	fn := e.fn
+	// Recycle before running: e is off the heap and fn may schedule.
+	e.fn = nil
+	s.free = append(s.free, e)
+	fn()
 	return true
 }
 

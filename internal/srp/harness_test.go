@@ -153,7 +153,7 @@ func (n *hNode) drain() {
 			n.delivered = append(n.delivered, act.Msg)
 		case proto.Config:
 			n.configs = append(n.configs, act.Change)
-		case proto.SendPacket:
+		case *proto.SendPacket:
 			n.h.t.Fatalf("unexpected SendPacket action from bare SRP machine")
 		}
 	}

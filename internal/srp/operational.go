@@ -128,10 +128,14 @@ func (m *Machine) flushSingleton(now proto.Time) {
 func (m *Machine) broadcastPacket(tok *wire.Token, flags uint8, chunks []wire.Chunk) bool {
 	seq := tok.Seq + 1
 	pkt := &wire.DataPacket{Ring: m.ring, Sender: m.cfg.ID, Seq: seq, Flags: flags, Chunks: chunks}
-	data, err := pkt.Encode()
+	// Data packets are the steady-state hot path: encode into a pooled
+	// frame. Ownership passes to the driver via Broadcast; only the decoded
+	// pkt is retained (in m.rx), never the raw bytes.
+	data, err := pkt.AppendEncode(wire.GetFrame())
 	if err != nil {
 		// Programmer error (packer guarantees budget); drop the packet
 		// rather than wedge the ring.
+		wire.PutFrame(data)
 		return false
 	}
 	tok.Seq = seq
@@ -283,8 +287,9 @@ func (m *Machine) serveRetransmissions(tok *wire.Token) uint32 {
 		}
 		copyPkt := *pkt
 		copyPkt.Flags |= wire.FlagRetrans
-		data, err := copyPkt.Encode()
+		data, err := copyPkt.AppendEncode(wire.GetFrame())
 		if err != nil {
+			wire.PutFrame(data)
 			kept = append(kept, s)
 			continue
 		}

@@ -98,6 +98,13 @@ func (n *Node) OnTimer(now proto.Time, id proto.TimerID) []proto.Action {
 	return n.acts.Drain()
 }
 
+// Recycle returns an executed action batch for reuse by later emissions.
+// Drivers call it after every send and delivery in the batch has completed;
+// the batch must not be touched afterwards.
+func (n *Node) Recycle(batch []proto.Action) {
+	n.acts.Recycle(batch)
+}
+
 // SRP exposes the ordering machine (read-only use: state, stats).
 func (n *Node) SRP() *srp.Machine { return n.srp }
 

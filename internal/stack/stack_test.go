@@ -64,7 +64,7 @@ func TestBroadcastsRouteThroughReplicator(t *testing.T) {
 	acts := n.Start(0)
 	perNet := map[int]int{}
 	for _, a := range acts {
-		if sp, ok := a.(proto.SendPacket); ok {
+		if sp, ok := a.(*proto.SendPacket); ok {
 			if k, err := wire.PeekKind(sp.Data); err == nil && k == wire.KindJoin {
 				perNet[sp.Network]++
 			}
@@ -101,7 +101,7 @@ func TestTimerRouting(t *testing.T) {
 	acts = n.OnTimer(2*time.Second, proto.TimerID{Class: proto.TimerMergeDetect})
 	sawMD := false
 	for _, a := range acts {
-		if sp, ok := a.(proto.SendPacket); ok {
+		if sp, ok := a.(*proto.SendPacket); ok {
 			if k, err := wire.PeekKind(sp.Data); err == nil && k == wire.KindMergeDetect {
 				sawMD = true
 			}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/wire"
 )
 
 // MemHub is an in-process set of N redundant networks connecting any
@@ -104,13 +105,21 @@ func (h *MemHub) send(from proto.NodeID, network int, dest proto.NodeID, data []
 		if h.blockRecv[t.id][network] {
 			return
 		}
-		cp := make([]byte, len(data))
-		copy(cp, data)
+		// Per-receiver copies go into pooled frames (the sender's buffer
+		// may be recycled as soon as send returns); the consumer recycles
+		// data frames with wire.ReleaseFrame after processing.
+		var cp []byte
+		if len(data) <= wire.FrameCap {
+			cp = append(wire.GetFrame(), data...)
+		} else {
+			cp = append([]byte(nil), data...)
+		}
 		select {
 		case t.rx <- Packet{Network: network, Data: cp}:
 		default:
 			// Receiver queue overflow models packet loss on a saturated
 			// host; the protocol's retransmission machinery recovers.
+			wire.PutFrame(cp)
 		}
 	}
 	if dest == proto.BroadcastID {

@@ -6,6 +6,7 @@ import (
 
 	"github.com/totem-rrp/totem/internal/proto"
 	"github.com/totem-rrp/totem/internal/stack"
+	"github.com/totem-rrp/totem/internal/wire"
 )
 
 // Runtime drives one stack.Node in real time: a single goroutine
@@ -17,6 +18,9 @@ type Runtime struct {
 	stack *stack.Node
 	tr    Transport
 	epoch time.Time
+	// sent is execute's reusable scratch of pooled frames to release once
+	// the batch completes (only touched by the loop goroutine).
+	sent [][]byte
 
 	events chan runtimeEvent
 
@@ -90,6 +94,11 @@ func (r *Runtime) loop() {
 				return
 			}
 			r.execute(r.stack.OnPacket(r.now(), pkt.Network, pkt.Data))
+			// The stack copies what it keeps from a data frame (decoded
+			// packets, not raw bytes), so the receive buffer can rejoin
+			// the pool. Token frames may be retained by the replicator
+			// and are skipped by the kind check.
+			wire.ReleaseFrame(pkt.Data)
 		case ev := <-r.events:
 			switch {
 			case ev.timer != nil:
@@ -122,10 +131,11 @@ func (r *Runtime) takeTimer(tf *timerFire) bool {
 func (r *Runtime) execute(actions []proto.Action) {
 	for _, a := range actions {
 		switch act := a.(type) {
-		case proto.SendPacket:
+		case *proto.SendPacket:
 			// Send errors are deliberately absorbed: a dead network is
 			// exactly what the RRP monitors are there to detect.
 			r.tr.Send(act.Network, act.Dest, act.Data) //nolint:errcheck
+			r.noteSent(act.Data)
 		case proto.SetTimer:
 			r.setTimer(act.ID, act.After)
 		case proto.CancelTimer:
@@ -140,6 +150,30 @@ func (r *Runtime) execute(actions []proto.Action) {
 			r.configs.push(act.Change)
 		}
 	}
+	// Both transports copy outbound bytes during Send (into the kernel or
+	// into per-receiver pooled frames), so once the batch has executed the
+	// distinct data frames it referenced can rejoin the pool and the batch
+	// itself can be reused.
+	for _, b := range r.sent {
+		wire.ReleaseFrame(b)
+	}
+	r.sent = r.sent[:0]
+	r.stack.Recycle(actions)
+}
+
+// noteSent records a pooled data frame for release after the batch,
+// deduplicating the same buffer fanned out to several networks.
+func (r *Runtime) noteSent(data []byte) {
+	if len(data) == 0 || cap(data) != wire.FrameCap {
+		return
+	}
+	p := &data[0]
+	for _, b := range r.sent {
+		if &b[0] == p {
+			return
+		}
+	}
+	r.sent = append(r.sent, data)
 }
 
 func (r *Runtime) setTimer(id proto.TimerID, after time.Duration) {

@@ -37,6 +37,9 @@ type UDPTransport struct {
 
 	peerMu sync.RWMutex
 	peers  map[proto.NodeID][]*net.UDPAddr
+	// bcast is Send's reusable broadcast-address snapshot (Send is called
+	// from a single goroutine).
+	bcast []*net.UDPAddr
 
 	rx chan Packet
 
@@ -122,17 +125,23 @@ func (t *UDPTransport) AddPeer(id proto.NodeID, addrs []string) error {
 
 func (t *UDPTransport) readLoop(network int, conn *net.UDPConn) {
 	defer t.wg.Done()
-	buf := make([]byte, wire.MaxFrame+wire.RecoverySlack)
+	// Datagrams are read straight into pooled frames and handed to the
+	// consumer without copying; a dropped datagram reuses its frame for
+	// the next read. The consumer recycles data frames after processing
+	// (wire.ReleaseFrame); control frames age out through the GC because
+	// upper layers may retain them.
+	buf := wire.GetFrame()[:wire.FrameCap]
 	for {
 		n, _, err := conn.ReadFromUDP(buf)
 		if err != nil {
+			wire.PutFrame(buf)
 			return // socket closed
 		}
-		data := make([]byte, n)
-		copy(data, buf[:n])
 		select {
-		case t.rx <- Packet{Network: network, Data: data}:
+		case t.rx <- Packet{Network: network, Data: buf[:n]}:
+			buf = wire.GetFrame()[:wire.FrameCap]
 		case <-t.closed:
+			wire.PutFrame(buf)
 			return
 		default:
 			// Drop on overflow: UDP semantics; retransmission recovers.
@@ -143,22 +152,32 @@ func (t *UDPTransport) readLoop(network int, conn *net.UDPConn) {
 // Networks implements Transport.
 func (t *UDPTransport) Networks() int { return t.networks }
 
-// Send implements Transport.
+// Send implements Transport. For broadcast, the peer addresses are
+// snapshotted under the read lock and the syscalls issued outside it, so a
+// concurrent AddPeer is never blocked behind a slow socket. The snapshot
+// buffer is reused across calls (Send is single-goroutine per the
+// Transport contract).
 func (t *UDPTransport) Send(network int, dest proto.NodeID, data []byte) error {
 	if network < 0 || network >= t.networks {
 		return ErrBadNetwork
 	}
 	conn := t.conns[network]
-	t.peerMu.RLock()
-	defer t.peerMu.RUnlock()
 	if dest == proto.BroadcastID {
+		t.peerMu.RLock()
+		t.bcast = t.bcast[:0]
 		for _, addrs := range t.peers {
+			t.bcast = append(t.bcast, addrs[network])
+		}
+		t.peerMu.RUnlock()
+		for _, a := range t.bcast {
 			// Best-effort fan-out: a failed peer must not stop the rest.
-			conn.WriteToUDP(data, addrs[network]) //nolint:errcheck
+			conn.WriteToUDP(data, a) //nolint:errcheck
 		}
 		return nil
 	}
+	t.peerMu.RLock()
 	addrs, ok := t.peers[dest]
+	t.peerMu.RUnlock()
 	if !ok {
 		return ErrNoPeer
 	}

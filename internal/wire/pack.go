@@ -122,13 +122,22 @@ func NewAssembler() *Assembler {
 
 // Add processes one chunk from sender and returns (message, true) when the
 // chunk completes an application message.
+//
+// Zero-copy contract: for an unfragmented message (First|Last) the
+// returned slice aliases c.Data — no copy is made, and the assembler
+// itself never retains or mutates it. The caller owns the returned slice
+// only as far as the chunk's backing buffer lives and must treat it as
+// read-only (the SRP retains decoded packets for retransmission until the
+// safe horizon passes); a caller that needs to mutate or outlive the
+// packet must copy. Fragmented messages are accumulated into a buffer the
+// assembler allocates, which the caller owns outright.
 func (a *Assembler) Add(sender proto.NodeID, c Chunk) ([]byte, bool) {
 	first := c.Flags&ChunkFirst != 0
 	last := c.Flags&ChunkLast != 0
 	switch {
 	case first && last:
 		delete(a.partial, sender)
-		return append([]byte(nil), c.Data...), true
+		return c.Data, true
 	case first:
 		a.partial[sender] = append([]byte(nil), c.Data...)
 		return nil, false

@@ -117,6 +117,45 @@ func TestPackerZeroLengthMessage(t *testing.T) {
 	}
 }
 
+func TestPackerExactlyMaxWholeMessage(t *testing.T) {
+	// 1421 + 3 B framing = exactly MaxPayload: travels whole, alone.
+	var p Packer
+	p.Enqueue(fill(maxWhole, 1))
+	chunks := p.NextChunks()
+	if len(chunks) != 1 || chunks[0].Flags != ChunkFirst|ChunkLast || len(chunks[0].Data) != maxWhole {
+		t.Fatalf("maxWhole message mishandled: %d chunks, flags %x, %d bytes",
+			len(chunks), chunks[0].Flags, len(chunks[0].Data))
+	}
+	if !p.Empty() {
+		t.Fatal("queue should be drained")
+	}
+}
+
+func TestPackerFinalFragmentExactlyFillsBudget(t *testing.T) {
+	// 2*maxWhole splits into two full-budget fragments; the second packet
+	// has zero budget left, so a queued whole message cannot share it.
+	var p Packer
+	p.Enqueue(fill(2*maxWhole, 1))
+	p.Enqueue(fill(10, 2))
+	first := p.NextChunks()
+	if len(first) != 1 || first[0].Flags != ChunkFirst || len(first[0].Data) != maxWhole {
+		t.Fatalf("first fragment wrong: %d chunks, flags %x, %d bytes",
+			len(first), first[0].Flags, len(first[0].Data))
+	}
+	second := p.NextChunks()
+	if len(second) != 1 || second[0].Flags != ChunkLast || len(second[0].Data) != maxWhole {
+		t.Fatalf("final fragment must exactly fill the packet alone: %d chunks, flags %x, %d bytes",
+			len(second), second[0].Flags, len(second[0].Data))
+	}
+	third := p.NextChunks()
+	if len(third) != 1 || third[0].Flags != ChunkFirst|ChunkLast || len(third[0].Data) != 10 {
+		t.Fatalf("queued message should follow in its own packet: %+v", third)
+	}
+	if !p.Empty() {
+		t.Fatal("queue should be drained")
+	}
+}
+
 func TestPackerAccounting(t *testing.T) {
 	var p Packer
 	p.Enqueue(fill(100, 1))
@@ -156,6 +195,17 @@ func TestAssemblerWholeMessages(t *testing.T) {
 	msg, ok := a.Add(1, Chunk{Flags: ChunkFirst | ChunkLast, Data: []byte("abc")})
 	if !ok || string(msg) != "abc" {
 		t.Fatalf("whole message not returned: %q %v", msg, ok)
+	}
+}
+
+func TestAssemblerWholeMessageIsZeroCopy(t *testing.T) {
+	// The documented fast path: an unfragmented message aliases the chunk
+	// data instead of copying it.
+	a := NewAssembler()
+	in := []byte("abc")
+	msg, ok := a.Add(1, Chunk{Flags: ChunkFirst | ChunkLast, Data: in})
+	if !ok || &msg[0] != &in[0] {
+		t.Fatal("whole-message fast path must return the chunk data uncopied")
 	}
 }
 

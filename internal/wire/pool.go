@@ -1,0 +1,60 @@
+package wire
+
+import "sync"
+
+// Frame-buffer pool for the steady-state packet path. Encoding a data
+// packet into a pooled frame with AppendEncode is allocation-free, and the
+// pool round-trip itself never allocates: buffers are backed by fixed-size
+// arrays, so Put converts the slice back to an array pointer instead of
+// boxing a new slice header.
+//
+// Ownership rules (DESIGN.md §8b):
+//
+//   - Only KindData packets travel in pooled frames. Token, join and
+//     commit buffers are retained across events (token gating, token and
+//     commit retransmission) and must stay on the ordinary heap.
+//   - A layer that emits a pooled frame transfers ownership downward with
+//     it; no layer may retain the raw bytes of a KindData packet after its
+//     Send/OnPacket call returns (the SRP decodes-and-copies).
+//   - The driver at the bottom (simulator, real-time runtime) returns a
+//     frame with PutFrame once every send and every local delivery that
+//     references it has completed.
+
+// FrameCap is the capacity of pooled frame buffers: the largest encoded
+// packet (a recovery data packet) always fits.
+const FrameCap = MaxFrame + RecoverySlack
+
+var framePool = sync.Pool{
+	New: func() any { return new([FrameCap]byte) },
+}
+
+// GetFrame returns an empty frame buffer with FrameCap capacity.
+func GetFrame() []byte {
+	return framePool.Get().(*[FrameCap]byte)[:0]
+}
+
+// PutFrame returns a frame obtained from GetFrame to the pool. Buffers of
+// any other capacity (e.g. from Encode) are ignored, so drivers may call
+// it unconditionally on buffers they own. The caller must guarantee no
+// other reference to buf remains live.
+func PutFrame(buf []byte) {
+	if cap(buf) != FrameCap {
+		return
+	}
+	framePool.Put((*[FrameCap]byte)(buf[:FrameCap]))
+}
+
+// ReleaseFrame is PutFrame restricted to data packets: control packets
+// (tokens, join, commit) may be retained by upper layers after their
+// handler returns, so a driver holding a frame of unknown kind recycles it
+// through this guard. Non-pooled buffers and undecodable frames are
+// ignored.
+func ReleaseFrame(data []byte) {
+	if cap(data) != FrameCap {
+		return
+	}
+	if k, err := PeekKind(data); err != nil || k != KindData {
+		return
+	}
+	framePool.Put((*[FrameCap]byte)(data[:FrameCap]))
+}

@@ -227,11 +227,20 @@ func PeekRing(data []byte) (proto.RingID, error) {
 
 // --- DataPacket ---
 
-// Encode serialises the packet. It fails with ErrTooLarge when the chunk
-// payloads exceed the frame budget, and ErrMalformed on cap violations.
+// Encode serialises the packet into a freshly allocated buffer. It fails
+// with ErrTooLarge when the chunk payloads exceed the frame budget, and
+// ErrMalformed on cap violations.
 func (p *DataPacket) Encode() ([]byte, error) {
+	return p.AppendEncode(make([]byte, 0, headerLen+16+MaxPayload+RecoverySlack))
+}
+
+// AppendEncode serialises the packet by appending to buf (which may be
+// nil, or a pooled frame from GetFrame) and returns the extended slice.
+// Nothing is appended on error. It is the allocation-free hot-path codec:
+// with a buffer of FrameCap capacity it never allocates.
+func (p *DataPacket) AppendEncode(buf []byte) ([]byte, error) {
 	if len(p.Chunks) == 0 || len(p.Chunks) > MaxChunks {
-		return nil, fmt.Errorf("%w: %d chunks", ErrMalformed, len(p.Chunks))
+		return buf, fmt.Errorf("%w: %d chunks", ErrMalformed, len(p.Chunks))
 	}
 	budget := MaxPayload
 	if p.Flags&FlagRecovery != 0 {
@@ -240,23 +249,24 @@ func (p *DataPacket) Encode() ([]byte, error) {
 		// real protocol reuses the replaced header space).
 		budget = MaxPayload + RecoverySlack
 	}
-	buf := make([]byte, 0, headerLen+16+budget)
+	payload := 0
+	for _, c := range p.Chunks {
+		if len(c.Data) > budget {
+			return buf, fmt.Errorf("%w: chunk %d bytes", ErrTooLarge, len(c.Data))
+		}
+		payload += len(c.Data) + ChunkOverhead
+	}
+	if payload > budget {
+		return buf, fmt.Errorf("%w: %d payload bytes", ErrTooLarge, payload)
+	}
 	buf = putHeader(buf, KindData, p.Ring)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(p.Sender))
 	buf = binary.BigEndian.AppendUint32(buf, p.Seq)
 	buf = append(buf, p.Flags, uint8(len(p.Chunks)))
-	payload := 0
 	for _, c := range p.Chunks {
-		if len(c.Data) > budget {
-			return nil, fmt.Errorf("%w: chunk %d bytes", ErrTooLarge, len(c.Data))
-		}
-		payload += len(c.Data) + ChunkOverhead
 		buf = append(buf, c.Flags)
 		buf = binary.BigEndian.AppendUint16(buf, uint16(len(c.Data)))
 		buf = append(buf, c.Data...)
-	}
-	if payload > budget {
-		return nil, fmt.Errorf("%w: %d payload bytes", ErrTooLarge, payload)
 	}
 	return buf, nil
 }
@@ -315,12 +325,17 @@ func DecodeData(data []byte) (*DataPacket, error) {
 
 // --- Token ---
 
-// Encode serialises the token.
+// Encode serialises the token into a freshly allocated buffer.
 func (t *Token) Encode() ([]byte, error) {
+	return t.AppendEncode(make([]byte, 0, headerLen+27+4*len(t.RTR)))
+}
+
+// AppendEncode serialises the token by appending to buf. Nothing is
+// appended on error.
+func (t *Token) AppendEncode(buf []byte) ([]byte, error) {
 	if len(t.RTR) > MaxRTR {
-		return nil, fmt.Errorf("%w: %d rtr entries", ErrMalformed, len(t.RTR))
+		return buf, fmt.Errorf("%w: %d rtr entries", ErrMalformed, len(t.RTR))
 	}
-	buf := make([]byte, 0, headerLen+27+4*len(t.RTR))
 	buf = putHeader(buf, KindToken, t.Ring)
 	buf = binary.BigEndian.AppendUint32(buf, t.Seq)
 	buf = binary.BigEndian.AppendUint32(buf, t.Rotation)
@@ -456,13 +471,19 @@ func decodeNodeSet(rest []byte) ([]proto.NodeID, []byte, error) {
 	return set, rest[4*n:], nil
 }
 
-// Encode serialises the join packet. The header ring field carries the
-// sender's old ring so receivers can correlate epochs.
+// Encode serialises the join packet into a freshly allocated buffer. The
+// header ring field carries the sender's old ring so receivers can
+// correlate epochs.
 func (j *JoinPacket) Encode() ([]byte, error) {
+	return j.AppendEncode(make([]byte, 0, headerLen+10+4*(len(j.ProcSet)+len(j.FailSet))))
+}
+
+// AppendEncode serialises the join packet by appending to buf. Nothing is
+// appended on error.
+func (j *JoinPacket) AppendEncode(buf []byte) ([]byte, error) {
 	if len(j.ProcSet) > MaxMembers || len(j.FailSet) > MaxMembers {
-		return nil, fmt.Errorf("%w: membership sets too large", ErrMalformed)
+		return buf, fmt.Errorf("%w: membership sets too large", ErrMalformed)
 	}
-	buf := make([]byte, 0, headerLen+10+4*(len(j.ProcSet)+len(j.FailSet)))
 	buf = putHeader(buf, KindJoin, proto.RingID{})
 	buf = binary.BigEndian.AppendUint32(buf, uint32(j.Sender))
 	buf = binary.BigEndian.AppendUint32(buf, j.RingSeq)
@@ -502,12 +523,17 @@ func DecodeJoin(data []byte) (*JoinPacket, error) {
 
 // --- CommitToken ---
 
-// Encode serialises the commit token.
+// Encode serialises the commit token into a freshly allocated buffer.
 func (c *CommitToken) Encode() ([]byte, error) {
+	return c.AppendEncode(make([]byte, 0, headerLen+2+21*len(c.Members)))
+}
+
+// AppendEncode serialises the commit token by appending to buf. Nothing is
+// appended on error.
+func (c *CommitToken) AppendEncode(buf []byte) ([]byte, error) {
 	if len(c.Members) == 0 || len(c.Members) > MaxMembers {
-		return nil, fmt.Errorf("%w: %d commit members", ErrMalformed, len(c.Members))
+		return buf, fmt.Errorf("%w: %d commit members", ErrMalformed, len(c.Members))
 	}
-	buf := make([]byte, 0, headerLen+2+21*len(c.Members))
 	buf = putHeader(buf, KindCommit, c.Ring)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(c.Members)))
 	for _, m := range c.Members {
@@ -567,9 +593,14 @@ type MergeDetect struct {
 	Sender proto.NodeID
 }
 
-// Encode serialises the merge-detect packet.
+// Encode serialises the merge-detect packet into a freshly allocated
+// buffer.
 func (m *MergeDetect) Encode() ([]byte, error) {
-	buf := make([]byte, 0, headerLen+4)
+	return m.AppendEncode(make([]byte, 0, headerLen+4))
+}
+
+// AppendEncode serialises the merge-detect packet by appending to buf.
+func (m *MergeDetect) AppendEncode(buf []byte) ([]byte, error) {
 	buf = putHeader(buf, KindMergeDetect, m.Ring)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Sender))
 	return buf, nil
