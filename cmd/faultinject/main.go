@@ -57,18 +57,34 @@ func parseStyle(s string) (proto.ReplicationStyle, int, error) {
 // time; checks compare against it to verify what the fault did and did
 // not disturb.
 type snapshot struct {
-	delivered uint64                // messages ordered at node 1
-	configs   map[proto.NodeID]int  // membership changes seen so far
+	delivered uint64               // messages ordered at node 1
+	configs   map[proto.NodeID]int // membership changes seen so far
 }
 
 // scenario is one scripted fault run: optional per-node tuning, the
 // injection script, how long to let it play out, and the post-conditions.
-// check returns a list of violated post-conditions (empty = pass).
+// check returns a list of violated post-conditions (empty = pass); it
+// receives the run's structured-event counter so post-conditions can
+// assert on what the machines reported, not just on end-state structure.
 type scenario struct {
 	tune   func(c *stack.Config)
 	inject func(c *sim.Cluster)
 	settle time.Duration
-	check  func(c *sim.Cluster, pre snapshot) []string
+	check  func(c *sim.Cluster, pre snapshot, ctr *trace.Counter) []string
+}
+
+// eventsObserved is the universal structured-event post-condition: the
+// state machines must have reported membership phase transitions and
+// token activity through the probe spine during the run.
+func eventsObserved(ctr *trace.Counter) []string {
+	var fails []string
+	if ctr.Count(trace.Machine) == 0 {
+		fails = append(fails, "no machine probe events were recorded")
+	}
+	if ctr.CodeCount(proto.ProbePhase) == 0 {
+		fails = append(fails, "no membership phase transitions were reported")
+	}
+	return fails
 }
 
 // deliveryContinued is the universal post-condition (paper §3): the
@@ -109,14 +125,21 @@ func netfailScenario() scenario {
 			c.KillNetwork(1)
 		},
 		settle: 3 * time.Second,
-		check: func(c *sim.Cluster, pre snapshot) []string {
+		check: func(c *sim.Cluster, pre snapshot, ctr *trace.Counter) []string {
 			fails := append(deliveryContinued(c, pre), membershipStable(c, pre)...)
+			fails = append(fails, eventsObserved(ctr)...)
 			// The network never heals, so the verdict must stand: the
 			// recovery monitor sees no receptions and keeps it excluded.
 			for _, id := range c.NodeIDs() {
 				if !c.Node(id).Stack.Replicator().Faulty()[1] {
 					fails = append(fails, fmt.Sprintf("node %v readmitted the dead network", id))
 				}
+			}
+			if ctr.Count(trace.FaultRaised) == 0 {
+				fails = append(fails, "no structured fault-raised event was recorded")
+			}
+			if ctr.CodeCount(proto.ProbeMonitorThreshold) == 0 {
+				fails = append(fails, "no monitor reported crossing its conviction threshold")
 			}
 			return fails
 		},
@@ -130,8 +153,9 @@ func sendfaultScenario() scenario {
 			c.BlockSend(2, 0, true)
 		},
 		settle: 3 * time.Second,
-		check: func(c *sim.Cluster, pre snapshot) []string {
-			return append(deliveryContinued(c, pre), membershipStable(c, pre)...)
+		check: func(c *sim.Cluster, pre snapshot, ctr *trace.Counter) []string {
+			fails := append(deliveryContinued(c, pre), membershipStable(c, pre)...)
+			return append(fails, eventsObserved(ctr)...)
 		},
 	}
 }
@@ -143,8 +167,9 @@ func recvfaultScenario() scenario {
 			c.BlockRecv(3, 0, true)
 		},
 		settle: 3 * time.Second,
-		check: func(c *sim.Cluster, pre snapshot) []string {
-			return append(deliveryContinued(c, pre), membershipStable(c, pre)...)
+		check: func(c *sim.Cluster, pre snapshot, ctr *trace.Counter) []string {
+			fails := append(deliveryContinued(c, pre), membershipStable(c, pre)...)
+			return append(fails, eventsObserved(ctr)...)
 		},
 	}
 }
@@ -156,8 +181,9 @@ func partitionScenario() scenario {
 			c.Partition(0, map[proto.NodeID]int{1: 0, 2: 0, 3: 1, 4: 1})
 		},
 		settle: 3 * time.Second,
-		check: func(c *sim.Cluster, pre snapshot) []string {
-			return append(deliveryContinued(c, pre), membershipStable(c, pre)...)
+		check: func(c *sim.Cluster, pre snapshot, ctr *trace.Counter) []string {
+			fails := append(deliveryContinued(c, pre), membershipStable(c, pre)...)
+			return append(fails, eventsObserved(ctr)...)
 		},
 	}
 }
@@ -170,8 +196,8 @@ func crashScenario() scenario {
 			c.Sim.After(500*time.Millisecond, func() { c.Crash(4) })
 		},
 		settle: 3 * time.Second,
-		check: func(c *sim.Cluster, pre snapshot) []string {
-			fails := deliveryContinued(c, pre)
+		check: func(c *sim.Cluster, pre snapshot, ctr *trace.Counter) []string {
+			fails := append(deliveryContinued(c, pre), eventsObserved(ctr)...)
 			// Here a membership change is the point: the survivors must
 			// reform as a three-member ring.
 			for _, id := range c.NodeIDs() {
@@ -205,8 +231,21 @@ func healScenario() scenario {
 			})
 		},
 		settle: 4 * time.Second,
-		check: func(c *sim.Cluster, pre snapshot) []string {
+		check: func(c *sim.Cluster, pre snapshot, ctr *trace.Counter) []string {
 			fails := append(deliveryContinued(c, pre), membershipStable(c, pre)...)
+			fails = append(fails, eventsObserved(ctr)...)
+			// The recovery monitor must have narrated its work through the
+			// probe spine: probes on the faulted network, probation windows
+			// counted down, and the readmission itself.
+			if ctr.CodeCount(proto.ProbeProbeSent) == 0 {
+				fails = append(fails, "recovery monitor never reported sending a probe")
+			}
+			if ctr.CodeCount(proto.ProbeProbation) == 0 {
+				fails = append(fails, "recovery monitor never reported probation progress")
+			}
+			if ctr.Count(trace.FaultRaised) == 0 || ctr.Count(trace.FaultCleared) == 0 {
+				fails = append(fails, "fault raise/clear events missing from the structured stream")
+			}
 			for _, id := range c.NodeIDs() {
 				n := c.Node(id)
 				if len(n.Faults) == 0 {
@@ -244,8 +283,15 @@ func flapScenario() scenario {
 			c.ScheduleFlap(1, 500*time.Millisecond, 2*time.Second, 3)
 		},
 		settle: 9 * time.Second,
-		check: func(c *sim.Cluster, pre snapshot) []string {
+		check: func(c *sim.Cluster, pre snapshot, ctr *trace.Counter) []string {
 			fails := append(deliveryContinued(c, pre), membershipStable(c, pre)...)
+			fails = append(fails, eventsObserved(ctr)...)
+			if ctr.CodeCount(proto.ProbeFlapBackoff) == 0 {
+				fails = append(fails, "no structured flap-backoff event was recorded")
+			}
+			if ctr.Count(trace.FaultCleared) < 2 {
+				fails = append(fails, "fewer than two structured readmission events across flap cycles")
+			}
 			damped := false
 			for _, id := range c.NodeIDs() {
 				n := c.Node(id)
@@ -315,16 +361,18 @@ func run(name, styleName string, traceN int) error {
 }
 
 func runOne(style proto.ReplicationStyle, networks, traceN int, sc scenario) ([]string, error) {
+	// Every run counts structured events; post-conditions assert on them.
+	ctr := trace.NewCounter()
 	var ring *trace.Ring
-	var tracer trace.Tracer = trace.Discard
+	var tracer trace.Tracer = ctr
 	if traceN > 0 {
 		ring = trace.NewRing(traceN)
 		// Packet-level tracing of a saturated ring would swamp the dump;
 		// keep the control-plane events.
-		tracer = trace.Filter{Next: ring, Keep: func(e trace.Event) bool {
+		tracer = trace.Multi{ctr, trace.Filter{Next: ring, Keep: func(e trace.Event) bool {
 			return e.Kind != trace.PacketSent && e.Kind != trace.PacketReceived &&
 				e.Kind != trace.Delivered
-		}}
+		}}}
 	}
 	var tune func(proto.NodeID, *stack.Config)
 	if sc.tune != nil {
@@ -416,5 +464,5 @@ func runOne(style proto.ReplicationStyle, networks, traceN int, sc scenario) ([]
 			return nil, err
 		}
 	}
-	return sc.check(c, pre), nil
+	return sc.check(c, pre, ctr), nil
 }

@@ -13,24 +13,27 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	totem "github.com/totem-rrp/totem"
+	"github.com/totem-rrp/totem/internal/debughttp"
 )
 
 func main() {
 	var (
-		nodes    = flag.Int("nodes", 4, "ring members")
-		networks = flag.Int("networks", 2, "redundant networks")
-		style    = flag.String("style", "passive", "none | active | passive | active-passive")
-		k        = flag.Int("k", 2, "copies for active-passive")
-		msgLen   = flag.Int("len", 1000, "payload bytes")
-		duration = flag.Duration("duration", 5*time.Second, "measurement duration")
-		kill     = flag.Int("kill", -1, "network to kill mid-run (-1: none)")
-		killAt   = flag.Duration("killafter", 2*time.Second, "when to kill it")
+		nodes     = flag.Int("nodes", 4, "ring members")
+		networks  = flag.Int("networks", 2, "redundant networks")
+		style     = flag.String("style", "passive", "none | active | passive | active-passive")
+		k         = flag.Int("k", 2, "copies for active-passive")
+		msgLen    = flag.Int("len", 1000, "payload bytes")
+		duration  = flag.Duration("duration", 5*time.Second, "measurement duration")
+		kill      = flag.Int("kill", -1, "network to kill mid-run (-1: none)")
+		killAt    = flag.Duration("killafter", 2*time.Second, "when to kill it")
+		debugAddr = flag.String("debug-addr", "", "serve /healthz /stats /trace for node 1 on this address")
 	)
 	flag.Parse()
-	if err := run(*nodes, *networks, *style, *k, *msgLen, *duration, *kill, *killAt); err != nil {
+	if err := run(*nodes, *networks, *style, *k, *msgLen, *duration, *kill, *killAt, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -50,7 +53,7 @@ func parseStyle(s string) (totem.ReplicationStyle, error) {
 	return 0, fmt.Errorf("unknown style %q", s)
 }
 
-func run(nodes, networks int, styleName string, k, msgLen int, duration time.Duration, kill int, killAt time.Duration) error {
+func run(nodes, networks int, styleName string, k, msgLen int, duration time.Duration, kill int, killAt time.Duration, debugAddr string) error {
 	style, err := parseStyle(styleName)
 	if err != nil {
 		return err
@@ -66,18 +69,67 @@ func run(nodes, networks int, styleName string, k, msgLen int, duration time.Dur
 			return err
 		}
 		defer tr.Close()
-		n, err := totem.NewNode(totem.Config{
+		ncfg := totem.Config{
 			ID:          totem.NodeID(i),
 			Networks:    networks,
 			Replication: style,
 			K:           k,
-		}, tr)
+		}
+		if debugAddr != "" && i == 1 {
+			ncfg.Tune = func(o *totem.Options) { o.TraceCapacity = 8192 }
+		}
+		n, err := totem.NewNode(ncfg, tr)
 		if err != nil {
 			return err
 		}
 		defer n.Close()
 		ring = append(ring, n)
 	}
+
+	if debugAddr != "" {
+		first := ring[0]
+		ln, stopDebug, err := debughttp.Serve(debugAddr, debughttp.Config{
+			Health: func() any {
+				_, members := first.Ring()
+				return map[string]any{
+					"status":      "ok",
+					"operational": first.Operational(),
+					"members":     len(members),
+					"faults":      first.NetworkFaults(),
+				}
+			},
+			Metrics: first.Metrics(),
+			Trace:   first.Trace(),
+		})
+		if err != nil {
+			return fmt.Errorf("debug endpoint: %w", err)
+		}
+		defer stopDebug()
+		fmt.Printf("debug endpoints on http://%s/{healthz,stats,trace}\n", ln.Addr())
+	}
+
+	// Collect fault and readmission events from the probe node so the exit
+	// summary can report what the monitors saw during the run.
+	var (
+		evMu     sync.Mutex
+		faultLog []string
+	)
+	logEvent := func(format string, args ...any) {
+		evMu.Lock()
+		faultLog = append(faultLog, fmt.Sprintf(format, args...))
+		evMu.Unlock()
+	}
+	probeNode := ring[len(ring)-1]
+	go func() {
+		for f := range probeNode.Faults() {
+			logEvent("fault: network %d: %s", f.Network, f.Reason)
+		}
+	}()
+	go func() {
+		for c := range probeNode.FaultsCleared() {
+			logEvent("readmitted: network %d after probation %d", c.Network, c.Probation)
+		}
+	}()
 	for {
 		ready := true
 		for _, n := range ring {
@@ -173,10 +225,23 @@ func run(nodes, networks int, styleName string, k, msgLen int, duration time.Dur
 	fmt.Printf("latency p50=%v p90=%v p99=%v max=%v (%d samples)\n",
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond), len(lats))
-	probe := ring[len(ring)-1]
-	fmt.Printf("network faults at probe node: %v\n", probe.NetworkFaults())
-	s := probe.Stats()
-	fmt.Printf("rrp rx per network: %v; tokens gated %d, timed out %d; srp retransmissions %d\n",
-		s.RRP.RxPackets, s.RRP.TokensGated, s.RRP.TokensTimedOut, s.SRP.Retransmissions)
+	fmt.Printf("network faults at probe node: %v\n", probeNode.NetworkFaults())
+	s := probeNode.Stats()
+	fmt.Printf("rrp tx per network: %v; rx per network: %v\n", s.RRP.TxPackets, s.RRP.RxPackets)
+	fmt.Printf("rrp tokens gated %d, timed out %d, discarded %d; srp retransmissions %d\n",
+		s.RRP.TokensGated, s.RRP.TokensTimedOut, s.RRP.TokensDiscarded, s.SRP.Retransmissions)
+	fmt.Printf("rrp faults raised %d, cleared %d, readmits %d, flap backoffs %d, probes sent %d\n",
+		s.RRP.FaultsRaised, s.RRP.FaultsCleared, s.RRP.Readmits, s.RRP.FlapBackoffs, s.RRP.ProbesSent)
+	evMu.Lock()
+	events := faultLog
+	evMu.Unlock()
+	if len(events) == 0 {
+		fmt.Println("fault/readmission events: none")
+	} else {
+		fmt.Printf("fault/readmission events (%d):\n", len(events))
+		for _, e := range events {
+			fmt.Printf("  %s\n", e)
+		}
+	}
 	return nil
 }

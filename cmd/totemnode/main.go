@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	totem "github.com/totem-rrp/totem"
+	"github.com/totem-rrp/totem/internal/debughttp"
 )
 
 type peerList []string
@@ -33,9 +34,10 @@ func main() {
 	listen := flag.String("listen", "", "comma-separated local addresses, one per redundant network")
 	style := flag.String("style", "passive", "replication style: none, active, passive, active-passive")
 	k := flag.Int("k", 2, "copies for active-passive replication")
+	debugAddr := flag.String("debug-addr", "", "serve /healthz /stats /trace on this address (e.g. 127.0.0.1:6060)")
 	flag.Var(&peers, "peer", "peer spec id=addr1,addr2,... (repeatable)")
 	flag.Parse()
-	if err := run(uint32(*id), *listen, *style, *k, peers); err != nil {
+	if err := run(uint32(*id), *listen, *style, *k, *debugAddr, peers); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -56,7 +58,7 @@ func parseStyle(s string) (totem.ReplicationStyle, error) {
 	}
 }
 
-func run(id uint32, listen, styleName string, k int, peers peerList) error {
+func run(id uint32, listen, styleName string, k int, debugAddr string, peers peerList) error {
 	if id == 0 {
 		return fmt.Errorf("-id is required and must be non-zero")
 	}
@@ -89,16 +91,45 @@ func run(id uint32, listen, styleName string, k int, peers peerList) error {
 	}
 	defer tr.Close()
 
-	node, err := totem.NewNode(totem.Config{
+	ncfg := totem.Config{
 		ID:          totem.NodeID(id),
 		Networks:    len(cfg.Listen),
 		Replication: style,
 		K:           k,
-	}, tr)
+	}
+	if debugAddr != "" {
+		// Retain recent protocol events for the /trace endpoint.
+		ncfg.Tune = func(o *totem.Options) { o.TraceCapacity = 4096 }
+	}
+	node, err := totem.NewNode(ncfg, tr)
 	if err != nil {
 		return err
 	}
 	defer node.Close()
+
+	if debugAddr != "" {
+		ln, stopDebug, err := debughttp.Serve(debugAddr, debughttp.Config{
+			Health: func() any {
+				ring, members := node.Ring()
+				return map[string]any{
+					"status":      "ok",
+					"id":          id,
+					"operational": node.Operational(),
+					"ring_rep":    uint32(ring.Rep),
+					"ring_epoch":  ring.Epoch,
+					"members":     len(members),
+					"faults":      node.NetworkFaults(),
+				}
+			},
+			Metrics: node.Metrics(),
+			Trace:   node.Trace(),
+		})
+		if err != nil {
+			return fmt.Errorf("debug endpoint: %w", err)
+		}
+		defer stopDebug()
+		fmt.Printf("debug endpoints on http://%s/{healthz,stats,trace}\n", ln.Addr())
+	}
 
 	fmt.Printf("node %d up on %d network(s), style %v — type to broadcast; /status /stats /readmit <n>\n",
 		id, len(cfg.Listen), style)

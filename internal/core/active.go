@@ -97,7 +97,7 @@ func (a *active) SendToken(dest proto.NodeID, data []byte) {
 
 // OnPacket implements Replicator.
 func (a *active) OnPacket(now proto.Time, network int, data []byte) {
-	a.stats.RxPackets[network]++
+	a.met.rx[network].Inc()
 	kind, err := wire.PeekKind(data)
 	if err != nil {
 		return
@@ -128,6 +128,7 @@ func (a *active) OnPacket(now proto.Time, network int, data []byte) {
 		}
 		a.recvLast[network] = true
 		a.delivered = false
+		a.acts.Probe(proto.ProbeTokenGathered, network, int64(seq), int64(rot), 0)
 		// The timer is armed exactly once per generation: a new token can
 		// only arrive after the current one completes a rotation.
 		a.acts.SetTimer(proto.TimerID{Class: proto.TimerRRPToken}, a.cfg.TokenTimeout)
@@ -135,13 +136,15 @@ func (a *active) OnPacket(now proto.Time, network int, data []byte) {
 		a.recvLast[network] = true
 		if a.delivered {
 			// All copies after release are ignored (requirement A4).
-			a.stats.TokensDiscarded++
+			a.met.tokensDiscarded.Inc()
+			a.acts.Probe(proto.ProbeTokenDiscarded, network, int64(seq), 0, 0)
 			return
 		}
 	default:
 		// Older than the current generation: a straggler from a slower
 		// network; never triggers anything (requirement A2).
-		a.stats.TokensDiscarded++
+		a.met.tokensDiscarded.Inc()
+		a.acts.Probe(proto.ProbeTokenDiscarded, network, int64(seq), 0, 0)
 		return
 	}
 	if a.delivered {
@@ -154,7 +157,8 @@ func (a *active) OnPacket(now proto.Time, network int, data []byte) {
 	}
 	a.delivered = true
 	a.acts.CancelTimer(proto.TimerID{Class: proto.TimerRRPToken})
-	a.stats.TokensGated++
+	a.met.tokensGated.Inc()
+	a.acts.Probe(proto.ProbeTokenGated, -1, int64(a.lastKey.seq), 0, 0)
 	a.cb.Deliver(now, a.lastTok)
 }
 
@@ -179,13 +183,15 @@ func (a *active) OnTimer(now proto.Time, id proto.TimerID) {
 					a.problem[i] = 0
 					continue
 				}
+				a.acts.Probe(proto.ProbeMonitorThreshold, i, int64(a.problem[i]), int64(a.cfg.ProblemThreshold), 0)
 				a.markFaulty(now, i, fmt.Sprintf(
 					"active monitor: %d consecutive token losses", a.problem[i]))
 			}
 		}
 		// ...and the protocol makes progress regardless (requirement A4).
 		a.delivered = true
-		a.stats.TokensTimedOut++
+		a.met.tokensTimedOut.Inc()
+		a.acts.Probe(proto.ProbeTokenTimedOut, -1, int64(a.lastKey.seq), 0, 0)
 		a.cb.Deliver(now, a.lastTok)
 	case proto.TimerRRPDecay:
 		// Requirement A6: slowly forgive sporadic losses.
@@ -194,6 +200,7 @@ func (a *active) OnTimer(now proto.Time, id proto.TimerID) {
 				a.problem[i]--
 			}
 		}
+		a.acts.Probe(proto.ProbeMonitorDecay, -1, int64(a.rec.windows), 0, 0)
 		a.recoveryTick(now, a.Readmit)
 		a.acts.SetTimer(proto.TimerID{Class: proto.TimerRRPDecay}, a.cfg.DecayInterval)
 	}

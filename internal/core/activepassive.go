@@ -97,7 +97,7 @@ func (ap *activePassive) SendToken(dest proto.NodeID, data []byte) {
 
 // OnPacket implements Replicator.
 func (ap *activePassive) OnPacket(now proto.Time, network int, data []byte) {
-	ap.stats.RxPackets[network]++
+	ap.met.rx[network].Inc()
 	kind, err := wire.PeekKind(data)
 	if err != nil {
 		return
@@ -131,21 +131,25 @@ func (ap *activePassive) OnPacket(now proto.Time, network int, data []byte) {
 			ap.lastTok = data
 			ap.copies = 1
 			ap.delivered = false
+			ap.acts.Probe(proto.ProbeTokenGathered, network, int64(seq), int64(rot), 0)
 			ap.acts.SetTimer(proto.TimerID{Class: proto.TimerRRPToken}, ap.cfg.TokenTimeout)
 		case key == ap.lastKey:
 			if ap.delivered {
-				ap.stats.TokensDiscarded++
+				ap.met.tokensDiscarded.Inc()
+				ap.acts.Probe(proto.ProbeTokenDiscarded, network, int64(seq), 0, 0)
 				return
 			}
 			ap.copies++
 		default:
-			ap.stats.TokensDiscarded++
+			ap.met.tokensDiscarded.Inc()
+			ap.acts.Probe(proto.ProbeTokenDiscarded, network, int64(seq), 0, 0)
 			return
 		}
 		if !ap.delivered && ap.copies >= ap.effectiveK() {
 			ap.delivered = true
 			ap.acts.CancelTimer(proto.TimerID{Class: proto.TimerRRPToken})
-			ap.stats.TokensGated++
+			ap.met.tokensGated.Inc()
+			ap.acts.Probe(proto.ProbeTokenGated, -1, int64(ap.lastKey.seq), 0, 0)
 			ap.cb.Deliver(now, ap.lastTok)
 		}
 	default:
@@ -161,13 +165,15 @@ func (ap *activePassive) OnTimer(now proto.Time, id proto.TimerID) {
 			return
 		}
 		ap.delivered = true
-		ap.stats.TokensTimedOut++
+		ap.met.tokensTimedOut.Inc()
+		ap.acts.Probe(proto.ProbeTokenTimedOut, -1, int64(ap.lastKey.seq), 0, 0)
 		ap.cb.Deliver(now, ap.lastTok)
 	case proto.TimerRRPDecay:
 		ap.tokMon.replenish(ap.fault)
 		for _, mon := range ap.msgMon {
 			mon.replenish(ap.fault)
 		}
+		ap.acts.Probe(proto.ProbeMonitorDecay, -1, int64(ap.rec.windows), 0, 0)
 		ap.recoveryTick(now, ap.Readmit)
 		ap.acts.SetTimer(proto.TimerID{Class: proto.TimerRRPDecay}, ap.cfg.DecayInterval)
 	}
@@ -181,6 +187,7 @@ func (ap *activePassive) observeToken(now proto.Time, network int) {
 			ap.tokMon.readmit(lag)
 			return
 		}
+		ap.acts.Probe(proto.ProbeMonitorThreshold, lag, int64(ap.tokMon.diff(lag)), int64(ap.cfg.TokenDiffThreshold), 0)
 		ap.markFaulty(now, lag, fmt.Sprintf(
 			"active-passive token monitor: network lags by %d receptions", ap.tokMon.diff(lag)))
 	}
@@ -197,6 +204,7 @@ func (ap *activePassive) observeMessage(now proto.Time, sender proto.NodeID, net
 			mon.readmit(lag)
 			return
 		}
+		ap.acts.Probe(proto.ProbeMonitorThreshold, lag, int64(mon.diff(lag)), int64(ap.cfg.DiffThreshold), 0)
 		ap.markFaulty(now, lag, fmt.Sprintf(
 			"active-passive message monitor (sender %v): network lags by %d receptions", sender, mon.diff(lag)))
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/totem-rrp/totem/internal/metrics"
 	"github.com/totem-rrp/totem/internal/proto"
 )
 
@@ -88,6 +89,9 @@ type Stats struct {
 	// FlapBackoffs counts re-faults within the flap window of the previous
 	// readmission; each one doubles the network's next probation.
 	FlapBackoffs uint64
+	// ProbesSent counts recovery-monitor probe packets sent on faulted
+	// networks during probation.
+	ProbesSent uint64
 }
 
 // Config parameterises a replicator.
@@ -139,6 +143,11 @@ type Config struct {
 	// windows; a persistently flapping network converges to spending
 	// MaxProbation windows disabled between (rare) readmissions.
 	MaxProbation int
+
+	// Metrics, when non-nil, is the registry the replicator registers its
+	// counters in (names under "rrp."). Nil gets a private registry, so
+	// Stats keeps working for callers that never wire one up.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the defaults from DESIGN.md §6.
@@ -244,21 +253,22 @@ type base struct {
 	acts  *proto.Actions
 	cb    Callbacks
 	fault []bool
-	stats Stats
+	met   coreCounters
 	rec   recoveryState
 }
 
 func newBase(cfg Config, acts *proto.Actions, cb Callbacks) base {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	return base{
 		cfg:   cfg,
 		acts:  acts,
 		cb:    cb,
 		fault: make([]bool, cfg.Networks),
-		stats: Stats{
-			TxPackets: make([]uint64, cfg.Networks),
-			RxPackets: make([]uint64, cfg.Networks),
-		},
-		rec: newRecoveryState(cfg),
+		met:   newCoreCounters(reg, cfg.Networks),
+		rec:   newRecoveryState(cfg),
 	}
 }
 
@@ -267,11 +277,25 @@ func (b *base) Faulty() []bool {
 	return append([]bool(nil), b.fault...)
 }
 
-// Stats implements part of Replicator.
+// Stats implements part of Replicator: a thin view rebuilt from the
+// metrics registry for API compatibility.
 func (b *base) Stats() Stats {
-	s := b.stats
-	s.TxPackets = append([]uint64(nil), b.stats.TxPackets...)
-	s.RxPackets = append([]uint64(nil), b.stats.RxPackets...)
+	s := Stats{
+		TxPackets:       make([]uint64, len(b.met.tx)),
+		RxPackets:       make([]uint64, len(b.met.rx)),
+		TokensGated:     b.met.tokensGated.Count(),
+		TokensTimedOut:  b.met.tokensTimedOut.Count(),
+		TokensDiscarded: b.met.tokensDiscarded.Count(),
+		FaultsRaised:    b.met.faultsRaised.Count(),
+		FaultsCleared:   b.met.faultsCleared.Count(),
+		Readmits:        b.met.readmits.Count(),
+		FlapBackoffs:    b.met.flapBackoffs.Count(),
+		ProbesSent:      b.met.probesSent.Count(),
+	}
+	for i := range b.met.tx {
+		s.TxPackets[i] = b.met.tx[i].Count()
+		s.RxPackets[i] = b.met.rx[i].Count()
+	}
 	return s
 }
 
@@ -310,7 +334,7 @@ func (b *base) markFaulty(now proto.Time, i int, reason string) {
 		return
 	}
 	b.fault[i] = true
-	b.stats.FaultsRaised++
+	b.met.faultsRaised.Inc()
 	b.acts.Fault(proto.FaultReport{Network: i, Reason: reason, Time: now})
 	b.noteFault(i)
 }
@@ -319,5 +343,5 @@ func (b *base) markFaulty(now proto.Time, i int, reason string) {
 // shared by every network's SendPacket action — fan-out never copies.
 func (b *base) send(network int, dest proto.NodeID, data []byte) {
 	b.acts.Send(network, dest, data)
-	b.stats.TxPackets[network]++
+	b.met.tx[network].Inc()
 }

@@ -31,8 +31,8 @@ func (n *none) SendToken(dest proto.NodeID, data []byte) {
 
 // OnPacket implements Replicator.
 func (n *none) OnPacket(now proto.Time, network int, data []byte) {
-	if network < len(n.stats.RxPackets) {
-		n.stats.RxPackets[network]++
+	if network < len(n.met.rx) {
+		n.met.rx[network].Inc()
 	}
 	n.cb.Deliver(now, data)
 }

@@ -86,7 +86,7 @@ func (p *passive) SendToken(dest proto.NodeID, data []byte) {
 
 // OnPacket implements Replicator.
 func (p *passive) OnPacket(now proto.Time, network int, data []byte) {
-	p.stats.RxPackets[network]++
+	p.met.rx[network].Inc()
 	kind, err := wire.PeekKind(data)
 	if err != nil {
 		return
@@ -99,7 +99,8 @@ func (p *passive) OnPacket(now proto.Time, network int, data []byte) {
 			return
 		}
 		if !p.cb.Missing(seq) {
-			p.stats.TokensGated++
+			p.met.tokensGated.Inc()
+			p.acts.Probe(proto.ProbeTokenGated, network, int64(seq), 0, 0)
 			p.cb.Deliver(now, data)
 			return
 		}
@@ -143,9 +144,11 @@ func (p *passive) releaseHeld(now proto.Time, byTimer bool) {
 		return
 	}
 	if byTimer {
-		p.stats.TokensTimedOut++
+		p.met.tokensTimedOut.Inc()
+		p.acts.Probe(proto.ProbeTokenTimedOut, -1, int64(p.heldSeq), 0, 0)
 	} else {
-		p.stats.TokensGated++
+		p.met.tokensGated.Inc()
+		p.acts.Probe(proto.ProbeTokenGated, -1, int64(p.heldSeq), 0, 0)
 	}
 	p.cb.Deliver(now, held)
 }
@@ -161,7 +164,8 @@ func (p *passive) OnTimer(now proto.Time, id proto.TimerID) {
 			held := p.held
 			p.held = nil
 			if held != nil {
-				p.stats.TokensTimedOut++
+				p.met.tokensTimedOut.Inc()
+				p.acts.Probe(proto.ProbeTokenTimedOut, -1, int64(p.heldSeq), 0, 0)
 				p.cb.Deliver(now, held)
 			}
 		}
@@ -172,6 +176,7 @@ func (p *passive) OnTimer(now proto.Time, id proto.TimerID) {
 		for _, mon := range p.msgMon {
 			mon.replenish(p.fault)
 		}
+		p.acts.Probe(proto.ProbeMonitorDecay, -1, int64(p.rec.windows), 0, 0)
 		p.recoveryTick(now, p.Readmit)
 		p.acts.SetTimer(proto.TimerID{Class: proto.TimerRRPDecay}, p.cfg.DecayInterval)
 	}
@@ -188,6 +193,7 @@ func (p *passive) observeToken(now proto.Time, network int) {
 			p.tokMon.readmit(lag)
 			return
 		}
+		p.acts.Probe(proto.ProbeMonitorThreshold, lag, int64(p.tokMon.diff(lag)), int64(p.cfg.TokenDiffThreshold), 0)
 		p.markFaulty(now, lag, fmt.Sprintf(
 			"passive token monitor: network lags by %d receptions", p.tokMon.diff(lag)))
 	}
@@ -206,6 +212,7 @@ func (p *passive) observeMessage(now proto.Time, sender proto.NodeID, network in
 			mon.readmit(lag)
 			return
 		}
+		p.acts.Probe(proto.ProbeMonitorThreshold, lag, int64(mon.diff(lag)), int64(p.cfg.DiffThreshold), 0)
 		p.markFaulty(now, lag, fmt.Sprintf(
 			"passive message monitor (sender %v): network lags by %d receptions", sender, mon.diff(lag)))
 	}

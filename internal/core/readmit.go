@@ -98,18 +98,19 @@ func (b *base) noteFault(i int) {
 	}
 	r := &b.rec
 	if r.everCleared[i] && r.windows-r.lastClearWindow[i] <= b.flapWindows() {
-		b.stats.FlapBackoffs++
+		b.met.flapBackoffs.Inc()
 		if r.probation[i] < b.cfg.MaxProbation {
 			r.probation[i] *= 2
 			if r.probation[i] > b.cfg.MaxProbation {
 				r.probation[i] = b.cfg.MaxProbation
 			}
 		}
+		b.acts.Probe(proto.ProbeFlapBackoff, i, int64(r.probation[i]), 0, 0)
 	} else {
 		r.probation[i] = b.cfg.ProbationWindows
 	}
 	r.cleanWindows[i] = 0
-	r.lastRx[i] = b.stats.RxPackets[i]
+	r.lastRx[i] = b.met.rx[i].Count()
 	r.probeBudget[i] = recoveryProbesPerWindow
 }
 
@@ -139,7 +140,7 @@ func (b *base) inReadmitGrace(i int) bool {
 // call it after their own validation and before resetting their monitors.
 func (b *base) readmitCommon(network int) {
 	b.fault[network] = false
-	b.stats.Readmits++
+	b.met.readmits.Inc()
 	b.noteReadmitted(network)
 }
 
@@ -153,6 +154,8 @@ func (b *base) probeSend(dest proto.NodeID, data []byte) {
 	for i := range b.fault {
 		if b.fault[i] && b.rec.probeBudget[i] > 0 {
 			b.rec.probeBudget[i]--
+			b.met.probesSent.Inc()
+			b.acts.Probe(proto.ProbeProbeSent, i, int64(b.rec.probeBudget[i]), 0, 0)
 			b.send(i, dest, data)
 		}
 	}
@@ -173,20 +176,21 @@ func (b *base) recoveryTick(now proto.Time, readmit func(network int)) {
 		if !b.fault[i] {
 			// Keep the snapshot fresh so a fault opening mid-window only
 			// counts receptions from roughly the fault onward.
-			r.lastRx[i] = b.stats.RxPackets[i]
+			r.lastRx[i] = b.met.rx[i].Count()
 			continue
 		}
-		delta := b.stats.RxPackets[i] - r.lastRx[i]
-		r.lastRx[i] = b.stats.RxPackets[i]
+		delta := b.met.rx[i].Count() - r.lastRx[i]
+		r.lastRx[i] = b.met.rx[i].Count()
 		if delta == 0 {
 			r.cleanWindows[i] = 0
 		} else {
 			r.cleanWindows[i]++
 		}
+		b.acts.Probe(proto.ProbeProbation, i, int64(r.cleanWindows[i]), int64(r.probation[i]), 0)
 		if r.cleanWindows[i] >= r.probation[i] {
 			served := r.probation[i]
 			readmit(i)
-			b.stats.FaultsCleared++
+			b.met.faultsCleared.Inc()
 			b.acts.FaultCleared(proto.ClearReport{Network: i, Probation: served, Time: now})
 			continue
 		}

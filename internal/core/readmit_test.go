@@ -126,7 +126,7 @@ func TestFlapDoublesProbation(t *testing.T) {
 	convict(t, a, 1)
 	serve(a.cfg.ProbationWindows) // 3
 	passGrace(a)
-	convict(t, a, 1) // re-fault within the flap window
+	convict(t, a, 1)                  // re-fault within the flap window
 	serve(2 * a.cfg.ProbationWindows) // 6
 	passGrace(a)
 	convict(t, a, 1)

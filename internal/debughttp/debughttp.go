@@ -1,0 +1,71 @@
+// Package debughttp serves a node's observability surfaces over plain
+// net/http for live inspection: /healthz (liveness JSON), /stats (a flat
+// JSON snapshot of the metric registry) and /trace (a text dump of the
+// event ring). It has no dependencies beyond the standard library and the
+// repo's own metrics/trace packages, and is safe to serve while the node
+// is under full load — every handler reads through the concurrency-safe
+// snapshot paths (Registry.WriteJSON, Ring.Dump).
+package debughttp
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/metrics"
+	"github.com/totem-rrp/totem/internal/trace"
+)
+
+// Config wires the endpoints to a node's observability state. Nil fields
+// disable the corresponding endpoint (it returns 404).
+type Config struct {
+	// Health, if non-nil, is invoked per /healthz request; its return
+	// value is rendered as JSON. Nil serves {"status":"ok"}.
+	Health func() any
+	// Metrics backs /stats.
+	Metrics *metrics.Registry
+	// Trace backs /trace.
+	Trace *trace.Ring
+}
+
+// Handler returns an http.Handler serving /healthz, /stats and /trace.
+func Handler(cfg Config) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		var body any = map[string]string{"status": "ok"}
+		if cfg.Health != nil {
+			body = cfg.Health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(body) //nolint:errcheck
+	})
+	if cfg.Metrics != nil {
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			cfg.Metrics.WriteJSON(w) //nolint:errcheck
+		})
+	}
+	if cfg.Trace != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			cfg.Trace.Dump(w) //nolint:errcheck
+		})
+	}
+	return mux
+}
+
+// Serve listens on addr and serves the debug endpoints until the listener
+// is closed. It returns the bound listener (useful with ":0") and a stop
+// function. Serving happens on a background goroutine; errors after stop
+// are swallowed.
+func Serve(addr string, cfg Config) (net.Listener, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: Handler(cfg), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)               //nolint:errcheck
+	stop := func() { srv.Close() } //nolint:errcheck
+	return ln, stop, nil
+}

@@ -1,0 +1,118 @@
+package debughttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/totem-rrp/totem/internal/metrics"
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/trace"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	body, err := io.ReadAll(rec.Result().Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return rec.Code, string(body)
+}
+
+func TestHealthz(t *testing.T) {
+	h := Handler(Config{})
+	code, body := get(t, h, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	var m map[string]string
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatalf("healthz not JSON: %v", err)
+	}
+	if m["status"] != "ok" {
+		t.Fatalf("healthz body %q", body)
+	}
+}
+
+func TestHealthzCustom(t *testing.T) {
+	h := Handler(Config{Health: func() any {
+		return map[string]any{"status": "ok", "ring_size": 3}
+	}})
+	_, body := get(t, h, "/healthz")
+	var m map[string]any
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatalf("custom healthz not JSON: %v", err)
+	}
+	if m["ring_size"] != float64(3) {
+		t.Fatalf("custom field lost: %q", body)
+	}
+}
+
+func TestStats(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("srp.msgs_delivered").Add(7)
+	reg.Gauge("runtime.events_depth").Set(2)
+	h := Handler(Config{Metrics: reg})
+	code, body := get(t, h, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	var m map[string]int64
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatalf("stats not JSON: %v\n%s", err, body)
+	}
+	if m["srp.msgs_delivered"] != 7 || m["runtime.events_depth"] != 2 {
+		t.Fatalf("stats content wrong: %s", body)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	ring := trace.NewRing(16)
+	ring.Record(trace.Event{Node: 1, Kind: trace.Machine, Code: proto.ProbeTokenGathered, A: 42})
+	h := Handler(Config{Trace: ring})
+	code, body := get(t, h, "/trace")
+	if code != http.StatusOK {
+		t.Fatalf("trace status %d", code)
+	}
+	if !strings.Contains(body, "token-gathered") {
+		t.Fatalf("trace dump missing event: %q", body)
+	}
+}
+
+func TestDisabledEndpoints(t *testing.T) {
+	h := Handler(Config{}) // no registry, no ring
+	if code, _ := get(t, h, "/stats"); code != http.StatusNotFound {
+		t.Fatalf("stats should 404 when unconfigured, got %d", code)
+	}
+	if code, _ := get(t, h, "/trace"); code != http.StatusNotFound {
+		t.Fatalf("trace should 404 when unconfigured, got %d", code)
+	}
+}
+
+func TestServe(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("x").Inc()
+	ln, stop, err := Serve("127.0.0.1:0", Config{Metrics: reg})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + ln.Addr().String() + "/stats")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var m map[string]int64
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("served stats not JSON: %v", err)
+	}
+	if m["x"] != 1 {
+		t.Fatalf("served stats wrong: %s", body)
+	}
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x.count")
+	b := r.Counter("x.count")
+	if a != b {
+		t.Fatal("same name should resolve to the same counter")
+	}
+	a.Inc()
+	b.Add(2)
+	if got := a.Count(); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+	if v, ok := r.Get("x.count"); !ok || v != 3 {
+		t.Fatalf("Get = %d,%v, want 3,true", v, ok)
+	}
+}
+
+func TestGaugeAndFunc(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Set(5)
+	g.Add(-2)
+	if v, _ := r.Get("depth"); v != 3 {
+		t.Fatalf("gauge = %d, want 3", v)
+	}
+	n := int64(0)
+	r.RegisterFunc("sampled", func() int64 { return n })
+	n = 41
+	if v, _ := r.Get("sampled"); v != 41 {
+		t.Fatalf("func gauge = %d, want 41", v)
+	}
+	// Re-registering replaces the function.
+	r.RegisterFunc("sampled", func() int64 { return 7 })
+	if v, _ := r.Get("sampled"); v != 7 {
+		t.Fatalf("replaced func gauge = %d, want 7", v)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type mismatch")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Add(2)
+	r.Gauge("c").Set(-1)
+	s := r.Snapshot()
+	if len(s) != 3 {
+		t.Fatalf("len = %d, want 3", len(s))
+	}
+	want := []Sample{{"a", 2}, {"b", 1}, {"c", -1}}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("sample %d = %+v, want %+v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("srp.tokens_received").Add(12)
+	r.Gauge("runtime.events_depth").Set(3)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]int64
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("invalid JSON %q: %v", buf.String(), err)
+	}
+	if m["srp.tokens_received"] != 12 || m["runtime.events_depth"] != 3 {
+		t.Fatalf("decoded %v", m)
+	}
+	// Empty registry must still be valid JSON.
+	buf.Reset()
+	if err := NewRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("empty registry JSON %q: %v", buf.String(), err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				r.Gauge("g").Set(int64(j))
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if v, _ := r.Get("shared"); v != 8000 {
+		t.Fatalf("shared = %d, want 8000", v)
+	}
+}

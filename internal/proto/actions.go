@@ -157,6 +157,9 @@ type Actions struct {
 	list   []Action
 	free   [][]Action
 	spFree []*SendPacket
+	// probe, when non-nil, receives typed in-machine events (see probe.go).
+	// Kept here so every machine layer sharing the buffer shares the hook.
+	probe ProbeFunc
 }
 
 // Send appends a SendPacket action.

@@ -1,0 +1,128 @@
+package proto
+
+import "fmt"
+
+// ProbeCode identifies one in-machine instrumentation event. Probes are
+// the protocol's own commentary on its execution: they fire at decision
+// points that neither packets nor Stats counters expose (why a token was
+// held, how close a monitor is to conviction, which membership phase a
+// node entered). Codes are stable identifiers; drivers may switch on them.
+type ProbeCode uint8
+
+const (
+	// ProbeTokenGathered fires when the RRP layer sees the first copy of a
+	// new token generation. A = token seq, B = rotation.
+	ProbeTokenGathered ProbeCode = iota + 1
+	// ProbeTokenGated fires when a token is passed up after its gate was
+	// satisfied (all live copies gathered, or K copies in active-passive,
+	// or no outstanding messages in passive). A = token seq.
+	ProbeTokenGated
+	// ProbeTokenTimedOut fires when a held token is released by the RRP
+	// token timer instead of its gate. A = token seq.
+	ProbeTokenTimedOut
+	// ProbeTokenDiscarded fires when a stale or duplicate token copy is
+	// dropped. Network = arrival network, A = token seq.
+	ProbeTokenDiscarded
+	// ProbeMonitorThreshold fires when a count monitor's per-network
+	// counter crosses its conviction threshold (the step before a fault is
+	// raised). Network = the convicted network, A = counter value,
+	// B = threshold.
+	ProbeMonitorThreshold
+	// ProbeMonitorDecay fires on each periodic decay/replenishment tick.
+	// A = decay window index.
+	ProbeMonitorDecay
+	// ProbeProbation reports probation progress for a faulty network at
+	// each decay window. Network = the network under probation, A = clean
+	// windows served, B = clean windows required.
+	ProbeProbation
+	// ProbeProbeSent fires when a probe copy of outbound traffic is
+	// duplicated onto a faulty network to test it. Network = the probed
+	// network, A = probe budget remaining in this window.
+	ProbeProbeSent
+	// ProbeFlapBackoff fires when flap damping doubles a network's
+	// probation after a re-fault. Network = the flapping network,
+	// A = new probation length in windows.
+	ProbeFlapBackoff
+	// ProbeRetransRequested fires when the SRP machine adds a missing
+	// sequence number to the token's retransmission list. A = seq.
+	ProbeRetransRequested
+	// ProbeRetransServed fires when the SRP machine re-broadcasts a packet
+	// another node requested. A = seq.
+	ProbeRetransServed
+	// ProbeFlowStall fires when flow control rejects or defers traffic:
+	// a Submit bounced off a full backlog, or a token visit could send
+	// nothing. A = backlog length.
+	ProbeFlowStall
+	// ProbePhase fires on an SRP membership phase transition.
+	// A = old state, B = new state (srp.State values).
+	ProbePhase
+	// ProbeTokenLoss fires when the token-loss timer expires and the node
+	// abandons the ring to start the membership protocol. A = last seq.
+	ProbeTokenLoss
+)
+
+// String implements fmt.Stringer.
+func (c ProbeCode) String() string {
+	switch c {
+	case ProbeTokenGathered:
+		return "token-gathered"
+	case ProbeTokenGated:
+		return "token-gated"
+	case ProbeTokenTimedOut:
+		return "token-timed-out"
+	case ProbeTokenDiscarded:
+		return "token-discarded"
+	case ProbeMonitorThreshold:
+		return "monitor-threshold"
+	case ProbeMonitorDecay:
+		return "monitor-decay"
+	case ProbeProbation:
+		return "probation"
+	case ProbeProbeSent:
+		return "probe-sent"
+	case ProbeFlapBackoff:
+		return "flap-backoff"
+	case ProbeRetransRequested:
+		return "retrans-requested"
+	case ProbeRetransServed:
+		return "retrans-served"
+	case ProbeFlowStall:
+		return "flow-stall"
+	case ProbePhase:
+		return "phase"
+	case ProbeTokenLoss:
+		return "token-loss"
+	default:
+		return fmt.Sprintf("ProbeCode(%d)", uint8(c))
+	}
+}
+
+// ProbeEvent is one typed, allocation-free machine event. The meaning of
+// A/B/C depends on Code (documented per code above). Network is -1 when
+// the event is not tied to one network.
+type ProbeEvent struct {
+	Code    ProbeCode
+	Network int
+	A, B, C int64
+}
+
+// ProbeFunc receives machine events. Implementations must be fast and
+// must not re-enter the machine; they run synchronously inside handlers.
+type ProbeFunc func(ProbeEvent)
+
+// SetProbe installs (or, with nil, removes) the probe hook. With no probe
+// installed Probe is a single predictable branch, so machines can emit
+// events unconditionally without an allocation or formatting cost.
+func (a *Actions) SetProbe(fn ProbeFunc) { a.probe = fn }
+
+// ProbeEnabled reports whether a probe hook is installed, for the rare
+// emission site that wants to skip argument computation entirely.
+func (a *Actions) ProbeEnabled() bool { return a.probe != nil }
+
+// Probe emits a machine event to the installed hook, if any.
+func (a *Actions) Probe(code ProbeCode, network int, av, bv, cv int64) {
+	if a.probe == nil {
+		return
+	}
+	a.probe(ProbeEvent{Code: code, Network: network, A: av, B: bv, C: cv})
+}

@@ -1,0 +1,65 @@
+package proto
+
+import "testing"
+
+func TestProbeNilIsFree(t *testing.T) {
+	var a Actions
+	if a.ProbeEnabled() {
+		t.Fatal("fresh Actions claims an installed probe")
+	}
+	// With no probe installed, emission must produce nothing and cost
+	// nothing: no events, no allocations — a single branch per site.
+	allocs := testing.AllocsPerRun(1000, func() {
+		a.Probe(ProbeTokenGathered, 0, 1, 2, 3)
+		a.Probe(ProbePhase, -1, 4, 5, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil probe allocated %.1f per run, want 0", allocs)
+	}
+	if got := a.Drain(); len(got) != 0 {
+		t.Fatalf("nil probe appended %d actions", len(got))
+	}
+}
+
+func TestProbeDelivery(t *testing.T) {
+	var a Actions
+	var got []ProbeEvent
+	a.SetProbe(func(e ProbeEvent) { got = append(got, e) })
+	if !a.ProbeEnabled() {
+		t.Fatal("probe not reported enabled")
+	}
+	a.Probe(ProbeMonitorThreshold, 1, 10, 20, 30)
+	if len(got) != 1 {
+		t.Fatalf("got %d events, want 1", len(got))
+	}
+	e := got[0]
+	if e.Code != ProbeMonitorThreshold || e.Network != 1 || e.A != 10 || e.B != 20 || e.C != 30 {
+		t.Fatalf("event fields wrong: %+v", e)
+	}
+	a.SetProbe(nil)
+	a.Probe(ProbeTokenGated, -1, 1, 0, 0)
+	if len(got) != 1 {
+		t.Fatal("probe fired after removal")
+	}
+}
+
+func TestProbeCodeStrings(t *testing.T) {
+	codes := []ProbeCode{
+		ProbeTokenGathered, ProbeTokenGated, ProbeTokenTimedOut,
+		ProbeTokenDiscarded, ProbeMonitorThreshold, ProbeMonitorDecay,
+		ProbeProbation, ProbeProbeSent, ProbeFlapBackoff,
+		ProbeRetransRequested, ProbeRetransServed, ProbeFlowStall,
+		ProbePhase, ProbeTokenLoss,
+	}
+	seen := map[string]bool{}
+	for _, c := range codes {
+		s := c.String()
+		if s == "" || seen[s] {
+			t.Fatalf("code %d has empty or duplicate string %q", c, s)
+		}
+		seen[s] = true
+	}
+	if ProbeCode(0).String() == codes[0].String() {
+		t.Fatal("zero code collides with a real code")
+	}
+}

@@ -159,6 +159,10 @@ type Cluster struct {
 	nodes map[proto.NodeID]*Node
 	order []proto.NodeID
 
+	// tracing is false when cfg.Trace is Discard, letting the hot path
+	// skip event construction entirely.
+	tracing bool
+
 	// Pooled-frame tracking (see trackFrame). frameScratch dedupes the
 	// frames of the action batch currently executing (one data frame fans
 	// out as several SendPacket actions); frameDepth counts nested execute
@@ -246,9 +250,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg.Trace = trace.Discard
 	}
 	c := &Cluster{
-		Sim:   NewSimulator(),
-		cfg:   cfg,
-		nodes: make(map[proto.NodeID]*Node, cfg.Nodes),
+		Sim:     NewSimulator(),
+		cfg:     cfg,
+		nodes:   make(map[proto.NodeID]*Node, cfg.Nodes),
+		tracing: cfg.Trace != trace.Discard,
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for i := 0; i < cfg.Networks; i++ {
@@ -270,6 +275,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		st, err := stack.New(scfg)
 		if err != nil {
 			return nil, fmt.Errorf("sim: node %v: %w", id, err)
+		}
+		if c.tracing {
+			// Surface the machines' own probe events in the trace stream,
+			// stamped with virtual time at the sink.
+			st.SetProbe(func(e proto.ProbeEvent) {
+				c.cfg.Trace.Record(trace.Event{
+					At: c.Sim.Now(), Node: id, Kind: trace.Machine,
+					Code: e.Code, Network: e.Network, A: e.A, B: e.B, C: e.C,
+				})
+			})
 		}
 		n := &Node{
 			ID:           id,
@@ -410,10 +425,13 @@ func (n *Node) execute(now proto.Time, actions []proto.Action) {
 			// Each send costs CPU and then enters the network's transmit
 			// queue at the moment the CPU finishes handing it off.
 			n.cpuBusy += n.cluster.cfg.Host.SendCost
-			n.cluster.cfg.Trace.Record(trace.Event{
-				At: now, Node: n.ID, Kind: trace.PacketSent,
-				Network: act.Network, Detail: packetDetail(act.Data, act.Dest),
-			})
+			if c.tracing {
+				kind, _ := wire.PeekKind(act.Data)
+				c.cfg.Trace.Record(trace.Event{
+					At: now, Node: n.ID, Kind: trace.PacketSent, Network: act.Network,
+					A: int64(kind), B: int64(act.Dest), C: int64(len(act.Data)),
+				})
+			}
 			// Copy the action: delivery closures outlive the batch, whose
 			// *SendPacket objects are recycled when execute returns.
 			n.transmit(n.cpuBusy, *act)
@@ -428,6 +446,12 @@ func (n *Node) execute(now proto.Time, actions []proto.Action) {
 				}
 				delete(n.timers, id)
 				n.dispatch(n.cluster.Sim.Now(), 0, func(t proto.Time) {
+					if c.tracing {
+						c.cfg.Trace.Record(trace.Event{
+							At: t, Node: n.ID, Kind: trace.TimerFired, Network: -1,
+							A: int64(id.Class), B: int64(id.Arg),
+						})
+					}
 					n.execute(t, n.Stack.OnTimer(t, id))
 				})
 			})
@@ -435,10 +459,12 @@ func (n *Node) execute(now proto.Time, actions []proto.Action) {
 			delete(n.timers, act.ID)
 		case proto.Deliver:
 			n.cpuBusy += n.cluster.cfg.Host.DeliverCost
-			n.cluster.cfg.Trace.Record(trace.Event{
-				At: now, Node: n.ID, Kind: trace.Delivered, Network: -1,
-				Detail: fmt.Sprintf("seq %d from %v (%dB)", act.Msg.Seq, act.Msg.Sender, len(act.Msg.Payload)),
-			})
+			if c.tracing {
+				c.cfg.Trace.Record(trace.Event{
+					At: now, Node: n.ID, Kind: trace.Delivered, Network: -1,
+					A: int64(act.Msg.Seq), B: int64(act.Msg.Sender), C: int64(len(act.Msg.Payload)),
+				})
+			}
 			n.DeliveredCount++
 			n.DeliveredBytes += uint64(len(act.Msg.Payload))
 			if n.KeepPayloads {
@@ -448,29 +474,39 @@ func (n *Node) execute(now proto.Time, actions []proto.Action) {
 				n.OnDeliver(act.Msg)
 			}
 		case proto.Fault:
-			n.cluster.cfg.Trace.Record(trace.Event{
-				At: now, Node: n.ID, Kind: trace.FaultRaised,
-				Network: act.Report.Network, Detail: act.Report.Reason,
-			})
+			if c.tracing {
+				c.cfg.Trace.Record(trace.Event{
+					At: now, Node: n.ID, Kind: trace.FaultRaised,
+					Network: act.Report.Network, Detail: act.Report.Reason,
+				})
+			}
 			n.Faults = append(n.Faults, act.Report)
 			if n.OnFault != nil {
 				n.OnFault(act.Report)
 			}
 		case proto.FaultCleared:
-			n.cluster.cfg.Trace.Record(trace.Event{
-				At: now, Node: n.ID, Kind: trace.FaultCleared,
-				Network: act.Report.Network,
-				Detail:  fmt.Sprintf("readmitted after %d clean windows", act.Report.Probation),
-			})
+			if c.tracing {
+				c.cfg.Trace.Record(trace.Event{
+					At: now, Node: n.ID, Kind: trace.FaultCleared,
+					Network: act.Report.Network, A: int64(act.Report.Probation),
+				})
+			}
 			n.Cleared = append(n.Cleared, act.Report)
 			if n.OnCleared != nil {
 				n.OnCleared(act.Report)
 			}
 		case proto.Config:
-			n.cluster.cfg.Trace.Record(trace.Event{
-				At: now, Node: n.ID, Kind: trace.ConfigChanged, Network: -1,
-				Detail: act.Change.String(),
-			})
+			if c.tracing {
+				detail := ""
+				if act.Change.Transitional {
+					detail = "transitional"
+				}
+				c.cfg.Trace.Record(trace.Event{
+					At: now, Node: n.ID, Kind: trace.ConfigChanged, Network: -1,
+					A: int64(act.Change.Ring.Rep), B: int64(act.Change.Ring.Epoch),
+					C: int64(len(act.Change.Members)), Detail: detail,
+				})
+			}
 			n.Configs = append(n.Configs, act.Change)
 			if n.OnConfig != nil {
 				n.OnConfig(act.Change)
@@ -536,24 +572,14 @@ func (c *Cluster) deliverFrame(net *network, from, to proto.NodeID, at proto.Tim
 		ref.refs++
 	}
 	dst.dispatch(at, c.cfg.Host.RecvCost, func(now proto.Time) {
-		c.cfg.Trace.Record(trace.Event{
-			At: now, Node: dst.ID, Kind: trace.PacketReceived,
-			Network: net.idx, Detail: packetDetail(pkt.Data, pkt.Dest),
-		})
+		if c.tracing {
+			kind, _ := wire.PeekKind(pkt.Data)
+			c.cfg.Trace.Record(trace.Event{
+				At: now, Node: dst.ID, Kind: trace.PacketReceived, Network: net.idx,
+				A: int64(kind), B: int64(pkt.Dest), C: int64(len(pkt.Data)),
+			})
+		}
 		dst.execute(now, dst.Stack.OnPacket(now, net.idx, pkt.Data))
 		c.unref(ref)
 	})
-}
-
-// packetDetail renders a short description of an encoded packet.
-func packetDetail(data []byte, dest proto.NodeID) string {
-	kind, err := wire.PeekKind(data)
-	if err != nil {
-		return fmt.Sprintf("undecodable %dB", len(data))
-	}
-	to := "bcast"
-	if dest != proto.BroadcastID {
-		to = dest.String()
-	}
-	return fmt.Sprintf("%v -> %s (%dB)", kind, to, len(data))
 }

@@ -7,11 +7,10 @@ import (
 	"github.com/totem-rrp/totem/internal/proto"
 )
 
-// BenchmarkHotPathSimStep measures one discrete event of a saturated
-// 4-node ring end to end: scheduler pop (pooled events), stack handlers
-// (pooled frames, recycled action batches) and frame refcounting. This is
-// the unit the wall-clock figure benchmarks are made of.
-func BenchmarkHotPathSimStep(b *testing.B) {
+// saturatedCluster builds a formed 4-node ring under a saturating
+// workload, ready for single-step measurement.
+func saturatedCluster(b *testing.B) *Cluster {
+	b.Helper()
 	c, err := NewCluster(Config{
 		Nodes:    4,
 		Networks: 1,
@@ -53,6 +52,34 @@ func BenchmarkHotPathSimStep(b *testing.B) {
 	}
 	c.Sim.After(0, pump)
 	c.Run(100 * time.Millisecond) // reach steady state
+	return c
+}
+
+// BenchmarkHotPathSimStep measures one discrete event of a saturated
+// 4-node ring end to end: scheduler pop (pooled events), stack handlers
+// (pooled frames, recycled action batches) and frame refcounting. This is
+// the unit the wall-clock figure benchmarks are made of.
+func BenchmarkHotPathSimStep(b *testing.B) {
+	c := saturatedCluster(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.Sim.Step() {
+			b.Fatal("event queue empty")
+		}
+	}
+}
+
+// BenchmarkHotPathProbesDisabled proves the observability spine is free
+// when unused: with no tracer configured the probe hooks are nil and the
+// hot path must still run at 0 allocs/op. Compare against
+// BenchmarkHotPathSimStep (identical setup) to see the spine's cost — the
+// two should be indistinguishable.
+func BenchmarkHotPathProbesDisabled(b *testing.B) {
+	c := saturatedCluster(b)
+	if c.tracing {
+		b.Fatal("cluster unexpectedly tracing; this benchmark measures the disabled path")
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

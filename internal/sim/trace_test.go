@@ -40,6 +40,15 @@ func TestClusterEmitsTraceEvents(t *testing.T) {
 	if counter.Count(trace.FaultRaised) == 0 {
 		t.Fatal("no fault events traced after network death")
 	}
+	if counter.Count(trace.Machine) == 0 {
+		t.Fatal("no machine probe events traced")
+	}
+	if counter.CodeCount(proto.ProbeTokenGathered) == 0 {
+		t.Fatal("active gate never reported a gathered token")
+	}
+	if counter.CodeCount(proto.ProbePhase) == 0 {
+		t.Fatal("membership never reported a phase transition")
+	}
 	if ring.Len() == 0 {
 		t.Fatal("ring tracer retained nothing")
 	}
@@ -55,11 +64,15 @@ func TestTraceDetailFormatting(t *testing.T) {
 	c.Submit(1, []byte("x"))
 	c.Run(50 * time.Millisecond)
 	var sawToken, sawData bool
-	for _, e := range ring.Events() {
-		switch {
-		case e.Kind == trace.PacketSent && strings.Contains(e.Detail, "token"):
+	for _, e := range ring.Events(nil) {
+		if e.Kind != trace.PacketSent {
+			continue
+		}
+		// Packet events carry typed payloads; the text is derived lazily.
+		switch text := e.Text(); {
+		case strings.Contains(text, "token"):
 			sawToken = true
-		case e.Kind == trace.PacketSent && strings.Contains(e.Detail, "data"):
+		case strings.Contains(text, "data"):
 			sawData = true
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/totem-rrp/totem/internal/metrics"
 	"github.com/totem-rrp/totem/internal/proto"
 )
 
@@ -90,6 +91,11 @@ type Config struct {
 	// full speed (CPU courtesy for real-time deployments; zero disables,
 	// which the simulator and benchmarks use).
 	IdleTokenHold time.Duration
+
+	// Metrics, when non-nil, is the registry the machine registers its
+	// counters in (names under "srp."). Nil gets a private registry, so
+	// Stats keeps working for callers that never wire one up.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the defaults used throughout the repository; they

@@ -3,6 +3,7 @@ package srp
 import (
 	"fmt"
 
+	"github.com/totem-rrp/totem/internal/metrics"
 	"github.com/totem-rrp/totem/internal/proto"
 	"github.com/totem-rrp/totem/internal/wire"
 )
@@ -53,8 +54,9 @@ func (s State) String() string {
 	}
 }
 
-// Stats counts protocol events for tests, monitoring and the benchmark
-// harness.
+// Stats is a point-in-time view of the protocol counters, kept for API
+// compatibility. The machine's source of truth is the metrics registry
+// (names under "srp."); Stats is rebuilt from it on each call.
 type Stats struct {
 	TokensReceived   uint64
 	TokensSent       uint64
@@ -144,7 +146,7 @@ type Machine struct {
 	quietSetter bool        // rep: we have set TokenFlagQuiet at least once
 	heldToken   *wire.Token // idle-ring token held by the representative
 
-	stats Stats
+	ctr counters
 }
 
 // NewMachine builds a machine. It validates cfg and panics on programmer
@@ -156,6 +158,10 @@ func NewMachine(cfg Config, out Outbound, acts *proto.Actions) (*Machine, error)
 	if out == nil || acts == nil {
 		return nil, fmt.Errorf("%w: nil outbound or action buffer", ErrBadConfig)
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	return &Machine{
 		cfg:   cfg,
 		out:   out,
@@ -163,6 +169,7 @@ func NewMachine(cfg Config, out Outbound, acts *proto.Actions) (*Machine, error)
 		state: StateIdle,
 		asm:   wire.NewAssembler(),
 		rx:    make(map[uint32]*wire.DataPacket),
+		ctr:   newCounters(reg),
 	}, nil
 }
 
@@ -181,8 +188,36 @@ func (m *Machine) Members() []proto.NodeID {
 	return append([]proto.NodeID(nil), m.members...)
 }
 
-// Stats returns a snapshot of the protocol counters.
-func (m *Machine) Stats() Stats { return m.stats }
+// Stats returns a snapshot of the protocol counters (a thin view over
+// the metrics registry).
+func (m *Machine) Stats() Stats {
+	return Stats{
+		TokensReceived:   m.ctr.tokensReceived.Count(),
+		TokensSent:       m.ctr.tokensSent.Count(),
+		TokenRetransmits: m.ctr.tokenRetransmits.Count(),
+		PacketsSent:      m.ctr.packetsSent.Count(),
+		PacketsReceived:  m.ctr.packetsReceived.Count(),
+		Duplicates:       m.ctr.duplicates.Count(),
+		Retransmissions:  m.ctr.retransmissions.Count(),
+		RetransRequested: m.ctr.retransRequested.Count(),
+		MsgsDelivered:    m.ctr.msgsDelivered.Count(),
+		BytesDelivered:   m.ctr.bytesDelivered.Count(),
+		Submitted:        m.ctr.submitted.Count(),
+		SubmitRejected:   m.ctr.submitRejected.Count(),
+		TokenLosses:      m.ctr.tokenLosses.Count(),
+		ConfigChanges:    m.ctr.configChanges.Count(),
+	}
+}
+
+// setState records a membership phase transition, emitting a probe event
+// so phase changes are observable without polling.
+func (m *Machine) setState(s State) {
+	if m.state == s {
+		return
+	}
+	m.acts.Probe(proto.ProbePhase, -1, int64(m.state), int64(s), 0)
+	m.state = s
+}
 
 // Backlog returns the number of queued, not yet broadcast application
 // messages.
@@ -215,11 +250,12 @@ func (m *Machine) Submit(now proto.Time, payload []byte) bool {
 		return false
 	}
 	if m.packer.Backlog() >= m.cfg.MaxQueued {
-		m.stats.SubmitRejected++
+		m.ctr.submitRejected.Inc()
+		m.acts.Probe(proto.ProbeFlowStall, -1, int64(m.packer.Backlog()), 0, 0)
 		return false
 	}
 	m.packer.Enqueue(payload)
-	m.stats.Submitted++
+	m.ctr.submitted.Inc()
 	if m.state == StateOperational && len(m.members) == 1 {
 		m.flushSingleton(now)
 	} else if m.heldToken != nil {
@@ -276,13 +312,14 @@ func (m *Machine) OnTimer(now proto.Time, id proto.TimerID) {
 	switch id.Class {
 	case proto.TimerTokenLoss:
 		if m.state == StateOperational || m.state == StateRecovery {
-			m.stats.TokenLosses++
+			m.ctr.tokenLosses.Inc()
+			m.acts.Probe(proto.ProbeTokenLoss, -1, int64(m.lastTokenSeen.seq), 0, 0)
 			m.enterGather(now, nil, nil)
 		}
 	case proto.TimerTokenRetransmit:
 		if m.tokenRetransOn && m.lastTokenSent != nil {
 			m.out.Unicast(m.successor(), m.lastTokenSent)
-			m.stats.TokenRetransmits++
+			m.ctr.tokenRetransmits.Inc()
 			m.acts.SetTimer(proto.TimerID{Class: proto.TimerTokenRetransmit}, m.cfg.TokenRetransmitInterval)
 		}
 	case proto.TimerJoin:

@@ -39,7 +39,7 @@ func (m *Machine) enterGather(now proto.Time, extraProc, extraFail nodeSet) {
 	m.failSet = m.failSet.union(extraFail)
 	m.cancelOperationalTimers()
 	m.acts.CancelTimer(proto.TimerID{Class: proto.TimerCommitRetransmit})
-	m.state = StateGather
+	m.setState(StateGather)
 	m.joinsSeen = map[proto.NodeID]bool{m.cfg.ID: true}
 	m.consensus = map[proto.NodeID]bool{m.cfg.ID: true}
 	m.sendJoin()
@@ -212,7 +212,7 @@ func (m *Machine) checkConsensus(now proto.Time) {
 	}
 	// Wait for the representative's commit token, bounded by the full
 	// retry budget.
-	m.state = StateCommit
+	m.setState(StateCommit)
 	m.commitWaiting = true
 	m.lastCommitSent = nil
 	m.commitRetries = 0
@@ -233,7 +233,7 @@ func (m *Machine) createCommit(now proto.Time, cands nodeSet) {
 	c.Members[0].Visits = 1
 	m.pendingCommit = c
 	m.commitPhase = 1
-	m.state = StateCommit
+	m.setState(StateCommit)
 	m.commitWaiting = false
 	m.forwardCommit(c, 0)
 }
@@ -325,7 +325,7 @@ func (m *Machine) onCommit(now proto.Time, c *wire.CommitToken) {
 		e.Visits = 1
 		m.pendingCommit = c
 		m.commitPhase = 1
-		m.state = StateCommit
+		m.setState(StateCommit)
 		m.commitWaiting = false
 		m.acts.CancelTimer(proto.TimerID{Class: proto.TimerJoin})
 		m.acts.CancelTimer(proto.TimerID{Class: proto.TimerConsensus})

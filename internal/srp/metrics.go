@@ -1,0 +1,44 @@
+package srp
+
+import "github.com/totem-rrp/totem/internal/metrics"
+
+// counters holds the machine's resolved metric handles. Machines bump
+// these directly (one atomic add, no map lookup, no allocation); the
+// legacy Stats view and every external consumer read the same registry.
+type counters struct {
+	tokensReceived   *metrics.Counter
+	tokensSent       *metrics.Counter
+	tokenRetransmits *metrics.Counter
+	packetsSent      *metrics.Counter
+	packetsReceived  *metrics.Counter
+	duplicates       *metrics.Counter
+	retransmissions  *metrics.Counter
+	retransRequested *metrics.Counter
+	msgsDelivered    *metrics.Counter
+	bytesDelivered   *metrics.Counter
+	submitted        *metrics.Counter
+	submitRejected   *metrics.Counter
+	tokenLosses      *metrics.Counter
+	configChanges    *metrics.Counter
+}
+
+// newCounters resolves the SRP metric names in reg.
+func newCounters(reg *metrics.Registry) counters {
+	c := func(name string) *metrics.Counter { return reg.Counter("srp." + name) }
+	return counters{
+		tokensReceived:   c("tokens_received"),
+		tokensSent:       c("tokens_sent"),
+		tokenRetransmits: c("token_retransmits"),
+		packetsSent:      c("packets_sent"),
+		packetsReceived:  c("packets_received"),
+		duplicates:       c("duplicates"),
+		retransmissions:  c("retransmissions"),
+		retransRequested: c("retrans_requested"),
+		msgsDelivered:    c("msgs_delivered"),
+		bytesDelivered:   c("bytes_delivered"),
+		submitted:        c("submitted"),
+		submitRejected:   c("submit_rejected"),
+		tokenLosses:      c("token_losses"),
+		configChanges:    c("config_changes"),
+	}
+}

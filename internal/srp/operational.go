@@ -20,7 +20,7 @@ func (m *Machine) onData(now proto.Time, pkt *wire.DataPacket) {
 		return
 	}
 	if seq <= m.myAru || m.rx[seq] != nil {
-		m.stats.Duplicates++
+		m.ctr.duplicates.Inc()
 		return
 	}
 	m.rx[seq] = pkt
@@ -30,7 +30,7 @@ func (m *Machine) onData(now proto.Time, pkt *wire.DataPacket) {
 	for m.rx[m.myAru+1] != nil {
 		m.myAru++
 	}
-	m.stats.PacketsReceived++
+	m.ctr.packetsReceived.Inc()
 
 	if pkt.Flags&wire.FlagRecovery != 0 {
 		m.unwrapRecovery(pkt)
@@ -75,8 +75,8 @@ func (m *Machine) deliverPending() {
 			if !ok {
 				continue
 			}
-			m.stats.MsgsDelivered++
-			m.stats.BytesDelivered += uint64(len(msg))
+			m.ctr.msgsDelivered.Inc()
+			m.ctr.bytesDelivered.Add(uint64(len(msg)))
 			m.acts.Deliver(proto.Delivery{
 				Ring:    pkt.Ring,
 				Sender:  pkt.Sender,
@@ -116,7 +116,7 @@ func (m *Machine) flushSingleton(now proto.Time) {
 		m.rx[seq] = pkt
 		m.highSeq = seq
 		m.myAru = seq
-		m.stats.PacketsSent++
+		m.ctr.packetsSent.Inc()
 	}
 	m.safeTo = m.myAru
 	m.deliverPending()
@@ -147,7 +147,7 @@ func (m *Machine) broadcastPacket(tok *wire.Token, flags uint8, chunks []wire.Ch
 		m.myAru++
 	}
 	m.out.Broadcast(data)
-	m.stats.PacketsSent++
+	m.ctr.packetsSent.Inc()
 	return true
 }
 
@@ -168,7 +168,7 @@ func (m *Machine) onToken(now proto.Time, tok *wire.Token) {
 	}
 	m.seenAnyToken = true
 	m.lastTokenSeen = key
-	m.stats.TokensReceived++
+	m.ctr.tokensReceived.Inc()
 	wasOperational := m.state == StateOperational
 
 	m.acts.CancelTimer(proto.TimerID{Class: proto.TimerTokenLoss})
@@ -294,7 +294,8 @@ func (m *Machine) serveRetransmissions(tok *wire.Token) uint32 {
 			continue
 		}
 		m.out.Broadcast(data)
-		m.stats.Retransmissions++
+		m.ctr.retransmissions.Inc()
+		m.acts.Probe(proto.ProbeRetransServed, -1, int64(s), 0, 0)
 		sent++
 	}
 	tok.RTR = kept
@@ -315,7 +316,8 @@ func (m *Machine) requestRetransmissions(tok *wire.Token) {
 			continue
 		}
 		tok.RTR = append(tok.RTR, s)
-		m.stats.RetransRequested++
+		m.ctr.retransRequested.Inc()
+		m.acts.Probe(proto.ProbeRetransRequested, -1, int64(s), 0, 0)
 	}
 }
 
@@ -435,7 +437,7 @@ func (m *Machine) forwardToken(tok *wire.Token) {
 		}
 	}
 	m.out.Unicast(m.successor(), data)
-	m.stats.TokensSent++
+	m.ctr.tokensSent.Inc()
 	m.lastTokenSent = data
 	m.lastTokenSentKey = tokenKey{seq: tok.Seq, rotation: tok.Rotation}
 	m.tokenRetransOn = true

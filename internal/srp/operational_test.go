@@ -150,8 +150,8 @@ func TestOnDataDeliversInOrderAndCountsDuplicates(t *testing.T) {
 		t.Fatalf("deliveries = %v", got)
 	}
 	m.onData(0, mkData(m, 1, 1, "first"))
-	if m.stats.Duplicates != 1 {
-		t.Fatalf("Duplicates = %d", m.stats.Duplicates)
+	if m.Stats().Duplicates != 1 {
+		t.Fatalf("Duplicates = %d", m.Stats().Duplicates)
 	}
 }
 
@@ -231,8 +231,8 @@ func TestTokenRetransmitTimerResendsUntilEvidence(t *testing.T) {
 	if len(out.unicasts) != 1 {
 		t.Fatal("token not retransmitted")
 	}
-	if m.stats.TokenRetransmits != 1 {
-		t.Fatalf("TokenRetransmits = %d", m.stats.TokenRetransmits)
+	if m.Stats().TokenRetransmits != 1 {
+		t.Fatalf("TokenRetransmits = %d", m.Stats().TokenRetransmits)
 	}
 	// Evidence: a data packet with a higher seq cancels retransmission.
 	m.onData(0, mkData(m, 3, 10, "evidence"))
@@ -250,9 +250,9 @@ func TestDuplicateTokenIgnored(t *testing.T) {
 	m, out, _ := operationalMachine(t, 2)
 	tok := &wire.Token{Ring: m.ring, Seq: 9, Rotation: 3}
 	m.onToken(0, tok)
-	first := m.stats.TokensReceived
+	first := m.Stats().TokensReceived
 	m.onToken(0, &wire.Token{Ring: m.ring, Seq: 9, Rotation: 3})
-	if m.stats.TokensReceived != first {
+	if m.Stats().TokensReceived != first {
 		t.Fatal("retransmitted token processed twice")
 	}
 	_ = out

@@ -23,7 +23,7 @@ func (m *Machine) beginRecovery(now proto.Time, c *wire.CommitToken) {
 	m.members = newNodeSet(ids...)
 	m.resetRingState()
 	m.recQueue = nil
-	m.state = StateRecovery
+	m.setState(StateRecovery)
 
 	if m.old != nil {
 		var group []wire.CommitEntry
@@ -119,7 +119,7 @@ func (m *Machine) deliverOldAndInstall(now proto.Time) {
 			Members:      m.old.members.intersect(m.members),
 			Transitional: true,
 		})
-		m.stats.ConfigChanges++
+		m.ctr.configChanges.Inc()
 		for s := m.old.deliveredTo + 1; ; s++ {
 			pkt := m.old.rx[s]
 			if pkt == nil {
@@ -137,8 +137,8 @@ func (m *Machine) deliverOldAndInstall(now proto.Time) {
 				if !ok {
 					continue
 				}
-				m.stats.MsgsDelivered++
-				m.stats.BytesDelivered += uint64(len(msg))
+				m.ctr.msgsDelivered.Inc()
+				m.ctr.bytesDelivered.Add(uint64(len(msg)))
 				m.acts.Deliver(proto.Delivery{
 					Ring:         m.old.ring,
 					Sender:       pkt.Sender,
@@ -155,8 +155,8 @@ func (m *Machine) deliverOldAndInstall(now proto.Time) {
 		Members:      m.members.clone(),
 		Transitional: false,
 	})
-	m.stats.ConfigChanges++
-	m.state = StateOperational
+	m.ctr.configChanges.Inc()
+	m.setState(StateOperational)
 	if m.isRep() {
 		// The representative advertises the ring so that partitioned
 		// rings discover each other once connectivity heals.

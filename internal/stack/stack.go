@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"github.com/totem-rrp/totem/internal/core"
+	"github.com/totem-rrp/totem/internal/metrics"
 	"github.com/totem-rrp/totem/internal/proto"
 	"github.com/totem-rrp/totem/internal/srp"
 )
@@ -16,6 +17,11 @@ import (
 type Config struct {
 	SRP srp.Config
 	RRP core.Config
+
+	// Metrics, when non-nil, is the registry both layers register their
+	// counters in; nil creates one per node. Layer-specific registries in
+	// SRP.Metrics/RRP.Metrics, when set, take precedence.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns defaults for a node on n redundant networks.
@@ -32,12 +38,23 @@ type Node struct {
 	acts proto.Actions
 	srp  *srp.Machine
 	rep  core.Replicator
+	met  *metrics.Registry
 }
 
 // New builds a node. The SRP's broadcasts and token unicasts are routed
 // through the replicator; packets the replicator passes up feed the SRP.
 func New(cfg Config) (*Node, error) {
-	n := &Node{}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	if cfg.SRP.Metrics == nil {
+		cfg.SRP.Metrics = reg
+	}
+	if cfg.RRP.Metrics == nil {
+		cfg.RRP.Metrics = reg
+	}
+	n := &Node{met: reg}
 	rep, err := core.New(cfg.RRP, &n.acts, core.Callbacks{
 		Deliver: func(now proto.Time, data []byte) { n.srp.OnPacket(now, data) },
 		Missing: func(seq uint32) bool { return n.srp.MissingBefore(seq) },
@@ -104,6 +121,14 @@ func (n *Node) OnTimer(now proto.Time, id proto.TimerID) []proto.Action {
 func (n *Node) Recycle(batch []proto.Action) {
 	n.acts.Recycle(batch)
 }
+
+// SetProbe installs (or removes, with nil) the typed machine-event hook
+// shared by both layers. Drivers install it before Start; with none
+// installed, probe emission is a single branch per site.
+func (n *Node) SetProbe(fn proto.ProbeFunc) { n.acts.SetProbe(fn) }
+
+// Metrics returns the node's metric registry (safe for concurrent reads).
+func (n *Node) Metrics() *metrics.Registry { return n.met }
 
 // SRP exposes the ordering machine (read-only use: state, stats).
 func (n *Node) SRP() *srp.Machine { return n.srp }

@@ -1,8 +1,13 @@
 // Package trace provides structured, low-overhead event tracing for the
 // protocol stack: packet transmissions and receptions, timer expirations,
-// deliveries, fault reports and configuration changes. The simulator (and
-// any other driver) records into a Tracer; tests and the fault-injection
-// tool read back a time-ordered event log to diagnose protocol behaviour.
+// deliveries, fault reports, configuration changes and typed in-machine
+// probe events. Drivers (the simulator and the real-time runtime) record
+// into a Tracer; tests, the fault-injection tool and the live /trace
+// debug endpoint read back a time-ordered event log.
+//
+// Events carry typed payloads (a code plus three integers) rather than
+// preformatted strings: recording is allocation-free, and human-readable
+// text is produced lazily by Event.String only when someone looks.
 package trace
 
 import (
@@ -12,6 +17,7 @@ import (
 	"time"
 
 	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/wire"
 )
 
 // Kind classifies an event.
@@ -26,6 +32,7 @@ const (
 	FaultRaised
 	FaultCleared
 	ConfigChanged
+	Machine
 	Note
 )
 
@@ -46,6 +53,8 @@ func (k Kind) String() string {
 		return "cleared"
 	case ConfigChanged:
 		return "config"
+	case Machine:
+		return "machine"
 	case Note:
 		return "note"
 	default:
@@ -53,7 +62,19 @@ func (k Kind) String() string {
 	}
 }
 
-// Event is one traced occurrence.
+// Event is one traced occurrence. The typed fields A, B and C carry the
+// payload; their meaning depends on Kind (and, for Machine events, Code):
+//
+//	PacketSent/PacketReceived: A = wire kind, B = destination node
+//	                           (proto.BroadcastID for broadcast), C = bytes
+//	TimerFired:                A = timer class, B = timer arg
+//	Delivered:                 A = seq, B = sender, C = bytes
+//	FaultCleared:              A = probation (clean windows served)
+//	ConfigChanged:             A = representative, B = epoch, C = members
+//	Machine:                   per Code; see proto.ProbeCode
+//
+// Detail is optional preformatted text (a fault reason, a note); when it
+// is empty String derives text from the typed fields on demand.
 type Event struct {
 	// At is the (virtual or real) time of the event.
 	At time.Duration
@@ -61,18 +82,80 @@ type Event struct {
 	Node proto.NodeID
 	// Kind classifies the event.
 	Kind Kind
-	// Network is the network index for packet events (-1 otherwise).
+	// Code identifies the machine event for Kind == Machine.
+	Code proto.ProbeCode
+	// Network is the network index for per-network events (-1 otherwise).
 	Network int
-	// Detail is a short human-readable description.
+	// A, B, C are the typed payload (meaning per Kind/Code).
+	A, B, C int64
+	// Detail is optional preformatted text. Recording a constant string
+	// ("transitional", a fault reason that already exists) is free; never
+	// build one with fmt.Sprintf on the recording path.
 	Detail string
+}
+
+// Text returns the human-readable payload description, using Detail when
+// present and formatting the typed fields otherwise.
+func (e Event) Text() string {
+	if e.Detail != "" {
+		return e.Detail
+	}
+	switch e.Kind {
+	case PacketSent, PacketReceived:
+		if proto.NodeID(e.B) == proto.BroadcastID {
+			return fmt.Sprintf("%v -> bcast (%dB)", wire.Kind(e.A), e.C)
+		}
+		return fmt.Sprintf("%v -> n%d (%dB)", wire.Kind(e.A), e.B, e.C)
+	case TimerFired:
+		return proto.TimerID{Class: proto.TimerClass(e.A), Arg: uint32(e.B)}.String()
+	case Delivered:
+		return fmt.Sprintf("seq %d from n%d (%dB)", e.A, e.B, e.C)
+	case FaultCleared:
+		return fmt.Sprintf("readmitted after %d clean windows", e.A)
+	case ConfigChanged:
+		return fmt.Sprintf("new ring ring(n%d,%d) members %d", e.A, e.B, e.C)
+	case Machine:
+		return formatMachine(e.Code, e.A, e.B, e.C)
+	}
+	return ""
+}
+
+// formatMachine renders a probe event's payload per its code.
+func formatMachine(code proto.ProbeCode, a, b, c int64) string {
+	switch code {
+	case proto.ProbeTokenGathered:
+		return fmt.Sprintf("%v seq %d rot %d", code, a, b)
+	case proto.ProbeTokenGated, proto.ProbeTokenTimedOut, proto.ProbeTokenDiscarded:
+		return fmt.Sprintf("%v seq %d", code, a)
+	case proto.ProbeMonitorThreshold:
+		return fmt.Sprintf("%v %d/%d", code, a, b)
+	case proto.ProbeMonitorDecay:
+		return fmt.Sprintf("%v window %d", code, a)
+	case proto.ProbeProbation:
+		return fmt.Sprintf("%v %d/%d clean windows", code, a, b)
+	case proto.ProbeProbeSent:
+		return fmt.Sprintf("%v budget %d", code, a)
+	case proto.ProbeFlapBackoff:
+		return fmt.Sprintf("%v probation now %d windows", code, a)
+	case proto.ProbeRetransRequested, proto.ProbeRetransServed:
+		return fmt.Sprintf("%v seq %d", code, a)
+	case proto.ProbeFlowStall:
+		return fmt.Sprintf("%v backlog %d", code, a)
+	case proto.ProbePhase:
+		return fmt.Sprintf("%v %d -> %d", code, a, b)
+	case proto.ProbeTokenLoss:
+		return fmt.Sprintf("%v last seq %d", code, a)
+	default:
+		return fmt.Sprintf("%v a=%d b=%d c=%d", code, a, b, c)
+	}
 }
 
 // String implements fmt.Stringer.
 func (e Event) String() string {
 	if e.Network >= 0 {
-		return fmt.Sprintf("%-12v %v %-7s net%d %s", e.At, e.Node, e.Kind, e.Network, e.Detail)
+		return fmt.Sprintf("%-12v %v %-7s net%d %s", e.At, e.Node, e.Kind, e.Network, e.Text())
 	}
-	return fmt.Sprintf("%-12v %v %-7s      %s", e.At, e.Node, e.Kind, e.Detail)
+	return fmt.Sprintf("%-12v %v %-7s      %s", e.At, e.Node, e.Kind, e.Text())
 }
 
 // Tracer receives events. Implementations must be safe for concurrent
@@ -96,6 +179,10 @@ type Ring struct {
 	buf   []Event
 	next  int
 	count uint64
+	// scratch is Dump's reusable event buffer, guarded by dumpMu so
+	// concurrent dumps do not trample each other.
+	dumpMu  sync.Mutex
+	scratch []Event
 }
 
 // NewRing returns a tracer retaining the last capacity events.
@@ -132,25 +219,27 @@ func (r *Ring) Total() uint64 {
 	return r.count
 }
 
-// Events returns the retained events, oldest first.
-func (r *Ring) Events() []Event {
+// Events appends the retained events to buf, oldest first, and returns
+// the extended slice. Pass a slice retained across calls (or nil) to
+// avoid a per-dump allocation once its capacity has grown to the ring's.
+func (r *Ring) Events(buf []Event) []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	n := len(r.buf)
-	if r.count < uint64(n) {
-		out := make([]Event, r.count)
-		copy(out, r.buf[:r.count])
-		return out
+	if r.count < uint64(len(r.buf)) {
+		return append(buf, r.buf[:r.count]...)
 	}
-	out := make([]Event, 0, n)
-	out = append(out, r.buf[r.next:]...)
-	out = append(out, r.buf[:r.next]...)
-	return out
+	buf = append(buf, r.buf[r.next:]...)
+	return append(buf, r.buf[:r.next]...)
 }
 
-// Dump writes the retained events to w, oldest first.
+// Dump writes the retained events to w, oldest first. The event snapshot
+// buffer is reused across calls, so periodic dumps (the /trace endpoint)
+// settle to zero event-buffer allocations.
 func (r *Ring) Dump(w io.Writer) error {
-	for _, e := range r.Events() {
+	r.dumpMu.Lock()
+	defer r.dumpMu.Unlock()
+	r.scratch = r.Events(r.scratch[:0])
+	for _, e := range r.scratch {
 		if _, err := fmt.Fprintln(w, e); err != nil {
 			return err
 		}
@@ -158,7 +247,9 @@ func (r *Ring) Dump(w io.Writer) error {
 	return nil
 }
 
-// Filter forwards only events matching the predicate.
+// Filter forwards only events matching the predicate. A nil Next drops
+// everything (so a Filter can be built before its sink is known), and a
+// nil Keep forwards everything.
 type Filter struct {
 	Next Tracer
 	Keep func(Event) bool
@@ -166,6 +257,9 @@ type Filter struct {
 
 // Record implements Tracer.
 func (f Filter) Record(e Event) {
+	if f.Next == nil {
+		return
+	}
 	if f.Keep == nil || f.Keep(e) {
 		f.Next.Record(e)
 	}
@@ -181,21 +275,29 @@ func (m Multi) Record(e Event) {
 	}
 }
 
-// Counter tallies events per kind; useful in assertions.
+// Counter tallies events per kind — and Machine events per probe code —
+// for structured assertions in tests and the fault-injection harness.
 type Counter struct {
 	mu     sync.Mutex
 	counts map[Kind]uint64
+	codes  map[proto.ProbeCode]uint64
 }
 
 // NewCounter returns an empty counter.
 func NewCounter() *Counter {
-	return &Counter{counts: make(map[Kind]uint64)}
+	return &Counter{
+		counts: make(map[Kind]uint64),
+		codes:  make(map[proto.ProbeCode]uint64),
+	}
 }
 
 // Record implements Tracer.
 func (c *Counter) Record(e Event) {
 	c.mu.Lock()
 	c.counts[e.Kind]++
+	if e.Kind == Machine {
+		c.codes[e.Code]++
+	}
 	c.mu.Unlock()
 }
 
@@ -204,4 +306,11 @@ func (c *Counter) Count(k Kind) uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.counts[k]
+}
+
+// CodeCount returns the tally for one machine probe code.
+func (c *Counter) CodeCount(code proto.ProbeCode) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.codes[code]
 }

@@ -5,6 +5,9 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/wire"
 )
 
 func ev(i int) Event {
@@ -16,7 +19,7 @@ func TestRingRetainsLastN(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		r.Record(ev(i))
 	}
-	events := r.Events()
+	events := r.Events(nil)
 	if len(events) != 3 {
 		t.Fatalf("len = %d", len(events))
 	}
@@ -34,7 +37,7 @@ func TestRingPartiallyFilled(t *testing.T) {
 	r := NewRing(10)
 	r.Record(ev(0))
 	r.Record(ev(1))
-	if got := r.Events(); len(got) != 2 || got[0].At != 0 {
+	if got := r.Events(nil); len(got) != 2 || got[0].At != 0 {
 		t.Fatalf("events = %v", got)
 	}
 	if r.Len() != 2 {
@@ -47,6 +50,43 @@ func TestRingZeroCapacityClamped(t *testing.T) {
 	r.Record(ev(1))
 	if r.Len() != 1 {
 		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+// TestEventsReusesBuffer checks the caller-supplied buffer contract: the
+// snapshot is appended into the provided slice and, once it has grown to
+// the ring's capacity, repeated snapshots allocate nothing.
+func TestEventsReusesBuffer(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 20; i++ { // wrap around more than twice
+		r.Record(ev(i))
+	}
+	buf := r.Events(nil)
+	if len(buf) != 8 {
+		t.Fatalf("len = %d, want 8", len(buf))
+	}
+	for i, e := range buf {
+		if e.At != time.Duration(i+12)*time.Millisecond {
+			t.Fatalf("event %d at %v", i, e.At)
+		}
+	}
+	p := &buf[0]
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = r.Events(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("Events with warm buffer allocated %.1f/op", allocs)
+	}
+	if &buf[0] != p {
+		t.Fatal("warm buffer was reallocated")
+	}
+	// Buffer reuse must not corrupt contents after further wraparound.
+	for i := 20; i < 25; i++ {
+		r.Record(ev(i))
+	}
+	buf = r.Events(buf[:0])
+	if len(buf) != 8 || buf[7].At != 24*time.Millisecond || buf[0].At != 17*time.Millisecond {
+		t.Fatalf("post-wrap snapshot wrong: first %v last %v", buf[0].At, buf[len(buf)-1].At)
 	}
 }
 
@@ -84,6 +124,32 @@ func TestDump(t *testing.T) {
 	}
 }
 
+// TestLazyFormatting checks that typed events with no Detail render their
+// payload fields on demand.
+func TestLazyFormatting(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want []string
+	}{
+		{Event{Kind: PacketSent, Network: 0, A: int64(wire.KindToken), B: 2, C: 48}, []string{"token", "n2", "48B"}},
+		{Event{Kind: PacketReceived, Network: 1, A: int64(wire.KindData), B: int64(proto.BroadcastID), C: 1000}, []string{"data", "bcast", "1000B"}},
+		{Event{Kind: TimerFired, Network: -1, A: int64(proto.TimerTokenLoss)}, []string{"token-loss"}},
+		{Event{Kind: Delivered, Network: -1, A: 17, B: 3, C: 64}, []string{"seq 17", "n3", "64B"}},
+		{Event{Kind: FaultCleared, Network: 1, A: 4}, []string{"readmitted", "4 clean"}},
+		{Event{Kind: ConfigChanged, Network: -1, A: 1, B: 5, C: 4, Detail: "transitional"}, []string{"transitional"}},
+		{Event{Kind: Machine, Code: proto.ProbeTokenGated, Network: -1, A: 9}, []string{"token-gated", "seq 9"}},
+		{Event{Kind: Machine, Code: proto.ProbeProbation, Network: 1, A: 2, B: 4}, []string{"probation", "2/4"}},
+	}
+	for _, c := range cases {
+		s := c.e.String()
+		for _, w := range c.want {
+			if !strings.Contains(s, w) {
+				t.Fatalf("%v event rendered %q, missing %q", c.e.Kind, s, w)
+			}
+		}
+	}
+}
+
 func TestFilter(t *testing.T) {
 	c := NewCounter()
 	f := Filter{Next: c, Keep: func(e Event) bool { return e.Kind == FaultRaised }}
@@ -100,6 +166,14 @@ func TestFilter(t *testing.T) {
 	}
 }
 
+func TestFilterNilNext(t *testing.T) {
+	// A Filter with no sink must drop events, not panic.
+	f := Filter{Keep: func(Event) bool { return true }}
+	f.Record(Event{Kind: PacketSent})
+	var f2 Filter
+	f2.Record(Event{Kind: Note})
+}
+
 func TestMulti(t *testing.T) {
 	a, b := NewCounter(), NewCounter()
 	m := Multi{a, b}
@@ -109,12 +183,29 @@ func TestMulti(t *testing.T) {
 	}
 }
 
+func TestCounterCodes(t *testing.T) {
+	c := NewCounter()
+	c.Record(Event{Kind: Machine, Code: proto.ProbeTokenGated})
+	c.Record(Event{Kind: Machine, Code: proto.ProbeTokenGated})
+	c.Record(Event{Kind: Machine, Code: proto.ProbeFlapBackoff})
+	c.Record(Event{Kind: PacketSent})
+	if c.Count(Machine) != 3 {
+		t.Fatalf("machine count = %d", c.Count(Machine))
+	}
+	if c.CodeCount(proto.ProbeTokenGated) != 2 || c.CodeCount(proto.ProbeFlapBackoff) != 1 {
+		t.Fatalf("code counts = %d, %d", c.CodeCount(proto.ProbeTokenGated), c.CodeCount(proto.ProbeFlapBackoff))
+	}
+	if c.CodeCount(proto.ProbePhase) != 0 {
+		t.Fatal("unexpected phase count")
+	}
+}
+
 func TestDiscard(t *testing.T) {
 	Discard.Record(Event{Kind: Note}) // must not panic
 }
 
 func TestKindStrings(t *testing.T) {
-	kinds := []Kind{PacketSent, PacketReceived, TimerFired, Delivered, FaultRaised, ConfigChanged, Note}
+	kinds := []Kind{PacketSent, PacketReceived, TimerFired, Delivered, FaultRaised, ConfigChanged, Machine, Note}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()

@@ -2,10 +2,12 @@ package transport
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/totem-rrp/totem/internal/proto"
 	"github.com/totem-rrp/totem/internal/stack"
+	"github.com/totem-rrp/totem/internal/trace"
 	"github.com/totem-rrp/totem/internal/wire"
 )
 
@@ -22,7 +24,15 @@ type Runtime struct {
 	// the batch completes (only touched by the loop goroutine).
 	sent [][]byte
 
+	// tracer, when non-nil, receives typed events from the loop goroutine
+	// and the stack's probe hook. Set before Start; nil costs one branch
+	// per site.
+	tracer trace.Tracer
+	id     proto.NodeID
+
 	events chan runtimeEvent
+	// submitRejected counts Submit calls refused by SRP backpressure.
+	submitRejected atomic.Uint64
 
 	timerMu  sync.Mutex
 	timerGen map[proto.TimerID]uint64
@@ -58,9 +68,10 @@ type submitReq struct {
 
 // NewRuntime wires a stack to a transport. Call Start to begin.
 func NewRuntime(st *stack.Node, tr Transport) *Runtime {
-	return &Runtime{
+	r := &Runtime{
 		stack:      st,
 		tr:         tr,
+		id:         st.ID(),
 		events:     make(chan runtimeEvent, 256),
 		timerGen:   make(map[proto.TimerID]uint64),
 		timers:     make(map[proto.TimerID]*time.Timer),
@@ -71,11 +82,41 @@ func NewRuntime(st *stack.Node, tr Transport) *Runtime {
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
+	reg := st.Metrics()
+	reg.RegisterFunc("runtime.events_depth", func() int64 { return int64(len(r.events)) })
+	reg.RegisterFunc("runtime.deliveries_depth", r.deliveries.depth)
+	reg.RegisterFunc("runtime.faults_depth", r.faults.depth)
+	reg.RegisterFunc("runtime.cleared_depth", r.cleared.depth)
+	reg.RegisterFunc("runtime.configs_depth", r.configs.depth)
+	reg.RegisterFunc("runtime.submit_rejected", func() int64 { return int64(r.submitRejected.Load()) })
+	if ms, ok := tr.(MetricSource); ok {
+		ms.RegisterMetrics(reg)
+	}
+	return r
+}
+
+// SetTracer installs a tracer for the runtime's packet/timer/delivery
+// events and the stack's machine probes. Must be called before Start; the
+// tracer must be safe for concurrent use if the caller also reads it
+// (trace.Ring is).
+func (r *Runtime) SetTracer(tr trace.Tracer) {
+	r.tracer = tr
 }
 
 // Start boots the protocol stack and the event loop.
 func (r *Runtime) Start() {
 	r.epoch = time.Now()
+	if r.tracer != nil {
+		// Machine probes fire synchronously inside stack calls, which the
+		// loop goroutine serialises, so stamping wall-clock time here is
+		// race-free.
+		r.stack.SetProbe(func(e proto.ProbeEvent) {
+			r.tracer.Record(trace.Event{
+				At: r.now(), Node: r.id, Kind: trace.Machine,
+				Code: e.Code, Network: e.Network, A: e.A, B: e.B, C: e.C,
+			})
+		})
+	}
 	go r.loop()
 }
 
@@ -93,6 +134,13 @@ func (r *Runtime) loop() {
 			if !ok {
 				return
 			}
+			if r.tracer != nil {
+				kind, _ := wire.PeekKind(pkt.Data)
+				r.tracer.Record(trace.Event{
+					At: r.now(), Node: r.id, Kind: trace.PacketReceived, Network: pkt.Network,
+					A: int64(kind), C: int64(len(pkt.Data)),
+				})
+			}
 			r.execute(r.stack.OnPacket(r.now(), pkt.Network, pkt.Data))
 			// The stack copies what it keeps from a data frame (decoded
 			// packets, not raw bytes), so the receive buffer can rejoin
@@ -103,10 +151,19 @@ func (r *Runtime) loop() {
 			switch {
 			case ev.timer != nil:
 				if r.takeTimer(ev.timer) {
+					if r.tracer != nil {
+						r.tracer.Record(trace.Event{
+							At: r.now(), Node: r.id, Kind: trace.TimerFired, Network: -1,
+							A: int64(ev.timer.id.Class), B: int64(ev.timer.id.Arg),
+						})
+					}
 					r.execute(r.stack.OnTimer(r.now(), ev.timer.id))
 				}
 			case ev.submit != nil:
 				ok, acts := r.stack.Submit(r.now(), ev.submit.payload)
+				if !ok {
+					r.submitRejected.Add(1)
+				}
 				r.execute(acts)
 				ev.submit.reply <- ok
 			case ev.query != nil:
@@ -135,18 +192,54 @@ func (r *Runtime) execute(actions []proto.Action) {
 			// Send errors are deliberately absorbed: a dead network is
 			// exactly what the RRP monitors are there to detect.
 			r.tr.Send(act.Network, act.Dest, act.Data) //nolint:errcheck
+			if r.tracer != nil {
+				kind, _ := wire.PeekKind(act.Data)
+				r.tracer.Record(trace.Event{
+					At: r.now(), Node: r.id, Kind: trace.PacketSent, Network: act.Network,
+					A: int64(kind), B: int64(act.Dest), C: int64(len(act.Data)),
+				})
+			}
 			r.noteSent(act.Data)
 		case proto.SetTimer:
 			r.setTimer(act.ID, act.After)
 		case proto.CancelTimer:
 			r.cancelTimer(act.ID)
 		case proto.Deliver:
+			if r.tracer != nil {
+				r.tracer.Record(trace.Event{
+					At: r.now(), Node: r.id, Kind: trace.Delivered, Network: -1,
+					A: int64(act.Msg.Seq), B: int64(act.Msg.Sender), C: int64(len(act.Msg.Payload)),
+				})
+			}
 			r.deliveries.push(act.Msg)
 		case proto.Fault:
+			if r.tracer != nil {
+				r.tracer.Record(trace.Event{
+					At: r.now(), Node: r.id, Kind: trace.FaultRaised,
+					Network: act.Report.Network, Detail: act.Report.Reason,
+				})
+			}
 			r.faults.push(act.Report)
 		case proto.FaultCleared:
+			if r.tracer != nil {
+				r.tracer.Record(trace.Event{
+					At: r.now(), Node: r.id, Kind: trace.FaultCleared,
+					Network: act.Report.Network, A: int64(act.Report.Probation),
+				})
+			}
 			r.cleared.push(act.Report)
 		case proto.Config:
+			if r.tracer != nil {
+				detail := ""
+				if act.Change.Transitional {
+					detail = "transitional"
+				}
+				r.tracer.Record(trace.Event{
+					At: r.now(), Node: r.id, Kind: trace.ConfigChanged, Network: -1,
+					A: int64(act.Change.Ring.Rep), B: int64(act.Change.Ring.Epoch),
+					C: int64(len(act.Change.Members)), Detail: detail,
+				})
+			}
 			r.configs.push(act.Change)
 		}
 	}
@@ -290,6 +383,14 @@ func newQueue[T any]() *queue[T] {
 	}
 	go q.pump()
 	return q
+}
+
+// depth reports the number of buffered, unconsumed entries (a gauge for
+// backpressure monitoring).
+func (q *queue[T]) depth() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return int64(len(q.buf))
 }
 
 func (q *queue[T]) push(v T) {

@@ -8,6 +8,7 @@ package transport
 import (
 	"errors"
 
+	"github.com/totem-rrp/totem/internal/metrics"
 	"github.com/totem-rrp/totem/internal/proto"
 )
 
@@ -32,6 +33,13 @@ type Transport interface {
 	Packets() <-chan Packet
 	// Close releases the transport's resources.
 	Close() error
+}
+
+// MetricSource is implemented by transports that can expose their own
+// counters (datagrams in/out, overflow drops). The Runtime registers any
+// transport implementing it into the stack's registry at construction.
+type MetricSource interface {
+	RegisterMetrics(*metrics.Registry)
 }
 
 // Transport errors.

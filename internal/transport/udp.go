@@ -4,8 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
+	"github.com/totem-rrp/totem/internal/metrics"
 	"github.com/totem-rrp/totem/internal/proto"
 	"github.com/totem-rrp/totem/internal/wire"
 )
@@ -34,6 +37,9 @@ type UDPConfig struct {
 type UDPTransport struct {
 	networks int
 	conns    []*net.UDPConn
+	// counters index by network; incremented from the read loops and the
+	// send goroutine, so they are atomics (see netCounters).
+	counters []netCounters
 
 	peerMu sync.RWMutex
 	peers  map[proto.NodeID][]*net.UDPAddr
@@ -57,6 +63,7 @@ func NewUDP(cfg UDPConfig) (*UDPTransport, error) {
 	}
 	t := &UDPTransport{
 		networks: len(cfg.Listen),
+		counters: make([]netCounters, len(cfg.Listen)),
 		peers:    make(map[proto.NodeID][]*net.UDPAddr, len(cfg.Peers)),
 		rx:       make(chan Packet, memDepth),
 		closed:   make(chan struct{}),
@@ -137,6 +144,7 @@ func (t *UDPTransport) readLoop(network int, conn *net.UDPConn) {
 			wire.PutFrame(buf)
 			return // socket closed
 		}
+		t.counters[network].rxDatagrams.Add(1)
 		select {
 		case t.rx <- Packet{Network: network, Data: buf[:n]}:
 			buf = wire.GetFrame()[:wire.FrameCap]
@@ -145,6 +153,7 @@ func (t *UDPTransport) readLoop(network int, conn *net.UDPConn) {
 			return
 		default:
 			// Drop on overflow: UDP semantics; retransmission recovers.
+			t.counters[network].rxDropped.Add(1)
 		}
 	}
 }
@@ -173,6 +182,7 @@ func (t *UDPTransport) Send(network int, dest proto.NodeID, data []byte) error {
 			// Best-effort fan-out: a failed peer must not stop the rest.
 			conn.WriteToUDP(data, a) //nolint:errcheck
 		}
+		t.counters[network].txDatagrams.Add(uint64(len(t.bcast)))
 		return nil
 	}
 	t.peerMu.RLock()
@@ -181,8 +191,30 @@ func (t *UDPTransport) Send(network int, dest proto.NodeID, data []byte) error {
 	if !ok {
 		return ErrNoPeer
 	}
+	t.counters[network].txDatagrams.Add(1)
 	_, err := conn.WriteToUDP(data, addrs[network])
 	return err
+}
+
+// netCounters is one network's datagram accounting.
+type netCounters struct {
+	rxDatagrams atomic.Uint64
+	rxDropped   atomic.Uint64
+	txDatagrams atomic.Uint64
+}
+
+// RegisterMetrics implements MetricSource: per-network datagram counts
+// and overflow drops under "udp.netI.*", plus the shared receive-queue
+// depth gauge.
+func (t *UDPTransport) RegisterMetrics(reg *metrics.Registry) {
+	for i := range t.counters {
+		c := &t.counters[i]
+		prefix := "udp.net" + strconv.Itoa(i)
+		reg.RegisterFunc(prefix+".rx_datagrams", func() int64 { return int64(c.rxDatagrams.Load()) })
+		reg.RegisterFunc(prefix+".rx_dropped", func() int64 { return int64(c.rxDropped.Load()) })
+		reg.RegisterFunc(prefix+".tx_datagrams", func() int64 { return int64(c.txDatagrams.Load()) })
+	}
+	reg.RegisterFunc("udp.rx_queue_depth", func() int64 { return int64(len(t.rx)) })
 }
 
 // Packets implements Transport.

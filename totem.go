@@ -49,9 +49,11 @@ import (
 	"time"
 
 	"github.com/totem-rrp/totem/internal/core"
+	"github.com/totem-rrp/totem/internal/metrics"
 	"github.com/totem-rrp/totem/internal/proto"
 	"github.com/totem-rrp/totem/internal/srp"
 	"github.com/totem-rrp/totem/internal/stack"
+	"github.com/totem-rrp/totem/internal/trace"
 	"github.com/totem-rrp/totem/internal/transport"
 )
 
@@ -154,6 +156,18 @@ type Options struct {
 	// RRP holds the redundant-ring parameters (token timers, monitor
 	// thresholds, decay interval).
 	RRP core.Config
+
+	// Tracer, if non-nil, receives every protocol event (packets, timers,
+	// deliveries, faults, membership, machine probes). It must be safe for
+	// concurrent reads if the caller inspects it while the node runs;
+	// trace.NewRing and trace.NewCounter both are. When nil and
+	// TraceCapacity > 0, the node creates an internal ring of that
+	// capacity, exposed via Node.Trace.
+	Tracer trace.Tracer
+	// TraceCapacity sizes the internal trace ring created when Tracer is
+	// nil. Zero disables tracing entirely (probe emission then costs a
+	// single predicted branch per site).
+	TraceCapacity int
 }
 
 // Errors returned by the public API.
@@ -170,8 +184,10 @@ var (
 // Node is one member of the redundant ring. All methods are safe for
 // concurrent use.
 type Node struct {
-	id NodeID
-	rt *transport.Runtime
+	id   NodeID
+	rt   *transport.Runtime
+	met  *metrics.Registry
+	ring *trace.Ring // non-nil only when TraceCapacity created it
 
 	mu     sync.Mutex
 	closed bool
@@ -217,7 +233,15 @@ func NewNode(cfg Config, tr Transport) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
-	n := &Node{id: cfg.ID, rt: transport.NewRuntime(st, tr)}
+	n := &Node{id: cfg.ID, rt: transport.NewRuntime(st, tr), met: st.Metrics()}
+	tracer := opts.Tracer
+	if tracer == nil && opts.TraceCapacity > 0 {
+		n.ring = trace.NewRing(opts.TraceCapacity)
+		tracer = n.ring
+	}
+	if tracer != nil {
+		n.rt.SetTracer(tracer)
+	}
 	n.rt.Start()
 	return n, nil
 }
@@ -323,6 +347,16 @@ func (n *Node) Stats() Stats {
 	})
 	return s
 }
+
+// Metrics returns the node's metric registry: every layer's named
+// counters and gauges ("srp.*", "rrp.*", "udp.*", "runtime.*") in one
+// snapshot-able source of truth. Safe for concurrent reads while the node
+// runs.
+func (n *Node) Metrics() *metrics.Registry { return n.met }
+
+// Trace returns the internal event ring created by Options.TraceCapacity,
+// or nil when tracing is disabled or an external Tracer was supplied.
+func (n *Node) Trace() *trace.Ring { return n.ring }
 
 // Close shuts the node down. The transport is not closed (the caller owns
 // it).
