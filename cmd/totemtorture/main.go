@@ -1,0 +1,249 @@
+// Command totemtorture runs the deterministic torture harness: seeded
+// adversarial fault programs executed on the virtual-time simulator with
+// every run checked against the global protocol invariants (agreed
+// delivery order, no duplicates, self-delivery, convergence after heal,
+// token accounting, monitor boundedness — see DESIGN.md §10).
+//
+// Batch mode scans seed ranges across replication styles; on the first
+// violation it greedily shrinks the fault program to a minimal repro and
+// (optionally) writes it to a JSON file that -replay re-executes byte for
+// byte:
+//
+//	totemtorture -seeds 200                 # CI smoke: seeds 1..200, all styles
+//	totemtorture -seed 7 -style passive -v  # one run, verbose
+//	totemtorture -seeds 50 -style active -shrink -repro fail.json
+//	totemtorture -replay fail.json          # re-run a saved repro
+//	totemtorture -seed 3 -style passive -chaos held-token-leak -expect token-accounting
+//
+// The -chaos flag re-introduces a known-fixed bug (mutation testing); with
+// -expect the exit status reports whether the checker caught it.
+//
+// Exit codes: 0 clean (or the expected violation fired), 1 violation (or
+// an expected violation did not fire), 2 usage or execution error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/core"
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/torture"
+)
+
+func main() {
+	var (
+		seeds    = flag.Int("seeds", 0, "batch mode: run seeds seed-base..seed-base+N-1 for each selected style")
+		seedBase = flag.Int64("seed-base", 1, "first seed of a -seeds batch")
+		seed     = flag.Int64("seed", 0, "single mode: run exactly this seed")
+		style    = flag.String("style", "all", "active | passive | active-passive | all")
+		shrink   = flag.Bool("shrink", false, "on violation, shrink the program to a minimal repro")
+		repro    = flag.String("repro", "", "write the (shrunk) failing program to this JSON file")
+		replay   = flag.String("replay", "", "re-execute a saved repro file instead of generating programs")
+		chaos    = flag.String("chaos", "", "re-introduce a fixed bug: held-token-leak | pinned-min")
+		expect   = flag.String("expect", "", "require this invariant to fire (mutation testing)")
+		traceN   = flag.Int("trace", 0, "print the last N trace events of a failing (or -v single) run")
+		verbose  = flag.Bool("v", false, "per-run progress output")
+	)
+	flag.Parse()
+
+	code, err := run(config{
+		seeds: *seeds, seedBase: *seedBase, seed: *seed, style: *style,
+		shrink: *shrink, repro: *repro, replay: *replay,
+		chaos: *chaos, expect: *expect, traceN: *traceN, verbose: *verbose,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "totemtorture:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+type config struct {
+	seeds    int
+	seedBase int64
+	seed     int64
+	style    string
+	shrink   bool
+	repro    string
+	replay   string
+	chaos    string
+	expect   string
+	traceN   int
+	verbose  bool
+}
+
+func run(cfg config) (int, error) {
+	opt := torture.Options{}
+	switch cfg.chaos {
+	case "":
+	case "held-token-leak":
+		opt.Chaos = core.ChaosFlags{HeldTokenLeak: true}
+	case "pinned-min":
+		opt.Chaos = core.ChaosFlags{MonitorPinnedMin: true}
+	default:
+		return 2, fmt.Errorf("unknown -chaos %q", cfg.chaos)
+	}
+
+	if cfg.replay != "" {
+		return replayFile(cfg, opt)
+	}
+
+	styles, err := selectStyles(cfg.style)
+	if err != nil {
+		return 2, err
+	}
+
+	if cfg.seed != 0 {
+		return batch(cfg, opt, styles, cfg.seed, 1)
+	}
+	if cfg.seeds <= 0 {
+		return 2, fmt.Errorf("need -seeds N, -seed S or -replay FILE (see -help)")
+	}
+	return batch(cfg, opt, styles, cfg.seedBase, cfg.seeds)
+}
+
+func selectStyles(name string) ([]proto.ReplicationStyle, error) {
+	if name == "all" {
+		return []proto.ReplicationStyle{
+			proto.ReplicationActive,
+			proto.ReplicationPassive,
+			proto.ReplicationActivePassive,
+		}, nil
+	}
+	s, err := torture.StyleByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return []proto.ReplicationStyle{s}, nil
+}
+
+// batch executes n seeds for every style and handles the first violation:
+// report, optionally shrink, optionally save, exit 1. With -expect the
+// polarity flips — a batch where no run fails the expected invariant is
+// the failure.
+func batch(cfg config, opt torture.Options, styles []proto.ReplicationStyle, base int64, n int) (int, error) {
+	start := time.Now()
+	runs := 0
+	for _, style := range styles {
+		for s := base; s < base+int64(n); s++ {
+			p := torture.Generate(s, style)
+			res, err := torture.Execute(p, opt)
+			if err != nil {
+				return 2, err
+			}
+			runs++
+			if cfg.verbose {
+				fmt.Printf("seed %d %-14s delivered %5d end %8s  %s\n",
+					s, style, res.Delivered, res.End.Truncate(time.Millisecond), outcome(res))
+			}
+			if res.Violation != nil {
+				if cfg.expect != "" && res.Violation.Invariant == cfg.expect {
+					fmt.Printf("expected violation fired: %v\n", res.Violation)
+					return 0, nil
+				}
+				return report(cfg, opt, p, res)
+			}
+			if cfg.traceN > 0 && cfg.seed != 0 {
+				printTail(res, cfg.traceN)
+			}
+		}
+	}
+	if cfg.expect != "" {
+		fmt.Printf("FAIL: expected invariant %q never fired in %d runs\n", cfg.expect, runs)
+		return 1, nil
+	}
+	fmt.Printf("ok: %d runs, %d styles, 0 violations (%.1fs)\n",
+		runs, len(styles), time.Since(start).Seconds())
+	return 0, nil
+}
+
+func outcome(res *torture.Result) string {
+	if res.Violation != nil {
+		return res.Violation.String()
+	}
+	return "ok"
+}
+
+// report prints a violation, optionally shrinks it to a minimal repro and
+// saves it, and returns exit code 1.
+func report(cfg config, opt torture.Options, p torture.Program, res *torture.Result) (int, error) {
+	fmt.Printf("VIOLATION seed %d style %s: %v\n", p.Seed, p.Style, res.Violation)
+	final, finalRes := p, res
+	if cfg.shrink {
+		sp, sr, err := torture.Shrink(p, opt, 0)
+		if err != nil {
+			return 2, err
+		}
+		if sr != nil && sr.Violation != nil {
+			final, finalRes = sp, sr
+			fmt.Printf("shrunk: %d ops -> %d ops, still fails %s\n",
+				len(p.Ops), len(sp.Ops), sr.Violation.Invariant)
+		}
+	}
+	if cfg.traceN > 0 {
+		printTail(finalRes, cfg.traceN)
+	}
+	if cfg.repro != "" {
+		r := torture.Repro{
+			Note:      fmt.Sprintf("totemtorture seed %d style %s", p.Seed, p.Style),
+			Chaos:     opt.Chaos,
+			Expect:    finalRes.Violation.Invariant,
+			Program:   final,
+			Violation: finalRes.Violation,
+		}
+		if err := torture.SaveRepro(cfg.repro, r); err != nil {
+			return 2, err
+		}
+		fmt.Printf("repro written to %s\n", cfg.repro)
+	}
+	return 1, nil
+}
+
+// replayFile re-executes a saved repro. The outcome is judged against the
+// repro's Expect field: an empty Expect means the program must run clean,
+// otherwise the recorded invariant must fire again.
+func replayFile(cfg config, opt torture.Options) (int, error) {
+	r, err := torture.LoadRepro(cfg.replay)
+	if err != nil {
+		return 2, err
+	}
+	if cfg.chaos == "" {
+		opt.Chaos = r.Chaos
+	}
+	expect := r.Expect
+	if cfg.expect != "" {
+		expect = cfg.expect
+	}
+	res, err := torture.Execute(r.Program, opt)
+	if err != nil {
+		return 2, err
+	}
+	fmt.Printf("replay %s: %s\n", cfg.replay, outcome(res))
+	if cfg.traceN > 0 {
+		printTail(res, cfg.traceN)
+	}
+	switch {
+	case expect == "" && res.Violation == nil:
+		return 0, nil
+	case expect != "" && res.Violation != nil && res.Violation.Invariant == expect:
+		return 0, nil
+	case expect != "":
+		fmt.Printf("FAIL: expected invariant %q, got %s\n", expect, outcome(res))
+		return 1, nil
+	default:
+		return 1, nil
+	}
+}
+
+func printTail(res *torture.Result, n int) {
+	lines := res.TraceTail
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	for _, l := range lines {
+		fmt.Println("  " + l)
+	}
+}

@@ -173,7 +173,7 @@ func (ap *activePassive) OnTimer(now proto.Time, id proto.TimerID) {
 		for _, mon := range ap.msgMon {
 			mon.replenish(ap.fault)
 		}
-		ap.acts.Probe(proto.ProbeMonitorDecay, -1, int64(ap.rec.windows), 0, 0)
+		ap.acts.Probe(proto.ProbeMonitorDecay, -1, int64(ap.rec.windows), monitorHeadroom(ap.tokMon, ap.msgMon), 0)
 		ap.recoveryTick(now, ap.Readmit)
 		ap.acts.SetTimer(proto.TimerID{Class: proto.TimerRRPDecay}, ap.cfg.DecayInterval)
 	}

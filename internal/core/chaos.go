@@ -1,0 +1,29 @@
+package core
+
+// Chaos deliberately reintroduces fixed bugs, so the torture harness
+// (internal/torture) can prove that its invariant checkers actually catch
+// the bug classes they were built for — mutation testing for the checker
+// itself. Every flag reverts one specific, already-fixed defect; with all
+// flags false (the zero value) the replicators behave correctly.
+//
+// The flags are package-level and unsynchronised on purpose: they are
+// consulted on hot paths, and the only supported use is single-threaded
+// test orchestration — set before building any replicator, reset when the
+// run ends. Production drivers must leave Chaos zeroed.
+var Chaos ChaosFlags
+
+// ChaosFlags selects which fixed bugs to reintroduce.
+type ChaosFlags struct {
+	// HeldTokenLeak reverts the displaced-held-token fix in passive
+	// replication: a second token arriving while one is buffered silently
+	// replaces it, stranding the displaced frame (no recycle) and leaving
+	// the probe/metric stream claiming the old token was never resolved.
+	// The torture harness catches this via its token-accounting invariant.
+	HeldTokenLeak bool
+	// MonitorPinnedMin reverts the countMonitor normalisation fix: the
+	// minimum is taken over all networks including faulty ones, so during
+	// a long-lived fault the frozen faulty counter pins the minimum and
+	// the healthy counters grow without bound. The torture harness catches
+	// this via its monitor-boundedness invariant (requirement P5).
+	MonitorPinnedMin bool
+}

@@ -106,6 +106,20 @@ func (p *passive) OnPacket(now proto.Time, network int, data []byte) {
 		}
 		// Buffer the token behind the outstanding messages (requirement
 		// P1: a delayed message must never trigger a retransmission).
+		if p.held != nil && !Chaos.HeldTokenLeak {
+			// A second token displaces the buffered one. The displaced
+			// token will never be delivered, so account for it as a
+			// discard and recycle its frame: received control frames are
+			// private pooled-capacity copies in the real transports, and
+			// once the replicator decides not to deliver one it holds the
+			// only live reference. (In the simulator token buffers are not
+			// pool-capacity, so PutFrame is a no-op there.) Dropping it
+			// silently both leaked the frame and left the probe stream
+			// attributing the hold to a token that was already gone.
+			p.met.tokensDiscarded.Inc()
+			p.acts.Probe(proto.ProbeTokenDiscarded, network, int64(p.heldSeq), 0, 0)
+			wire.PutFrame(p.held)
+		}
 		p.held = data
 		p.heldSeq = seq
 		if !p.holding {
@@ -176,7 +190,7 @@ func (p *passive) OnTimer(now proto.Time, id proto.TimerID) {
 		for _, mon := range p.msgMon {
 			mon.replenish(p.fault)
 		}
-		p.acts.Probe(proto.ProbeMonitorDecay, -1, int64(p.rec.windows), 0, 0)
+		p.acts.Probe(proto.ProbeMonitorDecay, -1, int64(p.rec.windows), monitorHeadroom(p.tokMon, p.msgMon), 0)
 		p.recoveryTick(now, p.Readmit)
 		p.acts.SetTimer(proto.TimerID{Class: proto.TimerRRPDecay}, p.cfg.DecayInterval)
 	}
@@ -235,16 +249,28 @@ func newCountMonitor(n int) *countMonitor {
 func (m *countMonitor) observe(network int, fault []bool) int {
 	m.recv[network]++
 	// Normalise: subtract the minimum so the counters track differences
-	// only.
-	minV := m.recv[0]
-	for _, v := range m.recv[1:] {
-		if v < minV {
+	// only. The minimum is taken over the non-faulty networks: a faulty
+	// network's counter is frozen (neither observed nor replenished), so
+	// letting it pin the minimum would stop normalisation for as long as
+	// the fault lasts and the healthy counters would grow without bound.
+	// Frozen counters instead ride the normalisation down to a floor of
+	// zero, which preserves their differences against the leader until
+	// readmission resets them anyway.
+	minV := int64(-1)
+	for i, v := range m.recv {
+		if fault[i] && !Chaos.MonitorPinnedMin {
+			continue
+		}
+		if minV < 0 || v < minV {
 			minV = v
 		}
 	}
 	if minV > 0 {
 		for i := range m.recv {
 			m.recv[i] -= minV
+			if m.recv[i] < 0 {
+				m.recv[i] = 0 // frozen faulty counter reached the floor
+			}
 		}
 	}
 	lag, lagDiff := -1, int64(0)
@@ -290,6 +316,21 @@ func (m *countMonitor) replenish(fault []bool) {
 // network starts with zero lag.
 func (m *countMonitor) readmit(i int) {
 	m.recv[i] = m.max()
+}
+
+// monitorHeadroom returns the largest per-network counter across the token
+// monitor and every per-sender message monitor. After normalisation the
+// minimum non-faulty counter is zero, so this is exactly how far the
+// monitors are from their "never grow unboundedly" contract; the decay
+// probe exports it so external checkers can assert the bound.
+func monitorHeadroom(tokMon *countMonitor, msgMon map[proto.NodeID]*countMonitor) int64 {
+	h := tokMon.max()
+	for _, mon := range msgMon {
+		if v := mon.max(); v > h {
+			h = v
+		}
+	}
+	return h
 }
 
 var _ Replicator = (*passive)(nil)

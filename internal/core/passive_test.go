@@ -241,6 +241,144 @@ func TestPassiveFaultStopsCountingTowardLag(t *testing.T) {
 	}
 }
 
+func TestPassiveDisplacedHeldTokenAccounted(t *testing.T) {
+	// Regression: a second token arriving while one was buffered silently
+	// replaced p.held — the displaced frame was never recycled and neither
+	// a probe nor a counter recorded that the old token was abandoned, so
+	// heldSeq probes were attributed to a token that was already gone.
+	rec := &recorder{missing: true}
+	p := newPassiveForTest(t, rec, 2)
+	var probes []proto.ProbeEvent
+	rec.acts.SetProbe(func(e proto.ProbeEvent) { probes = append(probes, e) })
+	p.OnPacket(0, 0, tokenBytes(t, 10, 0))
+	p.OnPacket(0, 1, tokenBytes(t, 20, 0))
+	if got := p.Stats().TokensDiscarded; got != 1 {
+		t.Fatalf("TokensDiscarded = %d, want the displaced token counted", got)
+	}
+	var disc []proto.ProbeEvent
+	for _, e := range probes {
+		if e.Code == proto.ProbeTokenDiscarded {
+			disc = append(disc, e)
+		}
+	}
+	if len(disc) != 1 || disc[0].A != 10 || disc[0].Network != 1 {
+		t.Fatalf("discard probes = %+v, want exactly one for the displaced seq 10 arriving on network 1", disc)
+	}
+	if p.heldSeq != 20 {
+		t.Fatalf("heldSeq = %d, want the surviving token (20)", p.heldSeq)
+	}
+	// The timer releases exactly the surviving token, once.
+	p.OnTimer(0, proto.TimerID{Class: proto.TimerRRPToken})
+	if len(rec.delivered) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(rec.delivered))
+	}
+	if seq, _, _ := peekTokenSeqForTest(rec.delivered[0]); seq != 20 {
+		t.Fatalf("released token seq = %d, want 20", seq)
+	}
+}
+
+func TestPassiveChaosHeldTokenLeakRevertsFix(t *testing.T) {
+	// The chaos flag must faithfully reintroduce the displaced-held-token
+	// bug so the torture harness can prove its accounting invariant
+	// catches it.
+	Chaos.HeldTokenLeak = true
+	t.Cleanup(func() { Chaos = ChaosFlags{} })
+	rec := &recorder{missing: true}
+	p := newPassiveForTest(t, rec, 2)
+	p.OnPacket(0, 0, tokenBytes(t, 10, 0))
+	p.OnPacket(0, 1, tokenBytes(t, 20, 0))
+	if got := p.Stats().TokensDiscarded; got != 0 {
+		t.Fatalf("TokensDiscarded = %d, chaos flag should restore the silent drop", got)
+	}
+}
+
+func TestPassiveMonitorBoundedDuringMultiHourFault(t *testing.T) {
+	// Regression: countMonitor.observe normalised with the minimum over
+	// *all* networks, so a faulty network's frozen counter pinned the
+	// minimum at zero and the healthy counters grew without bound for as
+	// long as the fault lasted — contradicting the monitor's "never grow
+	// unboundedly" contract. Three virtual hours of one-network traffic
+	// must keep every counter under a fixed bound.
+	rec := &recorder{missing: false}
+	cfg := DefaultConfig(2, proto.ReplicationPassive)
+	cfg.AutoReadmit = false // keep network 1 faulty for the whole run
+	rep, err := New(cfg, &rec.acts, rec.callbacks())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	p := rep.(*passive)
+	var seq uint32
+	// Drive network 1 into a fault the normal way.
+	for i := 0; i <= p.cfg.DiffThreshold; i++ {
+		seq++
+		p.OnPacket(0, 0, dataBytes(t, 3, seq))
+	}
+	if faults := rec.drainFaults(); len(faults) != 1 || faults[0].Network != 1 {
+		t.Fatalf("setup faults = %v, want network 1 convicted", faults)
+	}
+	// ~3 virtual hours: 50 messages and 5 token visits per decay window.
+	bound := int64(2*p.cfg.DiffThreshold + 2)
+	now := proto.Time(0)
+	for tick := 0; tick < 3*3600; tick++ {
+		for i := 0; i < 50; i++ {
+			seq++
+			p.OnPacket(now, 0, dataBytes(t, 3, seq))
+		}
+		for i := 0; i < 5; i++ {
+			seq++
+			p.OnPacket(now, 0, tokenBytes(t, seq, 0))
+		}
+		now += p.cfg.DecayInterval
+		p.OnTimer(now, proto.TimerID{Class: proto.TimerRRPDecay})
+		if h := monitorHeadroom(p.tokMon, p.msgMon); h > bound {
+			t.Fatalf("monitor headroom %d exceeds bound %d after %v of fault", h, bound, now)
+		}
+		rec.acts.Drain()
+	}
+}
+
+func TestPassiveChaosMonitorPinnedMinGrowsUnbounded(t *testing.T) {
+	// The chaos flag must faithfully reintroduce the pinned-minimum bug so
+	// the torture harness can prove its boundedness invariant catches it.
+	Chaos.MonitorPinnedMin = true
+	t.Cleanup(func() { Chaos = ChaosFlags{} })
+	rec := &recorder{missing: false}
+	p := newPassiveForTest(t, rec, 2)
+	p.fault[1] = true
+	var seq uint32
+	bound := int64(2*p.cfg.DiffThreshold + 2)
+	for i := 0; i < 4*p.cfg.DiffThreshold; i++ {
+		seq++
+		p.OnPacket(0, 0, dataBytes(t, 3, seq))
+	}
+	if h := monitorHeadroom(p.tokMon, p.msgMon); h <= bound {
+		t.Fatalf("monitor headroom %d stayed under %d, chaos flag should restore unbounded growth", h, bound)
+	}
+}
+
+func TestCountMonitorFrozenCounterSemantics(t *testing.T) {
+	m := newCountMonitor(3)
+	fault := []bool{false, false, true}
+	m.recv[2] = 5 // frozen ahead of the healthy networks
+	// While the frozen counter sits above the non-faulty minimum the fixed
+	// normalisation is identical to the original one: the counter rides
+	// down with every subtraction, preserving its differences.
+	m.observe(0, fault)
+	m.observe(1, fault) // non-faulty minimum hits 1 → subtract 1 everywhere
+	if m.recv[0] != 0 || m.recv[1] != 0 || m.recv[2] != 4 {
+		t.Fatalf("recv = %v, want frozen counter ridden down to 4", m.recv)
+	}
+	// At the floor it stops instead of going negative or (the bug) pinning
+	// the minimum; healthy counters keep normalising to zero.
+	for i := 0; i < 20; i++ {
+		m.observe(0, fault)
+		m.observe(1, fault)
+	}
+	if m.recv[0] != 0 || m.recv[1] != 0 || m.recv[2] != 0 {
+		t.Fatalf("recv = %v, want every counter at the floor", m.recv)
+	}
+}
+
 // peekKindForTest re-exports wire.PeekKind without an import cycle risk in
 // these white-box tests.
 func peekKindForTest(data []byte) (byte, error) {

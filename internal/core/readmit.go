@@ -123,10 +123,20 @@ func (b *base) noteReadmitted(i int) {
 	r.everCleared[i] = true
 	r.cleanWindows[i] = 0
 	r.probeBudget[i] = 0
-	// Peer readmissions land within about one window of each other (all
-	// nodes count the same clean windows from the same healing moment);
-	// two windows of grace absorb that skew plus conviction jitter.
-	r.graceUntil[i] = r.windows + 2
+	// Peer readmissions are skewed: each node's clean-window evidence
+	// depends on what its peers send, and a peer that still excludes the
+	// network from its send rotation holds the next node's readmission
+	// back. Until the slowest peer readmits, the network legitimately
+	// lags at everyone who already did, so the grace must outlast that
+	// skew or the fast readmitters re-convict and the fault rolls around
+	// the ring forever. Scaling the grace to the probation just served
+	// makes the loop self-stabilising: a flap doubles the probation,
+	// which doubles the next grace, until the grace covers the skew.
+	grace := uint64(r.probation[i])
+	if grace < 2 {
+		grace = 2
+	}
+	r.graceUntil[i] = r.windows + grace
 }
 
 // inReadmitGrace reports whether network i was readmitted so recently

@@ -93,11 +93,13 @@ func TestSilentWindowRestartsProbation(t *testing.T) {
 	}
 }
 
-// passGrace advances past the post-readmission grace so the next
-// conviction is not discarded as readmission skew.
+// passGrace advances past the post-readmission grace (scaled to the
+// probation just served) so the next conviction is not discarded as
+// readmission skew.
 func passGrace(a *active) {
-	decay(a)
-	decay(a)
+	for a.inReadmitGrace(1) {
+		decay(a)
+	}
 }
 
 func TestFlapDoublesProbation(t *testing.T) {

@@ -29,7 +29,9 @@ const (
 	// B = threshold.
 	ProbeMonitorThreshold
 	// ProbeMonitorDecay fires on each periodic decay/replenishment tick.
-	// A = decay window index.
+	// A = decay window index, B = largest per-network counter across all
+	// count monitors (a witness for the "counters never grow unboundedly"
+	// contract; only passive and active-passive populate it).
 	ProbeMonitorDecay
 	// ProbeProbation reports probation progress for a faulty network at
 	// each decay window. Network = the network under probation, A = clean
@@ -59,6 +61,12 @@ const (
 	// ProbeTokenLoss fires when the token-loss timer expires and the node
 	// abandons the ring to start the membership protocol. A = last seq.
 	ProbeTokenLoss
+	// ProbeSeqRollover fires when the representative abandons an
+	// operational ring because its sequence numbers approached the
+	// configured rollover limit, forcing a ring reformation that resets the
+	// sequence space. A = the sequence number that tripped the limit,
+	// B = the limit.
+	ProbeSeqRollover
 )
 
 // String implements fmt.Stringer.
@@ -92,6 +100,8 @@ func (c ProbeCode) String() string {
 		return "phase"
 	case ProbeTokenLoss:
 		return "token-loss"
+	case ProbeSeqRollover:
+		return "seq-rollover"
 	default:
 		return fmt.Sprintf("ProbeCode(%d)", uint8(c))
 	}

@@ -104,6 +104,13 @@ type Node struct {
 	timers   map[proto.TimerID]uint64 // generation per timer
 	timerGen uint64
 	crashed  bool
+	// incarnation counts restarts; every scheduled closure captures it so
+	// work queued for a previous life of the node (packet deliveries, CPU
+	// slots, timers) can never reach the stack of a later one.
+	incarnation uint64
+	// timerSkew scales timer durations (a drifting local clock); 0 or 1
+	// means nominal.
+	timerSkew float64
 
 	blockedSend map[int]bool
 	blockedRecv map[int]bool
@@ -265,26 +272,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	for i := 1; i <= cfg.Nodes; i++ {
 		id := proto.NodeID(i)
-		scfg := stack.DefaultConfig(id, cfg.Networks, cfg.Style)
-		if cfg.K != 0 {
-			scfg.RRP.K = cfg.K
-		}
-		if cfg.TuneSRP != nil {
-			cfg.TuneSRP(id, &scfg)
-		}
-		st, err := stack.New(scfg)
+		st, err := c.newStack(id, 0)
 		if err != nil {
-			return nil, fmt.Errorf("sim: node %v: %w", id, err)
-		}
-		if c.tracing {
-			// Surface the machines' own probe events in the trace stream,
-			// stamped with virtual time at the sink.
-			st.SetProbe(func(e proto.ProbeEvent) {
-				c.cfg.Trace.Record(trace.Event{
-					At: c.Sim.Now(), Node: id, Kind: trace.Machine,
-					Code: e.Code, Network: e.Network, A: e.A, B: e.B, C: e.C,
-				})
-			})
+			return nil, err
 		}
 		n := &Node{
 			ID:           id,
@@ -299,6 +289,39 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.order = append(c.order, id)
 	}
 	return c, nil
+}
+
+// newStack builds one node's protocol stack, applying the cluster tuning
+// hooks and installing the trace probe. initialEpoch seeds the SRP's
+// highest-known ring epoch (models Totem's stable-storage ring sequence
+// number); Restart passes the pre-crash value so a reborn node never mints
+// a RingID its former incarnation already used.
+func (c *Cluster) newStack(id proto.NodeID, initialEpoch uint32) (*stack.Node, error) {
+	scfg := stack.DefaultConfig(id, c.cfg.Networks, c.cfg.Style)
+	if c.cfg.K != 0 {
+		scfg.RRP.K = c.cfg.K
+	}
+	if c.cfg.TuneSRP != nil {
+		c.cfg.TuneSRP(id, &scfg)
+	}
+	if initialEpoch > scfg.SRP.InitialEpoch {
+		scfg.SRP.InitialEpoch = initialEpoch
+	}
+	st, err := stack.New(scfg)
+	if err != nil {
+		return nil, fmt.Errorf("sim: node %v: %w", id, err)
+	}
+	if c.tracing {
+		// Surface the machines' own probe events in the trace stream,
+		// stamped with virtual time at the sink.
+		st.SetProbe(func(e proto.ProbeEvent) {
+			c.cfg.Trace.Record(trace.Event{
+				At: c.Sim.Now(), Node: id, Kind: trace.Machine,
+				Code: e.Code, Network: e.Network, A: e.A, B: e.B, C: e.C,
+			})
+		})
+	}
+	return st, nil
 }
 
 // Node returns the simulated node with the given ID.
@@ -384,6 +407,45 @@ func (c *Cluster) Crash(id proto.NodeID) { c.nodes[id].crashed = true }
 // readable but is frozen at its pre-crash state.
 func (n *Node) Crashed() bool { return n.crashed }
 
+// Restart reboots a crashed node with a completely fresh protocol stack:
+// no ring state, empty queues, all timers gone — only the highest ring
+// epoch carries over (Totem's stable-storage ring sequence number), so the
+// new incarnation can never mint a RingID the old one already used. Work
+// scheduled for the previous incarnation is fenced off by the incarnation
+// counter. Observed event slices (Delivered, Faults, …) are retained
+// across the restart; checkers that care can record the restart time.
+func (c *Cluster) Restart(id proto.NodeID) error {
+	n := c.nodes[id]
+	if n == nil {
+		return fmt.Errorf("sim: unknown node %v", id)
+	}
+	if !n.crashed {
+		return fmt.Errorf("sim: node %v is not crashed", id)
+	}
+	st, err := c.newStack(id, n.Stack.SRP().MaxEpoch())
+	if err != nil {
+		return err
+	}
+	n.Stack = st
+	n.incarnation++
+	n.crashed = false
+	n.cpuBusy = 0
+	n.timers = make(map[proto.TimerID]uint64)
+	n.execute(c.Sim.Now(), st.Start(c.Sim.Now()))
+	return nil
+}
+
+// Incarnation returns how many times the node has been restarted.
+func (n *Node) Incarnation() uint64 { return n.incarnation }
+
+// SetTimerSkew scales node id's timer durations by factor, modelling a
+// drifting local clock: factor > 1 fires timers late (a slow clock),
+// factor < 1 early. It applies to timers armed after the call; 1 (or 0)
+// restores nominal timing. factor must not be negative.
+func (c *Cluster) SetTimerSkew(id proto.NodeID, factor float64) {
+	c.nodes[id].timerSkew = factor
+}
+
 // --- node internals ---
 
 // dispatch schedules work on the node's CPU: at time at, a slot of length
@@ -392,8 +454,9 @@ func (n *Node) Crashed() bool { return n.crashed }
 // CPU) keeps event processing linear under saturation and preserves FIFO
 // order among simultaneous arrivals.
 func (n *Node) dispatch(at proto.Time, cost time.Duration, fn func(now proto.Time)) {
+	inc := n.incarnation
 	n.cluster.Sim.At(at, func() {
-		if n.crashed {
+		if n.crashed || n.incarnation != inc {
 			return
 		}
 		now := n.cluster.Sim.Now()
@@ -407,7 +470,7 @@ func (n *Node) dispatch(at proto.Time, cost time.Duration, fn func(now proto.Tim
 			return
 		}
 		n.cluster.Sim.At(start, func() {
-			if n.crashed {
+			if n.crashed || n.incarnation != inc {
 				return
 			}
 			fn(start)
@@ -440,9 +503,14 @@ func (n *Node) execute(now proto.Time, actions []proto.Action) {
 			gen := n.timerGen
 			n.timers[act.ID] = gen
 			id := act.ID
-			n.cluster.Sim.At(now+act.After, func() {
-				if n.crashed || n.timers[id] != gen {
-					return // cancelled or re-armed
+			after := act.After
+			if s := n.timerSkew; s > 0 && s != 1 {
+				after = time.Duration(float64(after) * s)
+			}
+			inc := n.incarnation
+			n.cluster.Sim.At(now+after, func() {
+				if n.crashed || n.incarnation != inc || n.timers[id] != gen {
+					return // cancelled, re-armed, or from a previous life
 				}
 				delete(n.timers, id)
 				n.dispatch(n.cluster.Sim.Now(), 0, func(t proto.Time) {

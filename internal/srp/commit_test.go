@@ -29,7 +29,7 @@ func TestConsensusCreatesCommitAtRepresentative(t *testing.T) {
 	for _, p := range []proto.NodeID{2, 3} {
 		m.consensus[p] = true
 	}
-	m.checkConsensus(0)
+	m.checkConsensus(0, false)
 	if m.state != StateCommit || m.commitPhase != 1 {
 		t.Fatalf("state=%v phase=%d", m.state, m.commitPhase)
 	}
@@ -53,7 +53,7 @@ func TestConsensusMemberWaitsForCommit(t *testing.T) {
 	for _, p := range []proto.NodeID{1, 3} {
 		m.consensus[p] = true
 	}
-	m.checkConsensus(0)
+	m.checkConsensus(0, false)
 	if m.state != StateCommit || !m.commitWaiting {
 		t.Fatalf("state=%v waiting=%v", m.state, m.commitWaiting)
 	}
@@ -77,7 +77,7 @@ func TestCommitWaitTimeoutFailsRepresentative(t *testing.T) {
 	for _, p := range []proto.NodeID{1, 3} {
 		m.consensus[p] = true
 	}
-	m.checkConsensus(0)
+	m.checkConsensus(0, false)
 	if !m.commitWaiting {
 		t.Fatal("setup: not waiting")
 	}
@@ -95,7 +95,7 @@ func TestCommitRetransmitExhaustionFailsSuccessor(t *testing.T) {
 	for _, p := range []proto.NodeID{2, 3} {
 		m.consensus[p] = true
 	}
-	m.checkConsensus(0) // rep sends the commit token to node 2
+	m.checkConsensus(0, false) // rep sends the commit token to node 2
 	sentBefore := len(out.unicasts)
 	for i := 0; i < m.cfg.CommitRetransmitLimit-1; i++ {
 		m.onCommitTimeout(0)

@@ -92,6 +92,21 @@ type Config struct {
 	// which the simulator and benchmarks use).
 	IdleTokenHold time.Duration
 
+	// SeqRollover is the enforced sequence-space limit: when the ring's
+	// sequence number reaches it, the representative abandons the ring and
+	// reforms it (new epoch, sequence numbers restart at zero) instead of
+	// letting uint32 sequence comparisons wrap at 2³². The overshoot past
+	// the limit is bounded by WindowSize (flow control caps in-flight
+	// packets), so with the default of 2³¹ every comparison in the machine
+	// stays wrap-free by a factor of two. Zero selects the default; tests
+	// use tiny values to exercise rollover in seconds instead of days.
+	SeqRollover uint32
+	// InitialEpoch seeds the machine's highest-known ring epoch, so a
+	// restarted node never mints a RingID it already used in an earlier
+	// incarnation (Totem keeps this on stable storage; drivers that model
+	// restart pass the pre-crash value here).
+	InitialEpoch uint32
+
 	// Metrics, when non-nil, is the registry the machine registers its
 	// counters in (names under "srp."). Nil gets a private registry, so
 	// Stats keeps working for callers that never wire one up.
@@ -114,8 +129,14 @@ func DefaultConfig(id proto.NodeID) Config {
 		CommitRetransmitInterval: 30 * time.Millisecond,
 		CommitRetransmitLimit:    5,
 		MergeDetectInterval:      200 * time.Millisecond,
+		SeqRollover:              DefaultSeqRollover,
 	}
 }
+
+// DefaultSeqRollover is the sequence-space limit applied when
+// Config.SeqRollover is zero: half the uint32 range, leaving the entire
+// upper half as guard band for the bounded WindowSize overshoot.
+const DefaultSeqRollover = uint32(1) << 31
 
 // Validation errors.
 var (
@@ -150,6 +171,14 @@ func (c Config) Validate() error {
 	}
 	if c.CommitRetransmitLimit <= 0 {
 		return fmt.Errorf("%w: CommitRetransmitLimit must be positive", ErrBadConfig)
+	}
+	if c.SeqRollover != 0 {
+		if c.SeqRollover > DefaultSeqRollover {
+			return fmt.Errorf("%w: SeqRollover %d exceeds %d, eroding the wraparound guard band", ErrBadConfig, c.SeqRollover, DefaultSeqRollover)
+		}
+		if c.SeqRollover < 4*uint32(c.WindowSize) {
+			return fmt.Errorf("%w: SeqRollover %d below 4*WindowSize would reform the ring continuously", ErrBadConfig, c.SeqRollover)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,75 @@
+package srp
+
+import (
+	"testing"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/wire"
+)
+
+// These tests pin the two defences against membership livelock that the
+// torture harness forced into existence: stale-join filtering and paced
+// singleton installation. Without them a cluster under heavy packet
+// duplication can reform singleton rings thousands of times per second
+// (see DESIGN.md §10).
+
+func TestStaleJoinFromConcludedEpisodeIgnored(t *testing.T) {
+	m, _, _ := gatherMachine(t, 1, 1, 2, 3)
+
+	// A join from node 2 at epoch 5 sets its high-water mark.
+	m.onJoin(0, &wire.JoinPacket{Sender: 2, RingSeq: 5, ProcSet: []proto.NodeID{1, 2, 3}})
+	if m.joinEpoch[2] != 5 {
+		t.Fatalf("joinEpoch[2] = %d, want 5", m.joinEpoch[2])
+	}
+
+	// A duplicate from an episode node 2 has since concluded (lower
+	// epoch) carries a long-dead fail set; it must be dropped wholesale.
+	m.onJoin(0, &wire.JoinPacket{Sender: 2, RingSeq: 3, ProcSet: []proto.NodeID{1, 2, 3}, FailSet: []proto.NodeID{3}})
+	if m.failSet.contains(3) {
+		t.Fatal("stale join's fail set leaked into the current round")
+	}
+
+	// The same information at the current epoch is genuine and merges.
+	m.onJoin(0, &wire.JoinPacket{Sender: 2, RingSeq: 5, ProcSet: []proto.NodeID{1, 2, 3}, FailSet: []proto.NodeID{3}})
+	if !m.failSet.contains(3) {
+		t.Fatal("current-epoch join was not merged")
+	}
+}
+
+func TestSingletonInstallWaitsForConsensusTimer(t *testing.T) {
+	m, _, _ := gatherMachine(t, 1, 1, 2)
+	m.failSet = newNodeSet(2)
+
+	// Everyone else we know of is failed and we agree with ourselves, but
+	// the round was not concluded by the consensus timer: hold the episode
+	// open instead of minting a singleton ring at packet cadence.
+	m.checkConsensus(0, false)
+	if m.state != StateGather {
+		t.Fatalf("state = %v, want gather (paced singleton install)", m.state)
+	}
+
+	// The consensus timeout concludes the round and installs the singleton.
+	m.onConsensusTimeout(0)
+	if m.state != StateOperational {
+		t.Fatalf("state = %v, want operational after consensus timeout", m.state)
+	}
+	if members := m.Members(); len(members) != 1 || members[0] != 1 {
+		t.Fatalf("members = %v, want singleton [1]", members)
+	}
+}
+
+func TestSingletonStartStaysInstant(t *testing.T) {
+	// A node that boots alone (procSet == {self}) must still install its
+	// singleton ring immediately — the pacing guard only applies when
+	// other processors are known and failed.
+	out := &fakeOut{}
+	acts := &proto.Actions{}
+	m, err := NewMachine(DefaultConfig(7), out, acts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start(0)
+	if m.state != StateOperational {
+		t.Fatalf("state = %v, want operational right after solo start", m.state)
+	}
+}

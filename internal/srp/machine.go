@@ -132,6 +132,16 @@ type Machine struct {
 	failSet   nodeSet
 	joinsSeen map[proto.NodeID]bool
 	consensus map[proto.NodeID]bool
+	// joinEpoch is the highest RingSeq seen in a join from each sender.
+	// Joins below a sender's high-water mark are from a membership episode
+	// the sender has since left (it installed a ring, bumping its epoch)
+	// and are dropped: merging them would union long-dead fail sets into
+	// the current round, and under heavy packet duplication that stale
+	// poison can re-infect every fresh episode and livelock the cluster in
+	// singleton churn. This mirrors the ring sequence number filtering of
+	// Totem's join messages. Unlike the per-episode gather sets, the map
+	// persists across episodes — that is its entire point.
+	joinEpoch map[proto.NodeID]uint32
 
 	// Commit / recovery state.
 	commitPhase    uint8 // 0 none, 1 filled, 2 recovering, 3 token emitted
@@ -162,14 +172,21 @@ func NewMachine(cfg Config, out Outbound, acts *proto.Actions) (*Machine, error)
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	if cfg.SeqRollover == 0 {
+		// Hand-built configs predating the field keep working: zero means
+		// the default limit, never "no limit".
+		cfg.SeqRollover = DefaultSeqRollover
+	}
 	return &Machine{
-		cfg:   cfg,
-		out:   out,
-		acts:  acts,
-		state: StateIdle,
-		asm:   wire.NewAssembler(),
-		rx:    make(map[uint32]*wire.DataPacket),
-		ctr:   newCounters(reg),
+		cfg:       cfg,
+		out:       out,
+		acts:      acts,
+		state:     StateIdle,
+		maxEpoch:  cfg.InitialEpoch,
+		asm:       wire.NewAssembler(),
+		rx:        make(map[uint32]*wire.DataPacket),
+		joinEpoch: make(map[proto.NodeID]uint32),
+		ctr:       newCounters(reg),
 	}, nil
 }
 
@@ -181,6 +198,12 @@ func (m *Machine) State() State { return m.state }
 
 // Ring returns the current (or pending, during recovery) ring identifier.
 func (m *Machine) Ring() proto.RingID { return m.ring }
+
+// MaxEpoch returns the highest ring epoch this machine has seen or used.
+// Drivers that model node restart feed it back via Config.InitialEpoch so
+// the new incarnation never reuses a RingID (Totem's stable-storage ring
+// sequence number).
+func (m *Machine) MaxEpoch() uint32 { return m.maxEpoch }
 
 // Members returns the current membership (sorted). The returned slice is a
 // copy.
@@ -226,6 +249,8 @@ func (m *Machine) Backlog() int { return m.packer.Backlog() }
 // MissingBefore reports whether this node is missing any packet with
 // sequence number at or below seq on the current ring. The passive RRP
 // layer consults it before passing a token up (paper §6, requirement P1).
+// The plain < comparison is wraparound-safe because Config.SeqRollover
+// caps ring sequence numbers well below the uint32 range.
 func (m *Machine) MissingBefore(seq uint32) bool {
 	if m.state != StateOperational && m.state != StateRecovery {
 		return false

@@ -45,7 +45,7 @@ func (m *Machine) enterGather(now proto.Time, extraProc, extraFail nodeSet) {
 	m.sendJoin()
 	m.acts.SetTimer(proto.TimerID{Class: proto.TimerJoin}, m.cfg.JoinInterval)
 	m.acts.SetTimer(proto.TimerID{Class: proto.TimerConsensus}, m.cfg.ConsensusTimeout)
-	m.checkConsensus(now)
+	m.checkConsensus(now, false)
 }
 
 // snapshotOld preserves the operational ring's state for recovery.
@@ -96,6 +96,13 @@ func (m *Machine) onJoin(now proto.Time, j *wire.JoinPacket) {
 	if j.Sender == m.cfg.ID {
 		return // our own join echoed back through a redundant network
 	}
+	if j.RingSeq < m.joinEpoch[j.Sender] {
+		// Stale copy from an episode the sender has since concluded (its
+		// epoch advanced when it installed a ring). Its proc and fail sets
+		// describe a dead round; merging them would poison the current one.
+		return
+	}
+	m.joinEpoch[j.Sender] = j.RingSeq
 	if j.RingSeq > m.maxEpoch {
 		m.maxEpoch = j.RingSeq
 	}
@@ -155,7 +162,7 @@ func (m *Machine) mergeJoin(now proto.Time, j *wire.JoinPacket, jProc, jFail nod
 	}
 	m.joinsSeen[j.Sender] = true
 	m.consensus[j.Sender] = jProc.equal(m.procSet) && jFail.equal(m.failSet)
-	m.checkConsensus(now)
+	m.checkConsensus(now, false)
 }
 
 // onConsensusTimeout declares every processor that has not reached
@@ -175,13 +182,14 @@ func (m *Machine) onConsensusTimeout(now proto.Time) {
 	}
 	m.sendJoin()
 	m.acts.SetTimer(proto.TimerID{Class: proto.TimerConsensus}, m.cfg.ConsensusTimeout)
-	m.checkConsensus(now)
+	m.checkConsensus(now, true)
 }
 
 // checkConsensus installs a singleton, creates the commit token (as
 // representative) or waits for it (as member) once every reachable
-// processor advertises identical sets.
-func (m *Machine) checkConsensus(now proto.Time) {
+// processor advertises identical sets. timedOut is true when the call
+// comes from the consensus timer rather than from a received join.
+func (m *Machine) checkConsensus(now proto.Time, timedOut bool) {
 	cands := m.procSet.minus(m.failSet)
 	if !cands.contains(m.cfg.ID) {
 		// Defensive: our own fail set should never contain us, but if it
@@ -199,6 +207,17 @@ func (m *Machine) checkConsensus(now proto.Time) {
 		if !m.consensus[p] {
 			return
 		}
+	}
+	if len(cands) == 1 && len(m.procSet) > 1 && !timedOut {
+		// Everyone else we know of is in the fail set, typically because a
+		// burst of joins carried mutual grudges. Installing the singleton
+		// right here would mint a new ring — and a fresh wave of joins —
+		// at packet cadence, which under sustained join traffic degenerates
+		// into cluster-wide singleton churn thousands of times per second.
+		// Hold the episode open until the consensus timer expires instead:
+		// the pause absorbs in-flight joins, lets quieter rounds win, and
+		// paces worst-case reformations at the consensus timeout.
+		return
 	}
 	m.acts.CancelTimer(proto.TimerID{Class: proto.TimerJoin})
 	m.acts.CancelTimer(proto.TimerID{Class: proto.TimerConsensus})

@@ -121,6 +121,21 @@ func (m *Machine) flushSingleton(now proto.Time) {
 	m.safeTo = m.myAru
 	m.deliverPending()
 	m.prune()
+	// A singleton ring has no token to carry the sequence number past the
+	// representative, so the rollover check lives here instead.
+	if m.highSeq >= m.cfg.SeqRollover {
+		m.rolloverRing(now, m.highSeq)
+	}
+}
+
+// rolloverRing abandons an operational ring whose sequence space is about
+// to run out: reforming mints a new epoch and restarts sequence numbers at
+// zero (paper's ring sequence number semantics), which is what keeps the
+// machine's plain uint32 sequence comparisons safe without serial-number
+// arithmetic.
+func (m *Machine) rolloverRing(now proto.Time, seq uint32) {
+	m.acts.Probe(proto.ProbeSeqRollover, -1, int64(seq), int64(m.cfg.SeqRollover), 0)
+	m.enterGather(now, nil, nil)
 }
 
 // broadcastPacket encodes, self-stores and broadcasts one data packet,
@@ -170,6 +185,21 @@ func (m *Machine) onToken(now proto.Time, tok *wire.Token) {
 	m.lastTokenSeen = key
 	m.ctr.tokensReceived.Inc()
 	wasOperational := m.state == StateOperational
+
+	// Sequence-space exhaustion (documented limit, Config.SeqRollover):
+	// the representative retires the ring before uint32 comparisons could
+	// wrap. Only the representative triggers, so the ring reforms exactly
+	// once; everything undelivered moves across through the normal
+	// old-ring recovery exchange. Flow control bounds the overshoot past
+	// the limit to WindowSize, keeping all comparisons wrap-free. The
+	// rotation counter gets the same treatment: on an idle ring it grows
+	// without the sequence number, and letting it wrap would make
+	// tokenKey.newer reject the live token until the loss timeout fired.
+	if wasOperational && m.isRep() &&
+		(tok.Seq >= m.cfg.SeqRollover || tok.Rotation >= m.cfg.SeqRollover) {
+		m.rolloverRing(now, tok.Seq)
+		return
+	}
 
 	m.acts.CancelTimer(proto.TimerID{Class: proto.TimerTokenLoss})
 	if m.tokenRetransOn {

@@ -114,9 +114,10 @@ func (m *Machine) completeRecovery(now proto.Time) {
 // configuration. It leaves the machine Operational.
 func (m *Machine) deliverOldAndInstall(now proto.Time) {
 	if m.old != nil {
+		trans := m.old.members.intersect(m.members)
 		m.acts.Config(proto.ConfigChange{
 			Ring:         m.ring,
-			Members:      m.old.members.intersect(m.members),
+			Members:      trans,
 			Transitional: true,
 		})
 		m.ctr.configChanges.Inc()
@@ -126,27 +127,23 @@ func (m *Machine) deliverOldAndInstall(now proto.Time) {
 				break
 			}
 			m.old.deliveredTo = s
-			if pkt.Flags&wire.FlagRecovery != 0 {
-				// A nested recovery placeholder: its payload belongs to an
-				// older configuration that was already delivered when this
-				// old ring was installed.
+			m.deliverOldPacket(s, pkt)
+		}
+		// The agreed prefix ends at the first gap, but extended virtual
+		// synchrony still owes the messages of transitional members beyond
+		// it — above all a processor's own messages, which it holds by
+		// construction (self-delivery). A gap only forfeits messages from
+		// processors outside the transitional configuration; packets from
+		// members are delivered in sequence order past it. Without this a
+		// node forced through a singleton transition (e.g. after a failed
+		// commit round) silently drops its own accepted messages while the
+		// rest of the old ring goes on to deliver them.
+		for s := m.old.deliveredTo + 1; s <= m.old.high && s != 0; s++ {
+			pkt := m.old.rx[s]
+			if pkt == nil || !trans.contains(pkt.Sender) {
 				continue
 			}
-			for _, c := range pkt.Chunks {
-				msg, ok := m.old.asm.Add(pkt.Sender, c)
-				if !ok {
-					continue
-				}
-				m.ctr.msgsDelivered.Inc()
-				m.ctr.bytesDelivered.Add(uint64(len(msg)))
-				m.acts.Deliver(proto.Delivery{
-					Ring:         m.old.ring,
-					Sender:       pkt.Sender,
-					Seq:          s,
-					Payload:      msg,
-					Transitional: true,
-				})
-			}
+			m.deliverOldPacket(s, pkt)
 		}
 		m.old = nil
 	}
@@ -161,6 +158,32 @@ func (m *Machine) deliverOldAndInstall(now proto.Time) {
 		// The representative advertises the ring so that partitioned
 		// rings discover each other once connectivity heals.
 		m.acts.SetTimer(proto.TimerID{Class: proto.TimerMergeDetect}, m.cfg.MergeDetectInterval)
+	}
+}
+
+// deliverOldPacket delivers one old-ring packet in the transitional
+// configuration.
+func (m *Machine) deliverOldPacket(s uint32, pkt *wire.DataPacket) {
+	if pkt.Flags&wire.FlagRecovery != 0 {
+		// A nested recovery placeholder: its payload belongs to an older
+		// configuration that was already delivered when this old ring was
+		// installed.
+		return
+	}
+	for _, c := range pkt.Chunks {
+		msg, ok := m.old.asm.Add(pkt.Sender, c)
+		if !ok {
+			continue
+		}
+		m.ctr.msgsDelivered.Inc()
+		m.ctr.bytesDelivered.Add(uint64(len(msg)))
+		m.acts.Deliver(proto.Delivery{
+			Ring:         m.old.ring,
+			Sender:       pkt.Sender,
+			Seq:          s,
+			Payload:      msg,
+			Transitional: true,
+		})
 	}
 }
 

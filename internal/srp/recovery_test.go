@@ -208,3 +208,41 @@ func TestMergeDetectIgnoredFromOwnRing(t *testing.T) {
 		t.Fatal("foreign advertisement did not trigger gather")
 	}
 }
+
+func TestSingletonTransitionDeliversOwnMessagesPastGap(t *testing.T) {
+	// Node 2 was operational holding a foreign packet at seq 4 and its own
+	// packets at 5 and 7; seq 6 (from node 1) was lost before the ring
+	// broke, so the agreed prefix ends at the gap below 4. When node 2
+	// falls back to a singleton configuration, extended virtual synchrony
+	// still owes it its own messages beyond the gap: 5 and 7 must be
+	// delivered transitionally, while the foreign 4 is forfeited with the
+	// gap (node 1 is not in the transitional configuration).
+	m, _, acts := operationalMachine(t, 2)
+	m.rx[4] = mkData(m, 1, 4, "four")
+	m.rx[5] = mkData(m, 2, 5, "five")
+	m.rx[7] = mkData(m, 2, 7, "seven")
+	m.highSeq = 7
+	m.snapshotOld()
+	m.state = StateGather
+	m.procSet = newNodeSet(2)
+	acts.Drain()
+
+	m.installSingleton(0)
+
+	if m.state != StateOperational || len(m.members) != 1 {
+		t.Fatalf("state=%v members=%v, want operational singleton", m.state, m.members)
+	}
+	got := drainDeliveries(acts)
+	if len(got) != 2 {
+		t.Fatalf("deliveries = %v, want own messages 5 and 7", got)
+	}
+	for i, want := range []struct {
+		seq     uint32
+		payload string
+	}{{5, "five"}, {7, "seven"}} {
+		d := got[i]
+		if d.Seq != want.seq || string(d.Payload) != want.payload || !d.Transitional || d.Sender != 2 {
+			t.Fatalf("delivery %d = %+v, want own seq %d %q transitional", i, d, want.seq, want.payload)
+		}
+	}
+}

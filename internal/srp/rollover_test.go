@@ -1,0 +1,152 @@
+package srp
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/wire"
+)
+
+func TestSeqRolloverRepReformsRing(t *testing.T) {
+	// The representative must retire the ring once the token sequence
+	// number reaches the documented limit, before any uint32 comparison
+	// could wrap.
+	m, _, acts := operationalMachine(t, 1) // id 1 == rep of {1,2,3}
+	m.cfg.SeqRollover = 1000
+	var probes []proto.ProbeEvent
+	acts.SetProbe(func(e proto.ProbeEvent) { probes = append(probes, e) })
+	m.myAru = 1000
+	m.onToken(0, &wire.Token{Ring: m.ring, Seq: 1000, ARU: 1000})
+	if m.state != StateGather {
+		t.Fatalf("state = %v, want gather after hitting the rollover limit", m.state)
+	}
+	var roll []proto.ProbeEvent
+	for _, e := range probes {
+		if e.Code == proto.ProbeSeqRollover {
+			roll = append(roll, e)
+		}
+	}
+	if len(roll) != 1 || roll[0].A != 1000 || roll[0].B != 1000 {
+		t.Fatalf("rollover probes = %+v, want one with seq 1000 limit 1000", roll)
+	}
+}
+
+func TestSeqRolloverNonRepLeavesTriggeringToTheRep(t *testing.T) {
+	// Only the representative reforms, so the ring does not collapse into
+	// N simultaneous Gather rounds.
+	m, out, _ := operationalMachine(t, 2)
+	m.cfg.SeqRollover = 1000
+	m.myAru = 1000
+	m.onToken(0, &wire.Token{Ring: m.ring, Seq: 1000, ARU: 1000})
+	if m.state != StateOperational {
+		t.Fatalf("state = %v, want a non-rep to keep operating", m.state)
+	}
+	if len(out.unicasts) == 0 {
+		t.Fatal("non-rep did not forward the token")
+	}
+}
+
+func TestRotationRolloverRepReformsRing(t *testing.T) {
+	// An idle ring advances the rotation counter without the sequence
+	// number; it gets the same enforced limit.
+	m, _, _ := operationalMachine(t, 1)
+	m.cfg.SeqRollover = 1000
+	m.onToken(0, &wire.Token{Ring: m.ring, Seq: 0, ARU: 0, Rotation: 1000})
+	if m.state != StateGather {
+		t.Fatalf("state = %v, want gather after rotation limit", m.state)
+	}
+}
+
+func TestSeqRolloverSingletonFlush(t *testing.T) {
+	// A singleton ring has no circulating token, so the flush path carries
+	// the check.
+	m, _, acts := operationalMachine(t, 1)
+	m.cfg.SeqRollover = 1000
+	m.members = newNodeSet(1)
+	m.ring = proto.RingID{Rep: 1, Epoch: 5}
+	m.myAru = 999
+	m.highSeq = 999
+	m.deliveredTo = 999
+	var rolled bool
+	acts.SetProbe(func(e proto.ProbeEvent) {
+		if e.Code == proto.ProbeSeqRollover {
+			rolled = true
+		}
+	})
+	if !m.Submit(0, []byte("tip over the limit")) {
+		t.Fatal("submit rejected")
+	}
+	if !rolled {
+		t.Fatal("no rollover probe after singleton flush crossed the limit")
+	}
+	// Singleton consensus is instantaneous: the machine reforms and lands
+	// straight back in Operational on a fresh ring with the sequence space
+	// reset.
+	if m.state != StateOperational || m.ring.Epoch <= 5 {
+		t.Fatalf("state %v ring %+v, want operational on a newer epoch", m.state, m.ring)
+	}
+	if m.highSeq >= 999 {
+		t.Fatalf("highSeq = %d, want sequence space reset", m.highSeq)
+	}
+}
+
+func TestSeqRolloverBelowLimitUntouched(t *testing.T) {
+	m, out, _ := operationalMachine(t, 1)
+	m.cfg.SeqRollover = 1000
+	m.myAru = 999
+	m.onToken(0, &wire.Token{Ring: m.ring, Seq: 999, ARU: 999})
+	if m.state != StateOperational {
+		t.Fatalf("state = %v, want operational below the limit", m.state)
+	}
+	if len(out.unicasts) == 0 {
+		t.Fatal("token not forwarded")
+	}
+}
+
+func TestSeqRolloverZeroMeansDefault(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.SeqRollover = 0 // hand-built configs predating the field
+	m, err := NewMachine(cfg, &fakeOut{}, &proto.Actions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.cfg.SeqRollover != DefaultSeqRollover {
+		t.Fatalf("SeqRollover = %d, want normalised to %d", m.cfg.SeqRollover, DefaultSeqRollover)
+	}
+}
+
+func TestSeqRolloverValidation(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.SeqRollover = DefaultSeqRollover + 1
+	if err := cfg.Validate(); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("oversized limit: err = %v", err)
+	}
+	cfg.SeqRollover = 4*uint32(cfg.WindowSize) - 1
+	if err := cfg.Validate(); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("undersized limit: err = %v", err)
+	}
+	cfg.SeqRollover = 4 * uint32(cfg.WindowSize)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("minimum limit rejected: %v", err)
+	}
+}
+
+func TestInitialEpochPreventsRingIDReuse(t *testing.T) {
+	// A restarted node seeded with its pre-crash MaxEpoch must mint ring
+	// epochs strictly above everything its former incarnation used.
+	cfg := DefaultConfig(1)
+	cfg.InitialEpoch = 41
+	m, err := NewMachine(cfg, &fakeOut{}, &proto.Actions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxEpoch() != 41 {
+		t.Fatalf("MaxEpoch = %d, want the seeded 41", m.MaxEpoch())
+	}
+	m.Start(0)
+	m.OnTimer(cfg.ConsensusTimeout, proto.TimerID{Class: proto.TimerConsensus})
+	if m.state != StateOperational || m.ring.Epoch <= 41 {
+		t.Fatalf("state %v ring %+v, want a singleton ring with epoch > 41", m.state, m.ring)
+	}
+}

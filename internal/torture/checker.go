@@ -1,0 +1,376 @@
+package torture
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/sim"
+	"github.com/totem-rrp/totem/internal/srp"
+	"github.com/totem-rrp/totem/internal/trace"
+	"github.com/totem-rrp/totem/internal/wire"
+)
+
+// Violation is the checker's verdict: which invariant broke first, where
+// and when. A run has at most one violation — the checker freezes on the
+// first so the trace tail ends at the failure.
+type Violation struct {
+	// Invariant is a stable name from the catalogue in DESIGN.md §10:
+	// "order", "no-dup", "final-ring", "ring-drain", "self-delivery",
+	// "monitor-bound", "token-accounting", "fault-heal".
+	Invariant string        `json:"invariant"`
+	Node      proto.NodeID  `json:"node,omitempty"`
+	At        time.Duration `json:"at"`
+	Detail    string        `json:"detail"`
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("[%v] %s at node %v: %s", v.At, v.Invariant, v.Node, v.Detail)
+}
+
+// Checker subscribes to every node's delivery stream and to the cluster
+// trace feed and asserts the global protocol invariants online; the
+// end-of-run invariants are checked by Finish once the healed cluster has
+// had time to converge. All checks are sound under extended virtual
+// synchrony: nodes partitioned away may deliver fewer messages, so the
+// online check is per-ring order consistency, never whole-stream equality
+// across nodes.
+type Checker struct {
+	passiveStyle bool
+	monitorBound int64
+	now          func() proto.Time
+
+	rings map[proto.RingID]*ringLog
+	nodes map[proto.NodeID]*nodeState
+
+	violation *Violation
+}
+
+// ringLog is the reconstructed global delivery order of one ring. The
+// first node to deliver a packet authors its chunk list; every other node
+// must replay it exactly. Chunks of one packet are delivered atomically
+// (one OnPacket batch), so an entry is complete as soon as its author's
+// batch ends — any node that leaves a sequence number short, or extends
+// an entry another node already finished, has diverged.
+type ringLog struct {
+	id      proto.RingID
+	entries map[uint32]*seqEntry
+}
+
+type seqEntry struct {
+	chunks []uint64 // payload hashes, in delivery order
+	closed bool     // some node finished this packet and moved on
+}
+
+// ringPos is one node's cursor within one ring.
+type ringPos struct {
+	active bool
+	seq    uint32
+	idx    int
+}
+
+type nodeState struct {
+	id      proto.NodeID
+	crashes int
+
+	delivered map[uint64]int // payload hash -> delivery count (no-dup)
+	accepted  []acceptedMsg  // own submissions the stack accepted
+
+	pos       map[proto.RingID]*ringPos
+	completed map[proto.RingID]int // packets fully delivered and left behind
+
+	tokRx   int64 // token receptions (trace feed)
+	tokAcct int64 // tokens accounted for by the RRP layer (probes)
+}
+
+type acceptedMsg struct {
+	hash  uint64
+	label string
+}
+
+func newChecker(style proto.ReplicationStyle, monitorBound int64) *Checker {
+	return &Checker{
+		passiveStyle: style == proto.ReplicationPassive,
+		monitorBound: monitorBound,
+		now:          func() proto.Time { return 0 },
+		rings:        make(map[proto.RingID]*ringLog),
+		nodes:        make(map[proto.NodeID]*nodeState),
+	}
+}
+
+// Violation returns the first violation, or nil while all invariants hold.
+func (ch *Checker) Violation() *Violation { return ch.violation }
+
+func (ch *Checker) fail(invariant string, node proto.NodeID, format string, args ...any) {
+	if ch.violation != nil {
+		return
+	}
+	ch.violation = &Violation{
+		Invariant: invariant,
+		Node:      node,
+		At:        ch.now(),
+		Detail:    fmt.Sprintf(format, args...),
+	}
+}
+
+func (ch *Checker) node(id proto.NodeID) *nodeState {
+	ns := ch.nodes[id]
+	if ns == nil {
+		ns = &nodeState{
+			id:        id,
+			delivered: make(map[uint64]int),
+			pos:       make(map[proto.RingID]*ringPos),
+			completed: make(map[proto.RingID]int),
+		}
+		ch.nodes[id] = ns
+	}
+	return ns
+}
+
+func (ch *Checker) ring(id proto.RingID) *ringLog {
+	rl := ch.rings[id]
+	if rl == nil {
+		rl = &ringLog{id: id, entries: make(map[uint32]*seqEntry)}
+		ch.rings[id] = rl
+	}
+	return rl
+}
+
+// hash64 is FNV-1a; payloads are hashed at delivery time so the checker
+// never retains payload bytes (they alias protocol buffers).
+func hash64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func trimPayload(b []byte) string {
+	const n = 32
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(b)
+}
+
+// OnDeliver checks one delivery against the global per-ring order.
+func (ch *Checker) OnDeliver(id proto.NodeID, d proto.Delivery) {
+	if ch.violation != nil {
+		return
+	}
+	ns := ch.node(id)
+	h := hash64(d.Payload)
+	ns.delivered[h]++
+	if ns.delivered[h] > 1 {
+		ch.fail("no-dup", id, "payload %q delivered %d times on %v seq %d",
+			trimPayload(d.Payload), ns.delivered[h], d.Ring, d.Seq)
+		return
+	}
+	rl := ch.ring(d.Ring)
+	pos := ns.pos[d.Ring]
+	if pos == nil {
+		pos = &ringPos{}
+		ns.pos[d.Ring] = pos
+	}
+	if !pos.active {
+		pos.active, pos.seq, pos.idx = true, d.Seq, 0
+	} else if d.Seq != pos.seq {
+		if d.Seq < pos.seq {
+			ch.fail("order", id, "%v: seq went backwards, %d after %d", d.Ring, d.Seq, pos.seq)
+			return
+		}
+		if !ch.leaveSeq(id, ns, rl, pos) {
+			return
+		}
+		pos.seq, pos.idx = d.Seq, 0
+	}
+	e := rl.entries[d.Seq]
+	if e == nil {
+		e = &seqEntry{}
+		rl.entries[d.Seq] = e
+	}
+	if pos.idx < len(e.chunks) {
+		if e.chunks[pos.idx] != h {
+			ch.fail("order", id, "%v seq %d chunk %d: payload %q disagrees with the order other nodes delivered",
+				d.Ring, d.Seq, pos.idx, trimPayload(d.Payload))
+			return
+		}
+	} else {
+		if e.closed {
+			ch.fail("order", id, "%v seq %d: delivered chunk %d of a packet another node completed at %d chunks",
+				d.Ring, d.Seq, pos.idx, len(e.chunks))
+			return
+		}
+		e.chunks = append(e.chunks, h)
+	}
+	pos.idx++
+}
+
+// leaveSeq finalises the packet a node is moving past: it must have
+// delivered every chunk the ring's log holds for that sequence number.
+func (ch *Checker) leaveSeq(id proto.NodeID, ns *nodeState, rl *ringLog, pos *ringPos) bool {
+	e := rl.entries[pos.seq]
+	if e == nil || pos.idx != len(e.chunks) {
+		have := 0
+		if e != nil {
+			have = len(e.chunks)
+		}
+		ch.fail("order", id, "%v seq %d: moved on after %d of %d chunks", rl.id, pos.seq, pos.idx, have)
+		return false
+	}
+	e.closed = true
+	ns.completed[rl.id]++
+	return true
+}
+
+// Record implements trace.Tracer: the checker rides the cluster's trace
+// feed for token receptions and machine probes.
+func (ch *Checker) Record(e trace.Event) {
+	if ch.violation != nil {
+		return
+	}
+	switch e.Kind {
+	case trace.PacketReceived:
+		if wire.Kind(e.A) == wire.KindToken {
+			ch.node(e.Node).tokRx++
+		}
+	case trace.Machine:
+		switch e.Code {
+		case proto.ProbeMonitorDecay:
+			// The count monitors' "never grow unboundedly" contract
+			// (paper requirement P5): the decay probe carries the largest
+			// per-network counter as a witness.
+			if e.B > ch.monitorBound {
+				ch.fail("monitor-bound", e.Node, "count-monitor headroom %d exceeds bound %d", e.B, ch.monitorBound)
+			}
+		case proto.ProbeTokenGated, proto.ProbeTokenTimedOut, proto.ProbeTokenDiscarded:
+			ch.node(e.Node).tokAcct++
+		}
+	}
+}
+
+// NoteSubmit records an application submission; accepted payloads feed
+// the self-delivery check.
+func (ch *Checker) NoteSubmit(id proto.NodeID, payload []byte, accepted bool) {
+	if !accepted {
+		return
+	}
+	ns := ch.node(id)
+	ns.accepted = append(ns.accepted, acceptedMsg{hash: hash64(payload), label: trimPayload(payload)})
+}
+
+// NoteCrash records a fail-stop; crashed nodes are exempt from the
+// self-delivery check and earn one token of accounting slack (a buffered
+// token dies with the old incarnation).
+func (ch *Checker) NoteCrash(id proto.NodeID) {
+	ch.node(id).crashes++
+}
+
+// Finish runs the end-of-run invariants against the healed cluster. The
+// runner calls it after the tail plus a bounded convergence grace period,
+// so a failure here is a genuine liveness or consistency bug, not
+// impatience.
+func (ch *Checker) Finish(c *sim.Cluster) {
+	if ch.violation != nil {
+		return
+	}
+	var live []proto.NodeID
+	for _, id := range c.NodeIDs() {
+		if !c.Node(id).Crashed() {
+			live = append(live, id)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	// final-ring: every live node is operational on one common ring that
+	// contains exactly the live nodes.
+	finalRing := c.Node(live[0]).Stack.SRP().Ring()
+	for _, id := range live {
+		m := c.Node(id).Stack.SRP()
+		if m.State() != srp.StateOperational {
+			ch.fail("final-ring", id, "state %v at end of run, want operational", m.State())
+			return
+		}
+		if m.Ring() != finalRing {
+			ch.fail("final-ring", id, "on %v while node %v is on %v", m.Ring(), live[0], finalRing)
+			return
+		}
+		if got := len(m.Members()); got != len(live) {
+			ch.fail("final-ring", id, "ring has %d members, %d nodes are live", got, len(live))
+			return
+		}
+	}
+
+	// ring-drain: nothing stuck in a backlog, and every live node
+	// delivered every packet of the final ring.
+	for _, id := range live {
+		if b := c.Node(id).Stack.Backlog(); b != 0 {
+			ch.fail("ring-drain", id, "%d messages stuck in the backlog at end of run", b)
+			return
+		}
+	}
+	if rl := ch.rings[finalRing]; rl != nil {
+		total := len(rl.entries)
+		for _, id := range live {
+			ns := ch.node(id)
+			done := ns.completed[finalRing]
+			if pos := ns.pos[finalRing]; pos != nil && pos.active {
+				// The node never "leaves" its last packet; count it if
+				// complete.
+				if e := rl.entries[pos.seq]; e != nil && pos.idx == len(e.chunks) {
+					done++
+				}
+			}
+			if done != total {
+				ch.fail("ring-drain", id, "delivered %d of %d packets ordered on final %v", done, total, finalRing)
+				return
+			}
+		}
+	}
+
+	// self-delivery: every payload a never-crashed node's stack accepted
+	// must have come back out of its own delivery stream (the backlog
+	// survives ring reformations).
+	for _, id := range live {
+		ns := ch.node(id)
+		if ns.crashes > 0 {
+			continue
+		}
+		for _, a := range ns.accepted {
+			if ns.delivered[a.hash] == 0 {
+				ch.fail("self-delivery", id, "accepted submission %q never delivered at its own submitter", a.label)
+				return
+			}
+		}
+	}
+
+	// token-accounting (passive only): every token reception is either
+	// passed up (gated/timed out) or explicitly discarded; at most one may
+	// be buffered, plus one lost per crash. Active styles legitimately
+	// absorb redundant copies, so the 1:1 ledger only holds for passive.
+	if ch.passiveStyle {
+		for _, id := range live {
+			ns := ch.node(id)
+			if leak := ns.tokRx - ns.tokAcct; leak > int64(1+ns.crashes) {
+				ch.fail("token-accounting", id, "%d token receptions but only %d accounted for (gated+timed-out+discarded)",
+					ns.tokRx, ns.tokAcct)
+				return
+			}
+		}
+	}
+
+	// fault-heal: the fault window is long over, so no live node may
+	// still consider any network faulty.
+	for _, id := range live {
+		for net, faulty := range c.Node(id).Stack.Replicator().Faulty() {
+			if faulty {
+				ch.fail("fault-heal", id, "network %d still marked faulty at end of run", net)
+				return
+			}
+		}
+	}
+}

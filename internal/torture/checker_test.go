@@ -1,0 +1,131 @@
+package torture
+
+import (
+	"testing"
+
+	"github.com/totem-rrp/totem/internal/core"
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+func deliver(ch *Checker, node proto.NodeID, ring proto.RingID, seq uint32, payload string) {
+	ch.OnDeliver(node, proto.Delivery{Ring: ring, Seq: seq, Payload: []byte(payload)})
+}
+
+func TestCheckerAcceptsConsistentOrder(t *testing.T) {
+	ch := newChecker(proto.ReplicationActive, 1<<30)
+	ring := proto.RingID{Rep: 1, Epoch: 1}
+	// Node 1 authors the order; node 2 replays it exactly; node 3 joins
+	// late and replays a suffix — all legal under virtual synchrony.
+	for _, n := range []proto.NodeID{1, 2} {
+		deliver(ch, n, ring, 1, "a")
+		deliver(ch, n, ring, 1, "b")
+		deliver(ch, n, ring, 2, "c")
+	}
+	deliver(ch, 3, ring, 2, "c")
+	if v := ch.Violation(); v != nil {
+		t.Fatalf("consistent streams flagged: %v", v)
+	}
+}
+
+func TestCheckerCatchesChunkDisagreement(t *testing.T) {
+	ch := newChecker(proto.ReplicationActive, 1<<30)
+	ring := proto.RingID{Rep: 1, Epoch: 1}
+	deliver(ch, 1, ring, 1, "a")
+	deliver(ch, 2, ring, 1, "X") // same slot, different payload
+	v := ch.Violation()
+	if v == nil || v.Invariant != "order" {
+		t.Fatalf("violation = %v, want order", v)
+	}
+}
+
+func TestCheckerCatchesSeqRegression(t *testing.T) {
+	ch := newChecker(proto.ReplicationActive, 1<<30)
+	ring := proto.RingID{Rep: 1, Epoch: 1}
+	deliver(ch, 1, ring, 5, "a")
+	deliver(ch, 1, ring, 4, "b")
+	v := ch.Violation()
+	if v == nil || v.Invariant != "order" {
+		t.Fatalf("violation = %v, want order", v)
+	}
+}
+
+func TestCheckerCatchesPartialPacket(t *testing.T) {
+	ch := newChecker(proto.ReplicationActive, 1<<30)
+	ring := proto.RingID{Rep: 1, Epoch: 1}
+	// Node 1 authors a two-chunk packet at seq 1; node 2 delivers only the
+	// first chunk and moves on.
+	deliver(ch, 1, ring, 1, "a")
+	deliver(ch, 1, ring, 1, "b")
+	deliver(ch, 2, ring, 1, "a")
+	deliver(ch, 2, ring, 2, "c")
+	v := ch.Violation()
+	if v == nil || v.Invariant != "order" {
+		t.Fatalf("violation = %v, want order (left seq short)", v)
+	}
+}
+
+func TestCheckerCatchesLateExtension(t *testing.T) {
+	ch := newChecker(proto.ReplicationActive, 1<<30)
+	ring := proto.RingID{Rep: 1, Epoch: 1}
+	// Node 1 completes seq 1 with one chunk and moves to seq 2; node 2
+	// then tries to extend the closed seq 1 with a second chunk.
+	deliver(ch, 1, ring, 1, "a")
+	deliver(ch, 1, ring, 2, "b")
+	deliver(ch, 2, ring, 1, "a")
+	deliver(ch, 2, ring, 1, "extra")
+	v := ch.Violation()
+	if v == nil || v.Invariant != "order" {
+		t.Fatalf("violation = %v, want order (extended a closed packet)", v)
+	}
+}
+
+func TestCheckerCatchesDuplicateDelivery(t *testing.T) {
+	ch := newChecker(proto.ReplicationActive, 1<<30)
+	ring := proto.RingID{Rep: 1, Epoch: 1}
+	deliver(ch, 1, ring, 1, "a")
+	deliver(ch, 1, ring, 2, "a") // same payload again
+	v := ch.Violation()
+	if v == nil || v.Invariant != "no-dup" {
+		t.Fatalf("violation = %v, want no-dup", v)
+	}
+}
+
+func TestCheckerAllowsTransitionalSkips(t *testing.T) {
+	// A node may skip sequence numbers it never received (messages from
+	// processors outside its transitional configuration) as long as what
+	// it does deliver replays the global order.
+	ch := newChecker(proto.ReplicationActive, 1<<30)
+	ring := proto.RingID{Rep: 1, Epoch: 1}
+	deliver(ch, 1, ring, 1, "a")
+	deliver(ch, 1, ring, 2, "b")
+	deliver(ch, 1, ring, 3, "c")
+	deliver(ch, 2, ring, 1, "a")
+	deliver(ch, 2, ring, 3, "c") // skips seq 2: fine
+	if v := ch.Violation(); v != nil {
+		t.Fatalf("legal transitional skip flagged: %v", v)
+	}
+}
+
+func TestShrinkMinimisesToCulpritOp(t *testing.T) {
+	// Chaos makes any program with token traffic fail token-accounting;
+	// shrinking must strip the irrelevant ops while preserving the
+	// violation, and never trade it for a different invariant.
+	p := Generate(1, proto.ReplicationPassive)
+	if len(p.Ops) < 2 {
+		t.Fatalf("seed 1 program has %d ops, want >= 2 for a meaningful shrink", len(p.Ops))
+	}
+	opt := Options{Chaos: core.ChaosFlags{HeldTokenLeak: true}}
+	sp, res, err := Shrink(p, opt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Violation == nil || res.Violation.Invariant != "token-accounting" {
+		t.Fatalf("shrunk result = %+v, want token-accounting violation", res)
+	}
+	if len(sp.Ops) >= len(p.Ops) {
+		t.Fatalf("shrink kept %d of %d ops", len(sp.Ops), len(p.Ops))
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("shrunk program invalid: %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+package torture
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+// Generate derives a complete torture program from a seed. The same
+// (seed, style) pair always yields the same program: the generator is a
+// pure function of its own rand stream, and the program in turn fully
+// determines the run. Parameter ranges are chosen so that every generated
+// program is survivable — the ring must be able to re-form and drain in
+// the tail, because the end-of-run invariants assume a healed system.
+func Generate(seed int64, style proto.ReplicationStyle) Program {
+	rng := rand.New(rand.NewSource(seed))
+	p := Program{
+		Seed:        seed,
+		Style:       style.String(),
+		Nodes:       3 + rng.Intn(2), // 3..4
+		Networks:    2 + rng.Intn(2), // 2..3
+		Warmup:      1500 * time.Millisecond,
+		FaultWindow: 3 * time.Second,
+		Tail:        3 * time.Second,
+
+		LoadInterval: 4 * time.Millisecond,
+		PayloadLen:   64 + rng.Intn(300),
+	}
+	if style == proto.ReplicationActivePassive {
+		p.K = 2
+		// K-of-N gating requires 1 < K < N: lift two-network draws to three.
+		if p.Networks < 3 {
+			p.Networks = 3
+		}
+	}
+
+	nOps := 2 + rng.Intn(5) // 2..6
+	crashed := false
+	for i := 0; i < nOps; i++ {
+		op := Op{
+			At: time.Duration(rng.Int63n(int64(p.FaultWindow - 100*time.Millisecond))),
+		}
+		switch k := rng.Intn(8); {
+		case k == 0:
+			op.Kind = OpNetDown
+			op.Net = rng.Intn(p.Networks)
+			op.Dur = 300*time.Millisecond + time.Duration(rng.Int63n(int64(1200*time.Millisecond)))
+		case k == 1:
+			op.Kind = OpPartition
+			op.Net = rng.Intn(p.Networks)
+			op.Dur = 200*time.Millisecond + time.Duration(rng.Int63n(int64(800*time.Millisecond)))
+			// Both sides non-empty: node 1 plus a random subset of the
+			// middle nodes on one side; the highest node never joins, so
+			// the other side keeps at least one member.
+			op.Part = 1 | uint32(rng.Intn(1<<uint(p.Nodes-1)))
+		case k == 2:
+			op.Kind = OpTokenLoss
+			op.Dur = 60*time.Millisecond + time.Duration(rng.Int63n(int64(90*time.Millisecond)))
+		case k == 3:
+			op.Kind = OpBlockSend
+			op.Net = rng.Intn(p.Networks)
+			op.Node = proto.NodeID(1 + rng.Intn(p.Nodes))
+			op.Dur = 200*time.Millisecond + time.Duration(rng.Int63n(int64(800*time.Millisecond)))
+		case k == 4:
+			op.Kind = OpBlockRecv
+			op.Net = rng.Intn(p.Networks)
+			op.Node = proto.NodeID(1 + rng.Intn(p.Nodes))
+			op.Dur = 200*time.Millisecond + time.Duration(rng.Int63n(int64(800*time.Millisecond)))
+		case k == 5:
+			op.Kind = OpTimerSkew
+			op.Node = proto.NodeID(1 + rng.Intn(p.Nodes))
+			op.P = 0.7 + 0.7*rng.Float64() // 0.7..1.4
+			op.Dur = 500*time.Millisecond + time.Duration(rng.Int63n(int64(1500*time.Millisecond)))
+		case k == 6 && !crashed:
+			op.Kind = OpCrash
+			op.Node = proto.NodeID(1 + rng.Intn(p.Nodes))
+			op.Dur = 500*time.Millisecond + time.Duration(rng.Int63n(int64(time.Second)))
+			crashed = true
+		default: // k == 7, or a second crash rerolled as the common case
+			op.Kind = OpLossBurst
+			op.Net = rng.Intn(p.Networks)
+			op.P = 0.05 + 0.55*rng.Float64()
+			op.Dur = 100*time.Millisecond + time.Duration(rng.Int63n(int64(700*time.Millisecond)))
+		}
+		p.Ops = append(p.Ops, op)
+	}
+	return p
+}

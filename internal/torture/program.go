@@ -1,0 +1,186 @@
+// Package torture is a seeded, fully deterministic adversarial test
+// harness for the Totem RRP stack. A Program is a self-contained fault
+// schedule: given the same Program (and the same chaos flags) Execute
+// replays the exact same virtual-time run, event for event, so every
+// violation the checker finds is reproducible from a few hundred bytes
+// of JSON. See DESIGN.md §10 for the architecture and the invariant
+// catalogue.
+package torture
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+// OpKind names one fault-injection operation.
+type OpKind string
+
+// The fault vocabulary. Each op is applied at Warmup+At and undone at
+// Warmup+At+Dur; the runner additionally heals everything unconditionally
+// at the end of the fault window, so end-of-run invariants are always
+// judged against a repaired system.
+const (
+	// OpLossBurst sets network Net's random loss probability to P.
+	OpLossBurst OpKind = "loss-burst"
+	// OpNetDown takes network Net completely down.
+	OpNetDown OpKind = "net-down"
+	// OpPartition splits network Net in two: nodes whose bit is set in
+	// Part form one side, the rest the other.
+	OpPartition OpKind = "partition"
+	// OpTokenLoss blacks out every network briefly, dropping whatever
+	// token copies are in flight.
+	OpTokenLoss OpKind = "token-loss"
+	// OpBlockSend stops node Node from sending on network Net (paper §3:
+	// "a node is unable to send any data via a particular network").
+	OpBlockSend OpKind = "block-send"
+	// OpBlockRecv stops node Node from receiving on network Net.
+	OpBlockRecv OpKind = "block-recv"
+	// OpTimerSkew scales node Node's timer durations by P (a drifting
+	// local clock).
+	OpTimerSkew OpKind = "timer-skew"
+	// OpCrash fail-stops node Node at At and reboots it with a fresh
+	// stack at At+Dur.
+	OpCrash OpKind = "crash"
+)
+
+// Op is one scheduled fault. Which fields matter depends on Kind.
+type Op struct {
+	Kind OpKind        `json:"kind"`
+	At   time.Duration `json:"at"`             // offset into the fault window
+	Dur  time.Duration `json:"dur"`            // how long the fault lasts
+	Net  int           `json:"net,omitempty"`  // target network
+	Node proto.NodeID  `json:"node,omitempty"` // target node
+	P    float64       `json:"p,omitempty"`    // loss probability / skew factor
+	Part uint32        `json:"part,omitempty"` // partition bitmask (bit i-1 = node i)
+}
+
+// Program is one complete torture run: topology, load, and fault
+// schedule. It is pure data — JSON round-trips losslessly — and together
+// with the seed it determines the run byte for byte.
+type Program struct {
+	Seed     int64  `json:"seed"`
+	Style    string `json:"style"` // "active" | "passive" | "active-passive"
+	Nodes    int    `json:"nodes"`
+	Networks int    `json:"networks"`
+	K        int    `json:"k,omitempty"` // active-passive only
+
+	// Phases: the ring forms during Warmup, Ops fire inside the fault
+	// window, and Tail gives the healed system time to converge before
+	// the end-of-run invariants are checked.
+	Warmup      time.Duration `json:"warmup"`
+	FaultWindow time.Duration `json:"faultWindow"`
+	Tail        time.Duration `json:"tail"`
+
+	// Load: every node submits a unique payload of PayloadLen bytes every
+	// LoadInterval, from the end of warmup until a third into the tail.
+	LoadInterval time.Duration `json:"loadInterval"`
+	PayloadLen   int           `json:"payloadLen"`
+
+	Ops []Op `json:"ops"`
+}
+
+// Duration is the total virtual time of the run.
+func (p Program) Duration() time.Duration {
+	return p.Warmup + p.FaultWindow + p.Tail
+}
+
+// loadCutoff is when submissions stop: early enough into the tail that
+// backlogs drain before the end-of-run checks.
+func (p Program) loadCutoff() time.Duration {
+	return p.Warmup + p.FaultWindow + p.Tail/3
+}
+
+// StyleByName maps a Program.Style string to the proto constant.
+func StyleByName(name string) (proto.ReplicationStyle, error) {
+	switch name {
+	case "active":
+		return proto.ReplicationActive, nil
+	case "passive":
+		return proto.ReplicationPassive, nil
+	case "active-passive":
+		return proto.ReplicationActivePassive, nil
+	}
+	return 0, fmt.Errorf("torture: unknown style %q", name)
+}
+
+// Validate rejects programs the runner cannot execute faithfully.
+func (p Program) Validate() error {
+	if _, err := StyleByName(p.Style); err != nil {
+		return err
+	}
+	if p.Nodes < 2 || p.Nodes > 16 {
+		return fmt.Errorf("torture: Nodes = %d, want 2..16", p.Nodes)
+	}
+	if p.Networks < 2 || p.Networks > 8 {
+		return fmt.Errorf("torture: Networks = %d, want 2..8", p.Networks)
+	}
+	if p.Style == "active-passive" && (p.K < 2 || p.K >= p.Networks) {
+		return fmt.Errorf("torture: active-passive K = %d, want 1 < K < Networks (%d)", p.K, p.Networks)
+	}
+	if p.Warmup <= 0 || p.FaultWindow <= 0 || p.Tail <= 0 {
+		return fmt.Errorf("torture: all phases must be positive, have %v/%v/%v",
+			p.Warmup, p.FaultWindow, p.Tail)
+	}
+	if p.LoadInterval <= 0 || p.PayloadLen < 16 {
+		return fmt.Errorf("torture: bad load (interval %v, payload %d)",
+			p.LoadInterval, p.PayloadLen)
+	}
+	for i, op := range p.Ops {
+		if err := p.validateOp(op); err != nil {
+			return fmt.Errorf("torture: op %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (p Program) validateOp(op Op) error {
+	if op.At < 0 || op.At >= p.FaultWindow {
+		return fmt.Errorf("%s At %v outside the fault window %v", op.Kind, op.At, p.FaultWindow)
+	}
+	if op.Dur <= 0 {
+		return fmt.Errorf("%s Dur %v not positive", op.Kind, op.Dur)
+	}
+	needNet := false
+	needNode := false
+	switch op.Kind {
+	case OpLossBurst:
+		needNet = true
+		if op.P <= 0 || op.P > 1 {
+			return fmt.Errorf("loss-burst P %v outside (0,1]", op.P)
+		}
+	case OpNetDown:
+		needNet = true
+	case OpPartition:
+		needNet = true
+		n := op.Part & (1<<uint(p.Nodes) - 1)
+		if n == 0 || bits.OnesCount32(n) == p.Nodes {
+			return fmt.Errorf("partition mask %#x leaves one side empty", op.Part)
+		}
+	case OpTokenLoss:
+		// whole-cluster blackout; no target
+	case OpBlockSend, OpBlockRecv:
+		needNet, needNode = true, true
+	case OpTimerSkew:
+		needNode = true
+		if op.P < 0.5 || op.P > 2 {
+			return fmt.Errorf("timer-skew factor %v outside [0.5,2]", op.P)
+		}
+	case OpCrash:
+		needNode = true
+		if op.At+op.Dur > p.FaultWindow+p.Tail/2 {
+			return fmt.Errorf("crash restart at %v would land too close to the end checks", op.At+op.Dur)
+		}
+	default:
+		return fmt.Errorf("unknown op kind %q", op.Kind)
+	}
+	if needNet && (op.Net < 0 || op.Net >= p.Networks) {
+		return fmt.Errorf("%s network %d outside 0..%d", op.Kind, op.Net, p.Networks-1)
+	}
+	if needNode && (op.Node < 1 || int(op.Node) > p.Nodes) {
+		return fmt.Errorf("%s node %v outside 1..%d", op.Kind, op.Node, p.Nodes)
+	}
+	return nil
+}

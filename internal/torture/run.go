@@ -1,0 +1,316 @@
+package torture
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/core"
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/sim"
+	"github.com/totem-rrp/totem/internal/srp"
+	"github.com/totem-rrp/totem/internal/stack"
+	"github.com/totem-rrp/totem/internal/trace"
+)
+
+// Options tunes one execution without becoming part of the program.
+type Options struct {
+	// Chaos re-introduces a known-fixed bug for the duration of the run
+	// (mutation testing: the checker must catch it). Execute installs and
+	// clears the global flags, so runs must not overlap in one process.
+	Chaos core.ChaosFlags
+	// TraceCap bounds the trace ring; 0 means a 512-event tail.
+	TraceCap int
+}
+
+// Result is the outcome of one torture run.
+type Result struct {
+	Program   Program    `json:"program"`
+	Violation *Violation `json:"violation,omitempty"`
+	// Delivered is the total delivery count across all nodes — a sanity
+	// signal that the run actually exercised the ring.
+	Delivered uint64 `json:"delivered"`
+	// End is the virtual time reached (runs stop early on violation).
+	End time.Duration `json:"end"`
+	// TraceTail is the formatted tail of the event trace, ending at the
+	// violation (or at the end of a clean run).
+	TraceTail []string `json:"traceTail,omitempty"`
+}
+
+// tortureTune shortens the RRP recovery cadence so that fault/heal cycles
+// converge within a run's tail: decay every 200ms, two clean windows to
+// readmit, flap backoff capped at 8 windows.
+func tortureTune(sc *stack.Config) {
+	sc.RRP.DecayInterval = 200 * time.Millisecond
+	sc.RRP.ProbationWindows = 2
+	sc.RRP.MaxProbation = 8
+	sc.RRP.FlapWindow = 2 * time.Second
+}
+
+// monitorBoundFor derives the count-monitor headroom bound the checker
+// asserts. After normalisation the minimum non-faulty counter is zero, so
+// a healthy monitor's largest counter stays within a small multiple of
+// the conviction thresholds; see DESIGN.md §10.
+func monitorBoundFor(sc stack.Config) int64 {
+	return int64(3*sc.RRP.DiffThreshold + 2*sc.RRP.TokenDiffThreshold + 4)
+}
+
+// Execute runs one program to completion (or to its first invariant
+// violation) and reports the outcome. Identical (Program, Options) pairs
+// replay byte for byte: the simulator, the load and the fault schedule
+// are all pure functions of the program.
+func Execute(p Program, opt Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	style, err := StyleByName(p.Style)
+	if err != nil {
+		return nil, err
+	}
+	core.Chaos = opt.Chaos
+	defer func() { core.Chaos = core.ChaosFlags{} }()
+
+	traceCap := opt.TraceCap
+	if traceCap <= 0 {
+		traceCap = 512
+	}
+	ring := trace.NewRing(traceCap)
+
+	sample := stack.DefaultConfig(1, p.Networks, style)
+	tortureTune(&sample)
+	ch := newChecker(style, monitorBoundFor(sample))
+
+	c, err := sim.NewCluster(sim.Config{
+		Nodes:    p.Nodes,
+		Networks: p.Networks,
+		Style:    style,
+		K:        p.K,
+		Net:      sim.DefaultNetworkParams(),
+		Host:     sim.DefaultNodeParams(),
+		Seed:     p.Seed,
+		TuneSRP:  func(_ proto.NodeID, sc *stack.Config) { tortureTune(sc) },
+		Trace:    trace.Multi{ch, ring},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ch.now = c.Sim.Now
+	for _, id := range c.NodeIDs() {
+		id := id
+		n := c.Node(id)
+		n.KeepPayloads = false // the checker hashes payloads immediately
+		n.OnDeliver = func(d proto.Delivery) { ch.OnDeliver(id, d) }
+	}
+	c.Start()
+	scheduleOps(c, ch, p)
+	scheduleHeal(c, p)
+	scheduleLoad(c, ch, p)
+
+	// Advance in slices so a violation stops the run near where it
+	// happened and the trace tail ends at the failure.
+	end := proto.Time(p.Duration())
+	const slice = 100 * time.Millisecond
+	for c.Sim.Now() < end && ch.Violation() == nil {
+		c.Run(min(slice, end-c.Sim.Now()))
+	}
+	if ch.Violation() == nil {
+		// Bounded convergence grace before the end-of-run checks: the
+		// fixed step keeps the extra virtual time deterministic.
+		c.RunUntil(func() bool { return settled(c) }, 25*time.Millisecond, 3*time.Second)
+		ch.Finish(c)
+	}
+
+	res := &Result{
+		Program:   p,
+		Violation: ch.Violation(),
+		End:       time.Duration(c.Sim.Now()),
+	}
+	for _, id := range c.NodeIDs() {
+		res.Delivered += c.Node(id).DeliveredCount
+	}
+	for _, e := range ring.Events(nil) {
+		res.TraceTail = append(res.TraceTail, e.String())
+	}
+	return res, nil
+}
+
+// settled reports whether every live node is operational on one common
+// ring of exactly the live nodes, with drained backlogs and no network
+// still marked faulty.
+func settled(c *sim.Cluster) bool {
+	var live []*sim.Node
+	for _, id := range c.NodeIDs() {
+		if n := c.Node(id); !n.Crashed() {
+			live = append(live, n)
+		}
+	}
+	if len(live) == 0 {
+		return true
+	}
+	ring := live[0].Stack.SRP().Ring()
+	for _, n := range live {
+		m := n.Stack.SRP()
+		if m.State() != srp.StateOperational || m.Ring() != ring || len(m.Members()) != len(live) {
+			return false
+		}
+		if n.Stack.Backlog() != 0 {
+			return false
+		}
+		for _, faulty := range n.Stack.Replicator().Faulty() {
+			if faulty {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// scheduleOps arms every op's apply and undo closures. Undo actions only
+// ever heal, so overlapping ops stay safe (and deterministic) in any
+// order.
+func scheduleOps(c *sim.Cluster, ch *Checker, p Program) {
+	for _, op := range p.Ops {
+		op := op
+		at := proto.Time(p.Warmup + op.At)
+		over := at + proto.Time(op.Dur)
+		switch op.Kind {
+		case OpLossBurst:
+			c.Sim.At(at, func() { c.SetLoss(op.Net, op.P) })
+			c.Sim.At(over, func() { c.SetLoss(op.Net, 0) })
+		case OpNetDown:
+			c.Sim.At(at, func() { c.KillNetwork(op.Net) })
+			c.Sim.At(over, func() { c.ReviveNetwork(op.Net) })
+		case OpPartition:
+			c.Sim.At(at, func() { c.Partition(op.Net, partitionGroups(p.Nodes, op.Part)) })
+			c.Sim.At(over, func() { c.Partition(op.Net, nil) })
+		case OpTokenLoss:
+			c.Sim.At(at, func() {
+				for i := 0; i < p.Networks; i++ {
+					c.SetLoss(i, 1)
+				}
+			})
+			c.Sim.At(over, func() {
+				for i := 0; i < p.Networks; i++ {
+					c.SetLoss(i, 0)
+				}
+			})
+		case OpBlockSend:
+			c.Sim.At(at, func() { c.BlockSend(op.Node, op.Net, true) })
+			c.Sim.At(over, func() { c.BlockSend(op.Node, op.Net, false) })
+		case OpBlockRecv:
+			c.Sim.At(at, func() { c.BlockRecv(op.Node, op.Net, true) })
+			c.Sim.At(over, func() { c.BlockRecv(op.Node, op.Net, false) })
+		case OpTimerSkew:
+			c.Sim.At(at, func() { c.SetTimerSkew(op.Node, op.P) })
+			c.Sim.At(over, func() { c.SetTimerSkew(op.Node, 1) })
+		case OpCrash:
+			c.Sim.At(at, func() {
+				if !c.Node(op.Node).Crashed() {
+					c.Crash(op.Node)
+					ch.NoteCrash(op.Node)
+				}
+			})
+			c.Sim.At(over, func() {
+				// Restart errors only if some other op already revived the
+				// node; either way it is running afterwards.
+				_ = c.Restart(op.Node)
+			})
+		}
+	}
+}
+
+// scheduleHeal arms the unconditional end-of-fault-window repair. It is
+// deliberately outside the program: shrinking can drop any op, but the
+// system the end-of-run invariants judge is always a healed one.
+func scheduleHeal(c *sim.Cluster, p Program) {
+	c.Sim.At(proto.Time(p.Warmup+p.FaultWindow), func() {
+		for i := 0; i < p.Networks; i++ {
+			c.ReviveNetwork(i)
+			c.SetLoss(i, 0)
+			c.Partition(i, nil)
+		}
+		for _, id := range c.NodeIDs() {
+			c.SetTimerSkew(id, 1)
+			for i := 0; i < p.Networks; i++ {
+				c.BlockSend(id, i, false)
+				c.BlockRecv(id, i, false)
+			}
+		}
+	})
+}
+
+// scheduleLoad arms every submission up front: each node submits a unique
+// payload every LoadInterval from the end of warmup until the cutoff,
+// staggered so nodes never submit at the same instant.
+func scheduleLoad(c *sim.Cluster, ch *Checker, p Program) {
+	ids := c.NodeIDs()
+	start := proto.Time(p.Warmup)
+	cutoff := proto.Time(p.loadCutoff())
+	for i, id := range ids {
+		id := id
+		offset := proto.Time(i) * proto.Time(p.LoadInterval) / proto.Time(len(ids))
+		k := 0
+		for t := start + offset; t < cutoff; t += proto.Time(p.LoadInterval) {
+			seqNo := k
+			k++
+			c.Sim.At(t, func() {
+				payload := loadPayload(p, id, seqNo)
+				ch.NoteSubmit(id, payload, c.Submit(id, payload))
+			})
+		}
+	}
+}
+
+// loadPayload builds the unique payload for node id's seqNo-th submission.
+func loadPayload(p Program, id proto.NodeID, seqNo int) []byte {
+	buf := make([]byte, p.PayloadLen)
+	copy(buf, fmt.Sprintf("s%d/%v/%d|", p.Seed, id, seqNo))
+	return buf
+}
+
+// partitionGroups expands a bitmask into the simulator's group map.
+func partitionGroups(nodes int, mask uint32) map[proto.NodeID]int {
+	groups := make(map[proto.NodeID]int, nodes)
+	for i := 1; i <= nodes; i++ {
+		g := 0
+		if mask&(1<<uint(i-1)) != 0 {
+			g = 1
+		}
+		groups[proto.NodeID(i)] = g
+	}
+	return groups
+}
+
+// Repro is the on-disk minimal-repro format: the program, the chaos flags
+// it ran under, and the violation it is expected to (re)produce. A repro
+// with an empty Expect documents a program that must run clean.
+type Repro struct {
+	Note      string          `json:"note,omitempty"`
+	Chaos     core.ChaosFlags `json:"chaos,omitempty"`
+	Expect    string          `json:"expect,omitempty"`
+	Program   Program         `json:"program"`
+	Violation *Violation      `json:"violation,omitempty"`
+}
+
+// SaveRepro writes a repro file.
+func SaveRepro(path string, r Repro) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadRepro reads a repro file.
+func LoadRepro(path string) (Repro, error) {
+	var r Repro
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("torture: %s: %w", path, err)
+	}
+	return r, nil
+}

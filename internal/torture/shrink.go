@@ -1,0 +1,48 @@
+package torture
+
+// Shrink greedily minimises a violating program: it tries deleting one op
+// at a time and keeps a deletion whenever the exact same invariant still
+// fires, iterating to a fixpoint. Deterministic execution makes this
+// sound — a candidate either reproduces the violation or it does not,
+// with no flakiness in between. The returned result is the final
+// (minimal) run, so its trace tail matches the shrunk program.
+//
+// The budget bounds the number of executions; a zero budget means a
+// generous default. Shrink never returns a program that fails a different
+// invariant than the original: narrowing the failure is the whole point
+// of a minimal repro.
+func Shrink(p Program, opt Options, budget int) (Program, *Result, error) {
+	if budget <= 0 {
+		budget = 64
+	}
+	res, err := Execute(p, opt)
+	if err != nil {
+		return p, nil, err
+	}
+	if res.Violation == nil {
+		return p, res, nil
+	}
+	invariant := res.Violation.Invariant
+	best, bestRes := p, res
+	execs := 0
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(best.Ops) && execs < budget; i++ {
+			cand := best
+			cand.Ops = make([]Op, 0, len(best.Ops)-1)
+			cand.Ops = append(cand.Ops, best.Ops[:i]...)
+			cand.Ops = append(cand.Ops, best.Ops[i+1:]...)
+			r, err := Execute(cand, opt)
+			execs++
+			if err != nil {
+				return best, bestRes, err
+			}
+			if r.Violation != nil && r.Violation.Invariant == invariant {
+				best, bestRes = cand, r
+				changed = true
+				i-- // the next op slid into this slot
+			}
+		}
+	}
+	return best, bestRes, nil
+}

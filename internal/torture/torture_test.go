@@ -1,0 +1,166 @@
+package torture
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"github.com/totem-rrp/totem/internal/core"
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+var tortureStyles = []proto.ReplicationStyle{
+	proto.ReplicationActive,
+	proto.ReplicationPassive,
+	proto.ReplicationActivePassive,
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, style := range tortureStyles {
+		a := Generate(42, style)
+		b := Generate(42, style)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%v: Generate(42) not deterministic:\n%+v\n%+v", style, a, b)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%v: generated program invalid: %v", style, err)
+		}
+	}
+}
+
+func TestGeneratedProgramsValid(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		p := Generate(seed, tortureStyles[seed%3])
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestSmokeAllStyles(t *testing.T) {
+	// A handful of seeds per style; the CI batch covers hundreds more.
+	for _, style := range tortureStyles {
+		style := style
+		t.Run(style.String(), func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				p := Generate(seed, style)
+				res, err := Execute(p, Options{})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if res.Violation != nil {
+					t.Fatalf("seed %d: %v\ntrace tail:\n%s", seed, res.Violation, tail(res, 40))
+				}
+				if res.Delivered == 0 {
+					t.Fatalf("seed %d: run delivered nothing — load never reached the ring", seed)
+				}
+			}
+		})
+	}
+}
+
+func TestExecuteDeterministic(t *testing.T) {
+	// Same program, same options — byte-for-byte identical trace tails.
+	// This is the property every minimal repro rests on.
+	p := Generate(7, proto.ReplicationPassive)
+	a, err := Execute(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delivered != b.Delivered || a.End != b.End {
+		t.Fatalf("runs diverged: delivered %d/%d, end %v/%v", a.Delivered, b.Delivered, a.End, b.End)
+	}
+	if !reflect.DeepEqual(a.TraceTail, b.TraceTail) {
+		for i := range a.TraceTail {
+			if i < len(b.TraceTail) && a.TraceTail[i] != b.TraceTail[i] {
+				t.Fatalf("trace diverged at event %d:\n%s\n%s", i, a.TraceTail[i], b.TraceTail[i])
+			}
+		}
+		t.Fatalf("trace tails differ in length: %d vs %d", len(a.TraceTail), len(b.TraceTail))
+	}
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	good := Generate(1, proto.ReplicationActive)
+	cases := map[string]func(*Program){
+		"unknown style":    func(p *Program) { p.Style = "nope" },
+		"too few nodes":    func(p *Program) { p.Nodes = 1 },
+		"too few networks": func(p *Program) { p.Networks = 1 },
+		"zero warmup":      func(p *Program) { p.Warmup = 0 },
+		"bad loss p":       func(p *Program) { p.Ops = []Op{{Kind: OpLossBurst, At: 1, Dur: 1, P: 1.5}} },
+		"one-sided split":  func(p *Program) { p.Ops = []Op{{Kind: OpPartition, At: 1, Dur: 1, Part: 0}} },
+		"late crash": func(p *Program) {
+			p.Ops = []Op{{Kind: OpCrash, At: p.FaultWindow - 1, Dur: p.Tail, Node: 1}}
+		},
+		"unknown op": func(p *Program) { p.Ops = []Op{{Kind: "meteor", At: 1, Dur: 1}} },
+	}
+	for name, mutate := range cases {
+		p := good
+		p.Ops = append([]Op(nil), good.Ops...)
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, p)
+		}
+	}
+}
+
+// tail formats the last n trace lines of a result for failure messages.
+func tail(res *Result, n int) string {
+	lines := res.TraceTail
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}
+
+// TestHuntCorpusSeeds is a tool, not a test: set TORTURE_HUNT to a seed
+// count to scan for programs where the chaos-injected bugs manifest, e.g.
+//
+//	TORTURE_HUNT=300 go test ./internal/torture -run TestHuntCorpusSeeds -v
+//
+// The hits it prints are candidates for pinning under corpus/.
+func TestHuntCorpusSeeds(t *testing.T) {
+	nStr := os.Getenv("TORTURE_HUNT")
+	if nStr == "" {
+		t.Skip("set TORTURE_HUNT=<seeds> to hunt for corpus candidates")
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hunts := []struct {
+		name   string
+		chaos  core.ChaosFlags
+		expect string
+	}{
+		{"held-token-leak", core.ChaosFlags{HeldTokenLeak: true}, "token-accounting"},
+		{"pinned-min", core.ChaosFlags{MonitorPinnedMin: true}, "monitor-bound"},
+	}
+	for _, h := range hunts {
+		found := 0
+		for seed := int64(1); seed <= int64(n) && found < 5; seed++ {
+			p := Generate(seed, proto.ReplicationPassive)
+			res, err := Execute(p, Options{Chaos: h.chaos})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violation != nil {
+				fmt.Printf("%s: seed %d -> %v\n", h.name, seed, res.Violation)
+				if res.Violation.Invariant == h.expect {
+					found++
+				}
+			}
+		}
+		fmt.Printf("%s: %d matching hits in %d seeds\n", h.name, found, n)
+	}
+}

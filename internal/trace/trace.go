@@ -130,7 +130,7 @@ func formatMachine(code proto.ProbeCode, a, b, c int64) string {
 	case proto.ProbeMonitorThreshold:
 		return fmt.Sprintf("%v %d/%d", code, a, b)
 	case proto.ProbeMonitorDecay:
-		return fmt.Sprintf("%v window %d", code, a)
+		return fmt.Sprintf("%v window %d headroom %d", code, a, b)
 	case proto.ProbeProbation:
 		return fmt.Sprintf("%v %d/%d clean windows", code, a, b)
 	case proto.ProbeProbeSent:
@@ -145,6 +145,8 @@ func formatMachine(code proto.ProbeCode, a, b, c int64) string {
 		return fmt.Sprintf("%v %d -> %d", code, a, b)
 	case proto.ProbeTokenLoss:
 		return fmt.Sprintf("%v last seq %d", code, a)
+	case proto.ProbeSeqRollover:
+		return fmt.Sprintf("%v seq %d limit %d", code, a, b)
 	default:
 		return fmt.Sprintf("%v a=%d b=%d c=%d", code, a, b, c)
 	}
