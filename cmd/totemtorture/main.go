@@ -18,6 +18,15 @@
 // The -chaos flag re-introduces a known-fixed bug (mutation testing); with
 // -expect the exit status reports whether the checker caught it.
 //
+// Live mode runs the same programs against real totem.Nodes on the
+// goroutine runtime — over the in-process transport or loopback UDP
+// sockets — through a netem-style impairment layer, checked by the same
+// invariants (DESIGN.md §11):
+//
+//	totemtorture -live -seeds 50 -transport udp -workers 4
+//	totemtorture -live -seeds 20 -budget 90s     # stop dispatching at 90s
+//	totemtorture -diff -seeds 2                  # sim-vs-live differential
+//
 // Exit codes: 0 clean (or the expected violation fired), 1 violation (or
 // an expected violation did not fire), 2 usage or execution error.
 package main
@@ -26,9 +35,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"github.com/totem-rrp/totem/internal/core"
+	"github.com/totem-rrp/totem/internal/live"
 	"github.com/totem-rrp/totem/internal/proto"
 	"github.com/totem-rrp/totem/internal/torture"
 )
@@ -46,6 +57,13 @@ func main() {
 		expect   = flag.String("expect", "", "require this invariant to fire (mutation testing)")
 		traceN   = flag.Int("trace", 0, "print the last N trace events of a failing (or -v single) run")
 		verbose  = flag.Bool("v", false, "per-run progress output")
+
+		liveMode  = flag.Bool("live", false, "run programs on the live goroutine/socket harness instead of the simulator")
+		diffMode  = flag.Bool("diff", false, "differential mode: replay mild programs on both sim and live and compare")
+		transport = flag.String("transport", "mem", "live/diff transport: mem | udp")
+		timescale = flag.Float64("timescale", 0.3, "live/diff: wall seconds per virtual second")
+		workers   = flag.Int("workers", 1, "live mode: concurrent runs")
+		budget    = flag.Duration("budget", 0, "live mode: stop dispatching new seeds after this wall-clock budget")
 	)
 	flag.Parse()
 
@@ -53,6 +71,8 @@ func main() {
 		seeds: *seeds, seedBase: *seedBase, seed: *seed, style: *style,
 		shrink: *shrink, repro: *repro, replay: *replay,
 		chaos: *chaos, expect: *expect, traceN: *traceN, verbose: *verbose,
+		live: *liveMode, diff: *diffMode, transport: *transport,
+		timescale: *timescale, workers: *workers, budget: *budget,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "totemtorture:", err)
@@ -73,6 +93,13 @@ type config struct {
 	expect   string
 	traceN   int
 	verbose  bool
+
+	live      bool
+	diff      bool
+	transport string
+	timescale float64
+	workers   int
+	budget    time.Duration
 }
 
 func run(cfg config) (int, error) {
@@ -87,6 +114,13 @@ func run(cfg config) (int, error) {
 		return 2, fmt.Errorf("unknown -chaos %q", cfg.chaos)
 	}
 
+	if (cfg.live || cfg.diff) && cfg.chaos != "" {
+		return 2, fmt.Errorf("-chaos is simulator-only (the flags are process-global; live workers run concurrently)")
+	}
+	if cfg.live && cfg.shrink {
+		return 2, fmt.Errorf("-shrink is simulator-only; replay the seed without -live to shrink it")
+	}
+
 	if cfg.replay != "" {
 		return replayFile(cfg, opt)
 	}
@@ -96,13 +130,187 @@ func run(cfg config) (int, error) {
 		return 2, err
 	}
 
+	base, n := cfg.seedBase, cfg.seeds
 	if cfg.seed != 0 {
-		return batch(cfg, opt, styles, cfg.seed, 1)
+		base, n = cfg.seed, 1
 	}
-	if cfg.seeds <= 0 {
+	if n <= 0 {
 		return 2, fmt.Errorf("need -seeds N, -seed S or -replay FILE (see -help)")
 	}
-	return batch(cfg, opt, styles, cfg.seedBase, cfg.seeds)
+	switch {
+	case cfg.diff:
+		return diffBatch(cfg, styles, base, n)
+	case cfg.live:
+		return liveBatch(cfg, styles, base, n)
+	}
+	return batch(cfg, opt, styles, base, n)
+}
+
+// liveOptions maps the CLI flags onto the harness options.
+func liveOptions(cfg config) live.Options {
+	return live.Options{
+		Transport: cfg.transport,
+		TimeScale: cfg.timescale,
+	}
+}
+
+// liveAdapt rewrites a generated program for wall-clock execution: the
+// simulator's 4 ms load interval would compress below Go timer
+// granularity at the configured timescale, so the interval is floored to
+// 5 ms of wall time per message.
+func liveAdapt(p torture.Program, scale float64) torture.Program {
+	if floor := time.Duration(float64(5*time.Millisecond) / scale); p.LoadInterval < floor {
+		p.LoadInterval = floor
+	}
+	return p
+}
+
+// liveBatch sweeps seeds on the live harness with a worker pool, bounded
+// by the wall-clock budget: once the budget is spent no new seeds are
+// dispatched (in-flight runs finish and are still checked).
+func liveBatch(cfg config, styles []proto.ReplicationStyle, base int64, n int) (int, error) {
+	start := time.Now()
+	type job struct {
+		style proto.ReplicationStyle
+		seed  int64
+	}
+	var jobs []job
+	for s := base; s < base+int64(n); s++ {
+		for _, style := range styles {
+			jobs = append(jobs, job{style, s})
+		}
+	}
+	workers := cfg.workers
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		mu       sync.Mutex
+		runs     int
+		skipped  int
+		firstBad *torture.Result
+	)
+	jobc := make(chan job)
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := range jobc {
+				p := liveAdapt(torture.Generate(j.seed, j.style), cfg.timescale)
+				res, err := live.Execute(p, liveOptions(cfg))
+				mu.Lock()
+				if err != nil {
+					if firstBad == nil {
+						firstBad = &torture.Result{Program: p, Violation: &torture.Violation{
+							Invariant: "harness", Detail: err.Error(),
+						}}
+					}
+					mu.Unlock()
+					continue
+				}
+				runs++
+				if cfg.verbose {
+					fmt.Printf("live seed %d %-14s delivered %5d end %8s  %s\n",
+						j.seed, j.style, res.Delivered, res.End.Truncate(time.Millisecond), outcome(res))
+				}
+				if res.Violation != nil && firstBad == nil {
+					firstBad = res
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		mu.Lock()
+		bad := firstBad != nil
+		mu.Unlock()
+		if bad || (cfg.budget > 0 && time.Since(start) > cfg.budget) {
+			skipped++
+			continue
+		}
+		jobc <- j
+	}
+	close(jobc)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if firstBad != nil {
+		fmt.Printf("LIVE VIOLATION seed %d style %s (transport %s): %v\n",
+			firstBad.Program.Seed, firstBad.Program.Style, cfg.transport, firstBad.Violation)
+		if cfg.traceN > 0 {
+			printTail(firstBad, cfg.traceN)
+		}
+		if cfg.repro != "" {
+			r := torture.Repro{
+				Note:      fmt.Sprintf("totemtorture -live -transport %s seed %d style %s", cfg.transport, firstBad.Program.Seed, firstBad.Program.Style),
+				Expect:    firstBad.Violation.Invariant,
+				Program:   firstBad.Program,
+				Violation: firstBad.Violation,
+			}
+			if err := torture.SaveRepro(cfg.repro, r); err != nil {
+				return 2, err
+			}
+			fmt.Printf("repro written to %s\n", cfg.repro)
+		}
+		return 1, nil
+	}
+	note := ""
+	if skipped > 0 {
+		note = fmt.Sprintf(", %d seeds skipped by -budget", skipped)
+	}
+	fmt.Printf("live ok: %d runs on %s, %d styles, 0 violations (%.1fs%s)\n",
+		runs, cfg.transport, len(styles), time.Since(start).Seconds(), note)
+	return 0, nil
+}
+
+// diffBatch replays one mild program per (style, seed) on both backends
+// and fails on any disagreement.
+func diffBatch(cfg config, styles []proto.ReplicationStyle, base int64, n int) (int, error) {
+	start := time.Now()
+	runs := 0
+	for _, style := range styles {
+		for s := base; s < base+int64(n); s++ {
+			p := live.DiffProgram(s, style)
+			var rep *live.DiffReport
+			var err error
+			// The sim side is deterministic; only the live side is subject
+			// to wall-clock scheduling noise. Two retries absorb a noisy CI
+			// neighbour stalling a node past a protocol timeout, while a
+			// genuine sim-vs-live divergence reproduces on every attempt.
+			for attempt := 0; attempt < 3; attempt++ {
+				rep, err = live.Differential(p, liveOptions(cfg))
+				if err != nil {
+					return 2, err
+				}
+				if rep.OK() {
+					break
+				}
+				fmt.Printf("diff seed %d style %s: mismatch on attempt %d, retrying\n", s, style, attempt+1)
+			}
+			runs++
+			if cfg.verbose {
+				fmt.Printf("diff seed %d %-14s sim %5d live %5d deliveries  %s\n",
+					s, style, rep.Sim.Delivered, rep.Live.Delivered, diffOutcome(rep))
+			}
+			if !rep.OK() {
+				fmt.Printf("DIFF MISMATCH seed %d style %s (transport %s):\n", s, style, cfg.transport)
+				for _, m := range rep.Mismatches {
+					fmt.Println("  " + m)
+				}
+				return 1, nil
+			}
+		}
+	}
+	fmt.Printf("diff ok: %d sim-vs-live replays on %s agree (%.1fs)\n",
+		runs, cfg.transport, time.Since(start).Seconds())
+	return 0, nil
+}
+
+func diffOutcome(rep *live.DiffReport) string {
+	if rep.OK() {
+		return "agree"
+	}
+	return fmt.Sprintf("%d mismatches", len(rep.Mismatches))
 }
 
 func selectStyles(name string) ([]proto.ReplicationStyle, error) {
@@ -217,7 +425,12 @@ func replayFile(cfg config, opt torture.Options) (int, error) {
 	if cfg.expect != "" {
 		expect = cfg.expect
 	}
-	res, err := torture.Execute(r.Program, opt)
+	var res *torture.Result
+	if cfg.live {
+		res, err = live.Execute(r.Program, liveOptions(cfg))
+	} else {
+		res, err = torture.Execute(r.Program, opt)
+	}
 	if err != nil {
 		return 2, err
 	}

@@ -1,0 +1,181 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/torture"
+)
+
+// DiffReport is the outcome of replaying one fault program on both
+// execution backends and comparing what the invariant checker recorded.
+type DiffReport struct {
+	Program torture.Program
+	Sim     *torture.Result
+	Live    *torture.Result
+	// Mismatches lists every disagreement; empty means the backends agree.
+	Mismatches []string
+}
+
+// OK reports backend agreement.
+func (r *DiffReport) OK() bool { return len(r.Mismatches) == 0 }
+
+// DiffProgram derives a mild fault program suited to differential
+// comparison: faults that force retransmission and fault-monitor activity
+// but never fracture the membership, so the total order is a single
+// uninterrupted sequence on both backends. (Programs that split the ring
+// are legitimately timing-dependent — which side a node lands on differs
+// between backends — and belong to the conformance sweep, not the
+// differential.)
+func DiffProgram(seed int64, style proto.ReplicationStyle) torture.Program {
+	rng := rand.New(rand.NewSource(seed))
+	p := torture.Program{
+		Seed:        seed,
+		Style:       style.String(),
+		Nodes:       3,
+		Networks:    2,
+		Warmup:      1500 * time.Millisecond,
+		FaultWindow: 2 * time.Second,
+		Tail:        3 * time.Second,
+
+		LoadInterval: 15 * time.Millisecond,
+		PayloadLen:   64 + rng.Intn(64),
+	}
+	if style == proto.ReplicationActivePassive {
+		p.K = 2
+		p.Networks = 3
+	}
+	// Two non-overlapping single-network faults: a loss burst early, a
+	// full network outage later. The other network(s) keep the ring whole.
+	p.Ops = []torture.Op{
+		{
+			Kind: torture.OpLossBurst,
+			At:   100 * time.Millisecond,
+			Dur:  600 * time.Millisecond,
+			Net:  0,
+			P:    0.25 + 0.25*rng.Float64(),
+		},
+		{
+			Kind: torture.OpNetDown,
+			At:   time.Second,
+			Dur:  700 * time.Millisecond,
+			Net:  rng.Intn(p.Networks),
+		},
+	}
+	return p
+}
+
+// Differential replays one program on the virtual-time simulator and on
+// the live harness and compares: both must run violation-free, agree on
+// the final-ring membership, order deliveries identically across nodes
+// within each backend, and deliver the same payload set per node across
+// backends. The cross-backend total order is NOT compared: two real
+// executions interleave submissions differently, and Totem only promises
+// agreement within a run — see DESIGN.md §11.
+func Differential(p torture.Program, opt Options) (*DiffReport, error) {
+	// The live replay goes first: the simulator churns through virtual
+	// events fast enough that running it beforehand leaves the GC busy
+	// while the wall-clock run's tight protocol timers are live, which on
+	// small CI machines can stall a node past its token-loss timeout and
+	// fracture a ring the program never meant to fracture.
+	opt.RecordDeliveries = true
+	liveRes, err := Execute(p, opt)
+	if err != nil {
+		return nil, fmt.Errorf("live: live replay: %w", err)
+	}
+	simRes, err := torture.Execute(p, torture.Options{RecordDeliveries: true})
+	if err != nil {
+		return nil, fmt.Errorf("live: sim replay: %w", err)
+	}
+	rep := &DiffReport{Program: p, Sim: simRes, Live: liveRes}
+	miss := func(format string, args ...any) {
+		rep.Mismatches = append(rep.Mismatches, fmt.Sprintf(format, args...))
+	}
+
+	if simRes.Violation != nil {
+		miss("sim violated %s: %s", simRes.Violation.Invariant, simRes.Violation.Detail)
+	}
+	if liveRes.Violation != nil {
+		miss("live violated %s: %s", liveRes.Violation.Invariant, liveRes.Violation.Detail)
+	}
+	if len(rep.Mismatches) > 0 {
+		return rep, nil
+	}
+
+	if !sameMembers(simRes.FinalMembers, liveRes.FinalMembers) {
+		miss("final-ring membership: sim %v, live %v", simRes.FinalMembers, liveRes.FinalMembers)
+	}
+
+	// Within each backend every node must have delivered the identical
+	// sequence (the program never fractures membership, so there is one
+	// total order per run).
+	for _, b := range []struct {
+		name string
+		res  *torture.Result
+	}{{"sim", simRes}, {"live", liveRes}} {
+		ids := sortedIDs(b.res.Deliveries)
+		for _, id := range ids[1:] {
+			if !equalSeq(b.res.Deliveries[ids[0]], b.res.Deliveries[id]) {
+				miss("%s: node %v delivery sequence differs from node %v (%d vs %d entries)",
+					b.name, id, ids[0], len(b.res.Deliveries[id]), len(b.res.Deliveries[ids[0]]))
+			}
+		}
+	}
+
+	// Across backends every node must have delivered the same payload set.
+	for _, id := range sortedIDs(simRes.Deliveries) {
+		s := sortedCopy(simRes.Deliveries[id])
+		l := sortedCopy(liveRes.Deliveries[id])
+		if !equalSeq(s, l) {
+			miss("node %v delivered %d payloads on sim, %d on live (sets differ)",
+				id, len(s), len(l))
+		}
+	}
+	return rep, nil
+}
+
+func sortedIDs(m map[proto.NodeID][]uint64) []proto.NodeID {
+	ids := make([]proto.NodeID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func sortedCopy(s []uint64) []uint64 {
+	out := append([]uint64(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalSeq(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameMembers(a, b []proto.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]proto.NodeID(nil), a...)
+	bs := append([]proto.NodeID(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,514 @@
+package live
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	totem "github.com/totem-rrp/totem"
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/stack"
+	"github.com/totem-rrp/totem/internal/torture"
+	"github.com/totem-rrp/totem/internal/trace"
+	"github.com/totem-rrp/totem/internal/transport"
+)
+
+// Options tunes one live execution of a torture program.
+type Options struct {
+	// Transport selects the medium: "mem" (in-process hub, default) or
+	// "udp" (loopback sockets, one per node per network).
+	Transport string
+	// TimeScale compresses the program's virtual-time phases onto the wall
+	// clock: wall = virtual × TimeScale. The protocol timers are tuned
+	// (liveTune) so rings form and heal well inside the scaled phases.
+	// Default 0.3.
+	TimeScale float64
+	// Netem is the baseline impairment; nil applies
+	// DefaultNetemParams(program seed). Point at a zero NetemParams to run
+	// unimpaired.
+	Netem *NetemParams
+	// RecordDeliveries retains per-node delivery orders for the
+	// differential mode.
+	RecordDeliveries bool
+	// TraceCap bounds the shared trace ring; 0 means 512.
+	TraceCap int
+	// SettleTimeout bounds the post-run convergence wait (wall clock);
+	// 0 means 5s.
+	SettleTimeout time.Duration
+}
+
+// liveTune compresses the protocol timers for scaled wall-clock runs: the
+// same shape TortureTune gives the simulator, shrunk so that ring
+// formation, token-loss recovery and probation-based readmission all fit
+// inside a program's scaled phases. Values stay a comfortable multiple of
+// loopback RTT and Go timer granularity so runs are not flaky on slow CI
+// machines.
+func liveTune(o *totem.Options) {
+	o.SRP.TokenLossTimeout = 50 * time.Millisecond
+	o.SRP.TokenRetransmitInterval = 5 * time.Millisecond
+	o.SRP.JoinInterval = 25 * time.Millisecond
+	o.SRP.ConsensusTimeout = 120 * time.Millisecond
+	o.SRP.CommitRetransmitInterval = 20 * time.Millisecond
+	o.SRP.MergeDetectInterval = 80 * time.Millisecond
+	o.SRP.IdleTokenHold = time.Millisecond
+	o.RRP.TokenHold = 5 * time.Millisecond
+	o.RRP.DecayInterval = 100 * time.Millisecond
+	o.RRP.ProbationWindows = 2
+	o.RRP.MaxProbation = 8
+	o.RRP.FlapWindow = time.Second
+}
+
+// liveNode is one slot in the harness: the node (and its transports) are
+// replaced across crash/restart, the slot persists.
+type liveNode struct {
+	id proto.NodeID
+
+	mu      sync.Mutex
+	n       *totem.Node
+	imp     *Impaired
+	udp     *transport.UDPTransport // nil on the mem transport
+	crashed bool
+	// epoch is the highest ring epoch observed before the last crash; the
+	// next incarnation carries it forward (Totem's stable-storage ring
+	// sequence number).
+	epoch uint32
+}
+
+type harness struct {
+	p     torture.Program
+	style proto.ReplicationStyle
+	opt   Options
+	scale float64
+
+	nm     *Netem
+	ch     *torture.Checker
+	tracer trace.Tracer
+	ring   *trace.Ring
+	epoch  time.Time
+
+	hub   *transport.MemHub           // mem transport only
+	addrs map[proto.NodeID][]string   // udp transport only: current listen addrs
+	nodes map[proto.NodeID]*liveNode
+	order []proto.NodeID
+
+	delivered atomic.Uint64
+	stopped   atomic.Bool
+}
+
+// Execute runs one torture program against real totem.Nodes on the
+// goroutine runtime and returns the same Result shape as the virtual-time
+// runner. The program is interpreted identically — same ops, same load
+// schedule, same payloads — except that timer-skew is a no-op (real
+// clocks cannot be scaled) and timing is wall clock compressed by
+// Options.TimeScale.
+func Execute(p torture.Program, opt Options) (*torture.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	style, err := torture.StyleByName(p.Style)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Transport == "" {
+		opt.Transport = "mem"
+	}
+	if opt.Transport != "mem" && opt.Transport != "udp" {
+		return nil, fmt.Errorf("live: unknown transport %q", opt.Transport)
+	}
+	if opt.TimeScale <= 0 {
+		opt.TimeScale = 0.3
+	}
+	if opt.SettleTimeout <= 0 {
+		opt.SettleTimeout = 5 * time.Second
+	}
+	traceCap := opt.TraceCap
+	if traceCap <= 0 {
+		traceCap = 512
+	}
+	np := DefaultNetemParams(p.Seed)
+	if opt.Netem != nil {
+		np = *opt.Netem
+	}
+
+	h := &harness{
+		p:     p,
+		style: style,
+		opt:   opt,
+		scale: opt.TimeScale,
+		nm:    NewNetem(p.Networks, np),
+		ring:  trace.NewRing(traceCap),
+		addrs: make(map[proto.NodeID][]string),
+		nodes: make(map[proto.NodeID]*liveNode),
+	}
+	// The live monitor bound uses the default conviction thresholds, same
+	// as the simulator (neither tune changes them).
+	h.ch = torture.NewChecker(style, torture.MonitorBoundFor(stack.DefaultConfig(1, p.Networks, style)))
+	h.ch.SetRecordDeliveries(opt.RecordDeliveries)
+	h.tracer = trace.Multi{h.ch, h.ring}
+	if opt.Transport == "mem" {
+		h.hub = transport.NewMemHub(p.Networks)
+	}
+	for i := 1; i <= p.Nodes; i++ {
+		id := proto.NodeID(i)
+		h.order = append(h.order, id)
+		h.nodes[id] = &liveNode{id: id}
+	}
+
+	if err := h.boot(); err != nil {
+		h.teardown()
+		return nil, err
+	}
+	h.epoch = time.Now()
+	h.ch.SetNow(func() proto.Time { return proto.Time(time.Since(h.epoch)) })
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); h.runSchedule() }()
+	for i, id := range h.order {
+		wg.Add(1)
+		go func(i int, id proto.NodeID) { defer wg.Done(); h.runLoad(i, id) }(i, id)
+	}
+	wg.Wait()
+
+	// Bounded convergence grace, polling the same Settled fixed point the
+	// simulator uses.
+	deadline := time.Now().Add(opt.SettleTimeout)
+	var end *torture.EndState
+	for {
+		end = h.endState()
+		if end.Settled() || h.ch.Violation() != nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Stop every node before the end-of-run checks so the checker's
+	// counters are quiescent (the runtime has no yield point between
+	// recording a token reception and accounting for it, so once the loops
+	// exit the ledgers are final).
+	h.teardown()
+	if h.ch.Violation() == nil {
+		h.ch.Finish(end)
+	}
+
+	res := &torture.Result{
+		Program:   p,
+		Violation: h.ch.Violation(),
+		Delivered: h.delivered.Load(),
+		End:       time.Since(h.epoch),
+	}
+	if end != nil {
+		res.FinalMembers = end.FinalMembers()
+	}
+	if opt.RecordDeliveries {
+		res.Deliveries = h.ch.DeliverySeqs()
+	}
+	for _, e := range h.ring.Events(nil) {
+		res.TraceTail = append(res.TraceTail, e.String())
+	}
+	return res, nil
+}
+
+// peersOf lists every node except id, for partition-time broadcast
+// expansion.
+func (h *harness) peersOf(id proto.NodeID) []proto.NodeID {
+	out := make([]proto.NodeID, 0, len(h.order)-1)
+	for _, p := range h.order {
+		if p != id {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// boot brings up every node's transport and protocol stack. UDP sockets
+// are all opened (on 127.0.0.1:0) before any peer wiring so each node
+// learns every other node's real bound ports.
+func (h *harness) boot() error {
+	if h.opt.Transport == "udp" {
+		for _, id := range h.order {
+			t, err := h.newUDP(id)
+			if err != nil {
+				return err
+			}
+			h.nodes[id].udp = t
+			h.addrs[id] = t.LocalAddrs()
+		}
+		for _, id := range h.order {
+			for _, peer := range h.order {
+				if peer == id {
+					continue
+				}
+				if err := h.nodes[id].udp.AddPeer(peer, h.addrs[peer]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, id := range h.order {
+		if err := h.startNode(h.nodes[id]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *harness) newUDP(id proto.NodeID) (*transport.UDPTransport, error) {
+	listen := make([]string, h.p.Networks)
+	for i := range listen {
+		listen[i] = "127.0.0.1:0"
+	}
+	return transport.NewUDP(transport.UDPConfig{ID: id, Listen: listen})
+}
+
+// startNode wraps the slot's inner transport in the impairment layer and
+// boots a totem.Node on it. The slot's udp field (or the mem hub) must be
+// ready; epoch carries the pre-crash ring epoch into the new incarnation.
+func (h *harness) startNode(ln *liveNode) error {
+	var inner transport.Transport
+	if h.opt.Transport == "mem" {
+		t, err := h.hub.Join(ln.id)
+		if err != nil {
+			return err
+		}
+		inner = t
+	} else {
+		inner = ln.udp
+	}
+	imp := Impair(inner, ln.id, h.peersOf(ln.id), h.nm)
+	id := ln.id
+	cfg := totem.Config{
+		ID:          id,
+		Networks:    h.p.Networks,
+		Replication: h.style,
+		K:           h.p.K,
+		Tune: func(o *totem.Options) {
+			liveTune(o)
+			if ln.epoch > o.SRP.InitialEpoch {
+				o.SRP.InitialEpoch = ln.epoch
+			}
+			o.Tracer = h.tracer
+			o.DeliveryTap = func(d totem.Delivery) {
+				h.delivered.Add(1)
+				h.ch.OnDeliver(id, d)
+			}
+		},
+	}
+	n, err := totem.NewNode(cfg, imp)
+	if err != nil {
+		imp.Close()
+		return fmt.Errorf("live: node %v: %w", id, err)
+	}
+	ln.mu.Lock()
+	ln.n, ln.imp, ln.crashed = n, imp, false
+	ln.mu.Unlock()
+	return nil
+}
+
+// crash fail-stops a node: the protocol stack dies with its transport.
+// The highest observed ring epoch is read first so the next incarnation
+// can never mint a RingID this one already used.
+func (h *harness) crash(id proto.NodeID) {
+	ln := h.nodes[id]
+	ln.mu.Lock()
+	if ln.crashed || ln.n == nil {
+		ln.mu.Unlock()
+		return
+	}
+	n, imp := ln.n, ln.imp
+	ln.crashed = true
+	ln.n, ln.imp = nil, nil
+	ln.mu.Unlock()
+	h.ch.NoteCrash(id)
+	if e := n.MaxEpoch(); e > ln.epoch {
+		ln.epoch = e
+	}
+	n.Close()
+	imp.Close()
+}
+
+// restart reboots a crashed node on a fresh transport. On UDP the new
+// sockets bind new ports, so every other node's peer table is updated —
+// the live analogue of a machine rebooting with a new DHCP lease.
+func (h *harness) restart(id proto.NodeID) {
+	if h.stopped.Load() {
+		return
+	}
+	ln := h.nodes[id]
+	ln.mu.Lock()
+	crashed := ln.crashed
+	ln.mu.Unlock()
+	if !crashed {
+		return
+	}
+	if h.opt.Transport == "udp" {
+		t, err := h.newUDP(id)
+		if err != nil {
+			return
+		}
+		ln.udp = t
+		h.addrs[id] = t.LocalAddrs()
+		for _, peer := range h.order {
+			if peer == id {
+				continue
+			}
+			t.AddPeer(peer, h.addrs[peer]) //nolint:errcheck
+			pn := h.nodes[peer]
+			pn.mu.Lock()
+			if !pn.crashed && pn.udp != nil {
+				pn.udp.AddPeer(id, h.addrs[id]) //nolint:errcheck
+			}
+			pn.mu.Unlock()
+		}
+	}
+	h.startNode(ln) //nolint:errcheck
+}
+
+// runSchedule fires the program's fault ops (scaled onto the wall clock)
+// plus the unconditional end-of-window heal, in time order, from one
+// goroutine. Timer-skew is a live no-op: real clocks cannot be scaled
+// per-node from userspace.
+func (h *harness) runSchedule() {
+	type event struct {
+		at time.Duration // virtual
+		fn func()
+	}
+	var evs []event
+	add := func(at time.Duration, fn func()) { evs = append(evs, event{at, fn}) }
+	p := h.p
+	for _, op := range p.Ops {
+		op := op
+		at := p.Warmup + op.At
+		over := at + op.Dur
+		switch op.Kind {
+		case torture.OpLossBurst:
+			add(at, func() { h.nm.SetLoss(op.Net, op.P) })
+			add(over, func() { h.nm.SetLoss(op.Net, 0) })
+		case torture.OpNetDown:
+			add(at, func() { h.nm.KillNetwork(op.Net) })
+			add(over, func() { h.nm.ReviveNetwork(op.Net) })
+		case torture.OpPartition:
+			add(at, func() { h.nm.Partition(op.Net, torture.PartitionGroups(p.Nodes, op.Part)) })
+			add(over, func() { h.nm.Partition(op.Net, nil) })
+		case torture.OpTokenLoss:
+			add(at, func() {
+				for i := 0; i < p.Networks; i++ {
+					h.nm.KillNetwork(i)
+				}
+			})
+			add(over, func() {
+				for i := 0; i < p.Networks; i++ {
+					h.nm.ReviveNetwork(i)
+				}
+			})
+		case torture.OpBlockSend:
+			add(at, func() { h.nm.BlockSend(op.Node, op.Net, true) })
+			add(over, func() { h.nm.BlockSend(op.Node, op.Net, false) })
+		case torture.OpBlockRecv:
+			add(at, func() { h.nm.BlockRecv(op.Node, op.Net, true) })
+			add(over, func() { h.nm.BlockRecv(op.Node, op.Net, false) })
+		case torture.OpTimerSkew:
+			// no-op live
+		case torture.OpCrash:
+			add(at, func() { h.crash(op.Node) })
+			add(over, func() { h.restart(op.Node) })
+		}
+	}
+	add(p.Warmup+p.FaultWindow, func() { h.nm.HealAll() })
+	add(p.Duration(), func() {}) // hold the schedule open to the horizon
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+	for _, ev := range evs {
+		h.sleepUntil(ev.at)
+		ev.fn()
+	}
+}
+
+// sleepUntil blocks until the scaled wall-clock image of virtual time t.
+func (h *harness) sleepUntil(t time.Duration) {
+	wall := h.epoch.Add(time.Duration(float64(t) * h.scale))
+	if d := time.Until(wall); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// runLoad replays the program's submission schedule for one node: same
+// offsets, same cutoff, same payload bytes as the simulator, scaled onto
+// the wall clock.
+func (h *harness) runLoad(idx int, id proto.NodeID) {
+	p := h.p
+	offset := time.Duration(idx) * p.LoadInterval / time.Duration(len(h.order))
+	cutoff := p.LoadCutoff()
+	seqNo := 0
+	for t := p.Warmup + offset; t < cutoff; t += p.LoadInterval {
+		h.sleepUntil(t)
+		payload := torture.LoadPayload(p, id, seqNo)
+		seqNo++
+		h.submit(id, payload)
+	}
+}
+
+// submit sends one payload on the node's current incarnation, briefly
+// retrying backpressure (a real application would too); the checker is
+// told whether the stack accepted it.
+func (h *harness) submit(id proto.NodeID, payload []byte) {
+	ln := h.nodes[id]
+	ln.mu.Lock()
+	n := ln.n
+	ln.mu.Unlock()
+	if n == nil {
+		h.ch.NoteSubmit(id, payload, false)
+		return
+	}
+	err := n.Send(payload)
+	for i := 0; err == totem.ErrBackpressure && i < 3; i++ {
+		time.Sleep(2 * time.Millisecond)
+		err = n.Send(payload)
+	}
+	h.ch.NoteSubmit(id, payload, err == nil)
+}
+
+// endState snapshots every node through the public inspection API into
+// the checker's backend-neutral form.
+func (h *harness) endState() *torture.EndState {
+	end := &torture.EndState{}
+	for _, id := range h.order {
+		ln := h.nodes[id]
+		ln.mu.Lock()
+		n, crashed := ln.n, ln.crashed
+		ln.mu.Unlock()
+		if crashed || n == nil {
+			end.Nodes = append(end.Nodes, torture.NodeEnd{ID: id, Crashed: true})
+			continue
+		}
+		ring, members := n.Ring()
+		end.Nodes = append(end.Nodes, torture.NodeEnd{
+			ID:          id,
+			Operational: n.Operational(),
+			State:       n.StateName(),
+			Ring:        ring,
+			Members:     members,
+			Backlog:     n.Backlog(),
+			Faulty:      n.NetworkFaults(),
+		})
+	}
+	return end
+}
+
+// teardown closes every node and transport; idempotent.
+func (h *harness) teardown() {
+	h.stopped.Store(true)
+	for _, id := range h.order {
+		ln := h.nodes[id]
+		ln.mu.Lock()
+		n, imp := ln.n, ln.imp
+		ln.n, ln.imp = nil, nil
+		ln.mu.Unlock()
+		if n != nil {
+			n.Close()
+		}
+		if imp != nil {
+			imp.Close()
+		}
+	}
+}

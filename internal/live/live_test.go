@@ -1,0 +1,217 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/torture"
+)
+
+// TestNetemVerdicts pins the impairment layer's fault semantics without
+// any protocol in the loop.
+func TestNetemVerdicts(t *testing.T) {
+	peers := []proto.NodeID{2, 3}
+	nm := NewNetem(2, NetemParams{Seed: 1})
+
+	if v := nm.judgeSend(1, proto.BroadcastID, 0, peers); v.drop {
+		t.Fatal("clean network dropped a broadcast")
+	}
+	nm.KillNetwork(0)
+	if v := nm.judgeSend(1, proto.BroadcastID, 0, peers); !v.drop {
+		t.Fatal("dead network did not drop")
+	}
+	if !nm.dropRecv(1, 0) {
+		t.Fatal("dead network did not drop on receive")
+	}
+	if v := nm.judgeSend(1, proto.BroadcastID, 1, peers); v.drop {
+		t.Fatal("network 1 affected by network 0's death")
+	}
+	nm.ReviveNetwork(0)
+	if v := nm.judgeSend(1, proto.BroadcastID, 0, peers); v.drop {
+		t.Fatal("revived network still dropping")
+	}
+
+	nm.SetLoss(0, 1)
+	if v := nm.judgeSend(1, proto.BroadcastID, 0, peers); !v.drop {
+		t.Fatal("loss probability 1 did not drop")
+	}
+	nm.SetLoss(0, 0)
+
+	nm.BlockSend(1, 0, true)
+	if v := nm.judgeSend(1, proto.BroadcastID, 0, peers); !v.drop {
+		t.Fatal("blocked sender not dropped")
+	}
+	if v := nm.judgeSend(2, proto.BroadcastID, 0, peers); v.drop {
+		t.Fatal("block-send leaked to another node")
+	}
+	nm.BlockSend(1, 0, false)
+
+	nm.BlockRecv(2, 1, true)
+	if !nm.dropRecv(2, 1) {
+		t.Fatal("blocked receiver not dropped")
+	}
+	if nm.dropRecv(2, 0) || nm.dropRecv(3, 1) {
+		t.Fatal("block-recv leaked to another network or node")
+	}
+	nm.BlockRecv(2, 1, false)
+
+	// Partition {1} | {2,3} on network 0: broadcasts expand to same-group
+	// unicasts, cross-group unicast drops, network 1 unaffected.
+	nm.Partition(0, map[proto.NodeID]int{1: 0, 2: 1, 3: 1})
+	if v := nm.judgeSend(1, proto.BroadcastID, 0, peers); !v.drop && v.expand != nil {
+		t.Fatalf("isolated node's broadcast expanded to %v, want drop", v.expand)
+	}
+	v := nm.judgeSend(2, proto.BroadcastID, 0, []proto.NodeID{1, 3})
+	if v.drop || len(v.expand) != 1 || v.expand[0] != 3 {
+		t.Fatalf("majority-side broadcast verdict %+v, want unicast expansion to [3]", v)
+	}
+	if v := nm.judgeSend(2, 1, 0, nil); !v.drop {
+		t.Fatal("cross-partition unicast not dropped")
+	}
+	if v := nm.judgeSend(2, 3, 0, nil); v.drop {
+		t.Fatal("same-group unicast dropped")
+	}
+	if v := nm.judgeSend(1, proto.BroadcastID, 1, peers); v.drop || v.expand != nil {
+		t.Fatal("partition on network 0 leaked onto network 1")
+	}
+	nm.Partition(0, nil)
+	if v := nm.judgeSend(2, 1, 0, nil); v.drop {
+		t.Fatal("healed partition still dropping")
+	}
+
+	nm.KillNetwork(1)
+	nm.SetLoss(0, 0.5)
+	nm.BlockSend(3, 0, true)
+	nm.HealAll()
+	if nm.dropRecv(1, 1) {
+		t.Fatal("HealAll left network 1 down")
+	}
+	if v := nm.judgeSend(3, proto.BroadcastID, 0, peers); v.drop {
+		t.Fatal("HealAll left node 3 blocked")
+	}
+}
+
+// liveProgram is a fixed, moderately adversarial program for transport
+// smoke tests: loss, an outage and an interface fault, with load light
+// enough for CI machines.
+func liveProgram(seed int64, style proto.ReplicationStyle) torture.Program {
+	p := torture.Program{
+		Seed:        seed,
+		Style:       style.String(),
+		Nodes:       3,
+		Networks:    2,
+		Warmup:      1500 * time.Millisecond,
+		FaultWindow: 2 * time.Second,
+		Tail:        3 * time.Second,
+
+		LoadInterval: 20 * time.Millisecond,
+		PayloadLen:   64,
+	}
+	if style == proto.ReplicationActivePassive {
+		p.K = 2
+		p.Networks = 3
+	}
+	p.Ops = []torture.Op{
+		{Kind: torture.OpLossBurst, At: 100 * time.Millisecond, Dur: 500 * time.Millisecond, Net: 0, P: 0.3},
+		{Kind: torture.OpNetDown, At: 800 * time.Millisecond, Dur: 600 * time.Millisecond, Net: p.Networks - 1},
+		{Kind: torture.OpBlockRecv, At: 1600 * time.Millisecond, Dur: 300 * time.Millisecond, Net: 0, Node: 2},
+	}
+	return p
+}
+
+// TestLiveMemStyles runs one impaired conformance program per replication
+// style on the in-memory transport.
+func TestLiveMemStyles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock harness")
+	}
+	for _, style := range []proto.ReplicationStyle{
+		proto.ReplicationActive, proto.ReplicationPassive, proto.ReplicationActivePassive,
+	} {
+		style := style
+		t.Run(style.String(), func(t *testing.T) {
+			res, err := Execute(liveProgram(7, style), Options{Transport: "mem", TimeScale: 0.3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violation != nil {
+				t.Fatalf("violation: %s\ntrace tail:\n%s", res.Violation, tail(res.TraceTail))
+			}
+			if res.Delivered == 0 {
+				t.Fatal("run delivered nothing")
+			}
+			if res.FinalMembers == nil {
+				t.Fatal("no agreed final membership")
+			}
+		})
+	}
+}
+
+// TestLiveUDP runs one impaired conformance program over real loopback
+// UDP sockets.
+func TestLiveUDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock harness")
+	}
+	res, err := Execute(liveProgram(11, proto.ReplicationPassive), Options{Transport: "udp", TimeScale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation: %s\ntrace tail:\n%s", res.Violation, tail(res.TraceTail))
+	}
+	if res.Delivered == 0 {
+		t.Fatal("run delivered nothing")
+	}
+}
+
+// TestLiveCrashRestart exercises the fail-stop path: the dead node's
+// transport goes with it, the new incarnation rejoins on fresh sockets
+// and the ring must re-absorb it before the end-of-run checks.
+func TestLiveCrashRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock harness")
+	}
+	p := liveProgram(13, proto.ReplicationActive)
+	p.Ops = append(p.Ops, torture.Op{
+		Kind: torture.OpCrash, At: 400 * time.Millisecond, Dur: 800 * time.Millisecond, Node: 3,
+	})
+	res, err := Execute(p, Options{Transport: "mem", TimeScale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation: %s\ntrace tail:\n%s", res.Violation, tail(res.TraceTail))
+	}
+	if len(res.FinalMembers) != p.Nodes {
+		t.Fatalf("final membership %v, want all %d nodes back", res.FinalMembers, p.Nodes)
+	}
+}
+
+// TestDifferential replays one mild program on both backends and demands
+// agreement.
+func TestDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock harness")
+	}
+	rep, err := Differential(DiffProgram(3, proto.ReplicationPassive), Options{Transport: "mem", TimeScale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("backends disagree:\n%s", tail(rep.Mismatches))
+	}
+}
+
+func tail(lines []string) string {
+	const n = 40
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}

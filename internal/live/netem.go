@@ -1,0 +1,366 @@
+// Package live is the in-process conformance harness for the real stack:
+// it boots N genuine totem.Nodes on the goroutine runtime — over loopback
+// UDP or the in-memory transport — drives them with seeded load through a
+// netem-style impairment layer, and checks every run with the same
+// torture invariants the virtual-time simulator uses. What the simulator
+// cannot exercise, this harness does: real wall-clock timers, real
+// goroutine scheduling, real sockets, and the races between them. See
+// DESIGN.md §11.
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/transport"
+	"github.com/totem-rrp/totem/internal/wire"
+)
+
+// NetemParams is the baseline impairment applied to every datagram on
+// every network for the whole run — the "noisy lab network" under the
+// scheduled faults. All probabilities are per datagram.
+type NetemParams struct {
+	// Loss drops a datagram outright.
+	Loss float64
+	// Dup sends a datagram twice.
+	Dup float64
+	// DelayProb holds a datagram back for a random time in
+	// [DelayMin, DelayMax] — later traffic overtakes it, which is how the
+	// layer produces reordering.
+	DelayProb float64
+	DelayMin  time.Duration
+	DelayMax  time.Duration
+	// Seed fixes the impairment RNG; same seed, same drop/dup/delay draws
+	// per draw sequence (the interleaving is still real-time).
+	Seed int64
+}
+
+// DefaultNetemParams is a gentle but real impairment mix: enough to force
+// retransmission, reordering and duplicate-suppression paths without
+// making runs flaky.
+func DefaultNetemParams(seed int64) NetemParams {
+	return NetemParams{
+		Loss:      0.02,
+		Dup:       0.01,
+		DelayProb: 0.05,
+		DelayMin:  200 * time.Microsecond,
+		DelayMax:  2 * time.Millisecond,
+		Seed:      seed,
+	}
+}
+
+// Netem is the shared impairment state for one cluster: the baseline
+// params plus the scheduled fault flags, mirroring the simulator's fault
+// API (SetLoss, KillNetwork, Partition, BlockSend, BlockRecv) so a
+// torture.Program maps onto it one to one. Every node's Impaired wrapper
+// consults it on each send and receive.
+type Netem struct {
+	networks int
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	p         NetemParams
+	down      []bool
+	loss      []float64
+	part      []map[proto.NodeID]int // nil = no partition on that network
+	blockSend map[proto.NodeID][]bool
+	blockRecv map[proto.NodeID][]bool
+}
+
+// NewNetem creates the impairment state for n networks.
+func NewNetem(n int, p NetemParams) *Netem {
+	return &Netem{
+		networks:  n,
+		rng:       rand.New(rand.NewSource(p.Seed)),
+		p:         p,
+		down:      make([]bool, n),
+		loss:      make([]float64, n),
+		part:      make([]map[proto.NodeID]int, n),
+		blockSend: make(map[proto.NodeID][]bool),
+		blockRecv: make(map[proto.NodeID][]bool),
+	}
+}
+
+// SetLoss sets network i's scheduled loss probability (on top of the
+// baseline).
+func (nm *Netem) SetLoss(i int, p float64) {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	if i >= 0 && i < nm.networks {
+		nm.loss[i] = p
+	}
+}
+
+// KillNetwork silences network i in both directions for all nodes.
+func (nm *Netem) KillNetwork(i int) { nm.setDown(i, true) }
+
+// ReviveNetwork restores network i.
+func (nm *Netem) ReviveNetwork(i int) { nm.setDown(i, false) }
+
+func (nm *Netem) setDown(i int, v bool) {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	if i >= 0 && i < nm.networks {
+		nm.down[i] = v
+	}
+}
+
+// Partition splits network i by group: traffic only flows between nodes
+// in the same group. nil heals the partition.
+func (nm *Netem) Partition(i int, groups map[proto.NodeID]int) {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	if i >= 0 && i < nm.networks {
+		nm.part[i] = groups
+	}
+}
+
+// BlockSend stops id from sending on network i (paper §3 interface fault).
+func (nm *Netem) BlockSend(id proto.NodeID, i int, blocked bool) {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	nm.setBlock(nm.blockSend, id, i, blocked)
+}
+
+// BlockRecv stops id from receiving on network i.
+func (nm *Netem) BlockRecv(id proto.NodeID, i int, blocked bool) {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	nm.setBlock(nm.blockRecv, id, i, blocked)
+}
+
+func (nm *Netem) setBlock(m map[proto.NodeID][]bool, id proto.NodeID, i int, v bool) {
+	if i < 0 || i >= nm.networks {
+		return
+	}
+	b := m[id]
+	if b == nil {
+		b = make([]bool, nm.networks)
+		m[id] = b
+	}
+	b[i] = v
+}
+
+// HealAll clears every scheduled fault (the unconditional end-of-window
+// repair); the baseline impairment stays on.
+func (nm *Netem) HealAll() {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	for i := range nm.down {
+		nm.down[i] = false
+		nm.loss[i] = 0
+		nm.part[i] = nil
+	}
+	for _, b := range nm.blockSend {
+		for i := range b {
+			b[i] = false
+		}
+	}
+	for _, b := range nm.blockRecv {
+		for i := range b {
+			b[i] = false
+		}
+	}
+}
+
+// sendVerdict is one send's fate, decided under the Netem lock so the RNG
+// draw sequence is serialised.
+type sendVerdict struct {
+	drop  bool
+	dup   bool
+	delay time.Duration // 0 = send now
+	// expand lists the unicast destinations replacing a broadcast while a
+	// partition is active (sender-side expansion: receivers cannot filter
+	// by sender, datagrams carry no sender address at this layer).
+	expand []proto.NodeID
+}
+
+// judgeSend decides what happens to one datagram from node `from` to
+// `dest` on network `net`.
+func (nm *Netem) judgeSend(from, dest proto.NodeID, net int, peers []proto.NodeID) sendVerdict {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	if net < 0 || net >= nm.networks {
+		return sendVerdict{drop: true}
+	}
+	if nm.down[net] {
+		return sendVerdict{drop: true}
+	}
+	if b := nm.blockSend[from]; b != nil && b[net] {
+		return sendVerdict{drop: true}
+	}
+	if p := nm.loss[net]; p > 0 && nm.rng.Float64() < p {
+		return sendVerdict{drop: true}
+	}
+	if nm.p.Loss > 0 && nm.rng.Float64() < nm.p.Loss {
+		return sendVerdict{drop: true}
+	}
+	var v sendVerdict
+	if groups := nm.part[net]; groups != nil {
+		g := groups[from]
+		if dest == proto.BroadcastID {
+			for _, p := range peers {
+				if groups[p] == g {
+					v.expand = append(v.expand, p)
+				}
+			}
+			if len(v.expand) == 0 {
+				return sendVerdict{drop: true}
+			}
+		} else if groups[dest] != g {
+			return sendVerdict{drop: true}
+		}
+	}
+	if nm.p.Dup > 0 && nm.rng.Float64() < nm.p.Dup {
+		v.dup = true
+	}
+	if nm.p.DelayProb > 0 && nm.rng.Float64() < nm.p.DelayProb {
+		span := nm.p.DelayMax - nm.p.DelayMin
+		v.delay = nm.p.DelayMin
+		if span > 0 {
+			v.delay += time.Duration(nm.rng.Int63n(int64(span)))
+		}
+	}
+	return v
+}
+
+// dropRecv reports whether node id must discard a datagram received on
+// network net (receive-side faults: blocked interface or dead network).
+func (nm *Netem) dropRecv(id proto.NodeID, net int) bool {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	if net < 0 || net >= nm.networks {
+		return true
+	}
+	if nm.down[net] {
+		return true
+	}
+	b := nm.blockRecv[id]
+	return b != nil && b[net]
+}
+
+// Impaired wraps one node's Transport with the cluster's Netem: sends are
+// dropped, duplicated, delayed or partition-filtered on the way into the
+// inner transport, and receives are filtered against the receive-side
+// faults. It satisfies transport.Transport, so a real totem.Node runs on
+// it unchanged.
+type Impaired struct {
+	inner transport.Transport
+	id    proto.NodeID
+	// peers lists every other node, for sender-side broadcast expansion
+	// under a partition.
+	peers []proto.NodeID
+	nm    *Netem
+
+	// sendMu serialises inner.Send between the runtime's loop goroutine
+	// and delayed-send timers (the inner Send contract is
+	// single-goroutine).
+	sendMu sync.Mutex
+
+	rx        chan transport.Packet
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+var _ transport.Transport = (*Impaired)(nil)
+
+// Impair wraps inner for node id. peers must list every other node in
+// the cluster.
+func Impair(inner transport.Transport, id proto.NodeID, peers []proto.NodeID, nm *Netem) *Impaired {
+	t := &Impaired{
+		inner:  inner,
+		id:     id,
+		peers:  peers,
+		nm:     nm,
+		rx:     make(chan transport.Packet, 1024),
+		closed: make(chan struct{}),
+	}
+	go t.pump()
+	return t
+}
+
+// Networks implements transport.Transport.
+func (t *Impaired) Networks() int { return t.inner.Networks() }
+
+// Send implements transport.Transport, applying the impairment verdict.
+// Impairment drops report success, like a lossy wire.
+func (t *Impaired) Send(network int, dest proto.NodeID, data []byte) error {
+	v := t.nm.judgeSend(t.id, dest, network, t.peers)
+	if v.drop {
+		return nil
+	}
+	if v.delay > 0 {
+		// The caller may recycle data as soon as Send returns, so a
+		// delayed datagram needs its own copy.
+		var cp []byte
+		if len(data) <= wire.FrameCap {
+			cp = append(wire.GetFrame(), data...)
+		} else {
+			cp = append([]byte(nil), data...)
+		}
+		time.AfterFunc(v.delay, func() {
+			select {
+			case <-t.closed:
+			default:
+				t.deliver(network, dest, cp, v)
+			}
+			wire.PutFrame(cp)
+		})
+		return nil
+	}
+	t.deliver(network, dest, data, v)
+	return nil
+}
+
+// deliver pushes one (possibly duplicated, possibly partition-expanded)
+// datagram into the inner transport.
+func (t *Impaired) deliver(network int, dest proto.NodeID, data []byte, v sendVerdict) {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	n := 1
+	if v.dup {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		if v.expand != nil {
+			for _, p := range v.expand {
+				t.inner.Send(network, p, data) //nolint:errcheck
+			}
+		} else {
+			t.inner.Send(network, dest, data) //nolint:errcheck
+		}
+	}
+}
+
+// pump filters the inner receive stream against receive-side faults.
+func (t *Impaired) pump() {
+	defer close(t.rx)
+	for pkt := range t.inner.Packets() {
+		if t.nm.dropRecv(t.id, pkt.Network) {
+			wire.ReleaseFrame(pkt.Data)
+			continue
+		}
+		select {
+		case t.rx <- pkt:
+		case <-t.closed:
+			wire.ReleaseFrame(pkt.Data)
+			// Keep draining so the inner transport can shut down.
+		}
+	}
+}
+
+// Packets implements transport.Transport.
+func (t *Impaired) Packets() <-chan transport.Packet { return t.rx }
+
+// Close implements transport.Transport, closing the inner transport too
+// (the harness owns both).
+func (t *Impaired) Close() error {
+	var err error
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		err = t.inner.Close()
+	})
+	return err
+}

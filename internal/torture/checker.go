@@ -2,11 +2,10 @@ package torture
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/totem-rrp/totem/internal/proto"
-	"github.com/totem-rrp/totem/internal/sim"
-	"github.com/totem-rrp/totem/internal/srp"
 	"github.com/totem-rrp/totem/internal/trace"
 	"github.com/totem-rrp/totem/internal/wire"
 )
@@ -30,15 +29,22 @@ func (v *Violation) String() string {
 
 // Checker subscribes to every node's delivery stream and to the cluster
 // trace feed and asserts the global protocol invariants online; the
-// end-of-run invariants are checked by Finish once the healed cluster has
-// had time to converge. All checks are sound under extended virtual
-// synchrony: nodes partitioned away may deliver fewer messages, so the
-// online check is per-ring order consistency, never whole-stream equality
-// across nodes.
+// end-of-run invariants are checked by Finish against an EndState
+// snapshot once the healed cluster has had time to converge. All checks
+// are sound under extended virtual synchrony: nodes partitioned away may
+// deliver fewer messages, so the online check is per-ring order
+// consistency, never whole-stream equality across nodes.
+//
+// The checker is execution-backend neutral: the virtual-time runner
+// feeds it single-threaded, the live harness feeds it from every node's
+// runtime goroutine concurrently, so all entry points lock.
 type Checker struct {
 	passiveStyle bool
 	monitorBound int64
-	now          func() proto.Time
+
+	mu        sync.Mutex
+	now       func() proto.Time
+	recordSeq bool
 
 	rings map[proto.RingID]*ringLog
 	nodes map[proto.NodeID]*nodeState
@@ -74,6 +80,7 @@ type nodeState struct {
 	crashes int
 
 	delivered map[uint64]int // payload hash -> delivery count (no-dup)
+	seq       []uint64       // delivery order (payload hashes), when recorded
 	accepted  []acceptedMsg  // own submissions the stack accepted
 
 	pos       map[proto.RingID]*ringPos
@@ -88,7 +95,10 @@ type acceptedMsg struct {
 	label string
 }
 
-func newChecker(style proto.ReplicationStyle, monitorBound int64) *Checker {
+// NewChecker builds a checker for one run. The style selects which
+// token-accounting contract applies; monitorBound is the count-monitor
+// headroom ceiling (MonitorBoundFor derives it from a stack config).
+func NewChecker(style proto.ReplicationStyle, monitorBound int64) *Checker {
 	return &Checker{
 		passiveStyle: style == proto.ReplicationPassive,
 		monitorBound: monitorBound,
@@ -98,8 +108,41 @@ func newChecker(style proto.ReplicationStyle, monitorBound int64) *Checker {
 	}
 }
 
+// SetNow installs the clock used to stamp violations (virtual time for
+// the simulator, run-relative wall time for the live harness).
+func (ch *Checker) SetNow(now func() proto.Time) {
+	ch.mu.Lock()
+	ch.now = now
+	ch.mu.Unlock()
+}
+
+// SetRecordDeliveries enables per-node delivery-order recording (payload
+// hashes), which the sim-vs-live differential mode compares across
+// backends. Off by default: torture sweeps don't pay for it.
+func (ch *Checker) SetRecordDeliveries(on bool) {
+	ch.mu.Lock()
+	ch.recordSeq = on
+	ch.mu.Unlock()
+}
+
+// DeliverySeqs returns each node's delivery order as payload hashes.
+// Empty unless SetRecordDeliveries(true) was called before the run.
+func (ch *Checker) DeliverySeqs() map[proto.NodeID][]uint64 {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	out := make(map[proto.NodeID][]uint64, len(ch.nodes))
+	for id, ns := range ch.nodes {
+		out[id] = append([]uint64(nil), ns.seq...)
+	}
+	return out
+}
+
 // Violation returns the first violation, or nil while all invariants hold.
-func (ch *Checker) Violation() *Violation { return ch.violation }
+func (ch *Checker) Violation() *Violation {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.violation
+}
 
 func (ch *Checker) fail(invariant string, node proto.NodeID, format string, args ...any) {
 	if ch.violation != nil {
@@ -157,12 +200,17 @@ func trimPayload(b []byte) string {
 
 // OnDeliver checks one delivery against the global per-ring order.
 func (ch *Checker) OnDeliver(id proto.NodeID, d proto.Delivery) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
 	if ch.violation != nil {
 		return
 	}
 	ns := ch.node(id)
 	h := hash64(d.Payload)
 	ns.delivered[h]++
+	if ch.recordSeq {
+		ns.seq = append(ns.seq, h)
+	}
 	if ns.delivered[h] > 1 {
 		ch.fail("no-dup", id, "payload %q delivered %d times on %v seq %d",
 			trimPayload(d.Payload), ns.delivered[h], d.Ring, d.Seq)
@@ -228,6 +276,8 @@ func (ch *Checker) leaveSeq(id proto.NodeID, ns *nodeState, rl *ringLog, pos *ri
 // Record implements trace.Tracer: the checker rides the cluster's trace
 // feed for token receptions and machine probes.
 func (ch *Checker) Record(e trace.Event) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
 	if ch.violation != nil {
 		return
 	}
@@ -257,6 +307,8 @@ func (ch *Checker) NoteSubmit(id proto.NodeID, payload []byte, accepted bool) {
 	if !accepted {
 		return
 	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
 	ns := ch.node(id)
 	ns.accepted = append(ns.accepted, acceptedMsg{hash: hash64(payload), label: trimPayload(payload)})
 }
@@ -265,58 +317,57 @@ func (ch *Checker) NoteSubmit(id proto.NodeID, payload []byte, accepted bool) {
 // self-delivery check and earn one token of accounting slack (a buffered
 // token dies with the old incarnation).
 func (ch *Checker) NoteCrash(id proto.NodeID) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
 	ch.node(id).crashes++
 }
 
-// Finish runs the end-of-run invariants against the healed cluster. The
-// runner calls it after the tail plus a bounded convergence grace period,
-// so a failure here is a genuine liveness or consistency bug, not
-// impatience.
-func (ch *Checker) Finish(c *sim.Cluster) {
+// Finish runs the end-of-run invariants against a snapshot of the healed
+// cluster. The runner calls it after the tail plus a bounded convergence
+// grace period — and, for the live harness, after every node has been
+// stopped so the counters are quiescent — so a failure here is a genuine
+// liveness or consistency bug, not impatience.
+func (ch *Checker) Finish(end *EndState) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
 	if ch.violation != nil {
 		return
 	}
-	var live []proto.NodeID
-	for _, id := range c.NodeIDs() {
-		if !c.Node(id).Crashed() {
-			live = append(live, id)
-		}
-	}
+	live := end.live()
 	if len(live) == 0 {
 		return
 	}
 
 	// final-ring: every live node is operational on one common ring that
 	// contains exactly the live nodes.
-	finalRing := c.Node(live[0]).Stack.SRP().Ring()
-	for _, id := range live {
-		m := c.Node(id).Stack.SRP()
-		if m.State() != srp.StateOperational {
-			ch.fail("final-ring", id, "state %v at end of run, want operational", m.State())
+	finalRing := live[0].Ring
+	for _, n := range live {
+		if !n.Operational {
+			ch.fail("final-ring", n.ID, "state %v at end of run, want operational", n.State)
 			return
 		}
-		if m.Ring() != finalRing {
-			ch.fail("final-ring", id, "on %v while node %v is on %v", m.Ring(), live[0], finalRing)
+		if n.Ring != finalRing {
+			ch.fail("final-ring", n.ID, "on %v while node %v is on %v", n.Ring, live[0].ID, finalRing)
 			return
 		}
-		if got := len(m.Members()); got != len(live) {
-			ch.fail("final-ring", id, "ring has %d members, %d nodes are live", got, len(live))
+		if got := len(n.Members); got != len(live) {
+			ch.fail("final-ring", n.ID, "ring has %d members, %d nodes are live", got, len(live))
 			return
 		}
 	}
 
 	// ring-drain: nothing stuck in a backlog, and every live node
 	// delivered every packet of the final ring.
-	for _, id := range live {
-		if b := c.Node(id).Stack.Backlog(); b != 0 {
-			ch.fail("ring-drain", id, "%d messages stuck in the backlog at end of run", b)
+	for _, n := range live {
+		if n.Backlog != 0 {
+			ch.fail("ring-drain", n.ID, "%d messages stuck in the backlog at end of run", n.Backlog)
 			return
 		}
 	}
 	if rl := ch.rings[finalRing]; rl != nil {
 		total := len(rl.entries)
-		for _, id := range live {
-			ns := ch.node(id)
+		for _, n := range live {
+			ns := ch.node(n.ID)
 			done := ns.completed[finalRing]
 			if pos := ns.pos[finalRing]; pos != nil && pos.active {
 				// The node never "leaves" its last packet; count it if
@@ -326,7 +377,7 @@ func (ch *Checker) Finish(c *sim.Cluster) {
 				}
 			}
 			if done != total {
-				ch.fail("ring-drain", id, "delivered %d of %d packets ordered on final %v", done, total, finalRing)
+				ch.fail("ring-drain", n.ID, "delivered %d of %d packets ordered on final %v", done, total, finalRing)
 				return
 			}
 		}
@@ -335,14 +386,14 @@ func (ch *Checker) Finish(c *sim.Cluster) {
 	// self-delivery: every payload a never-crashed node's stack accepted
 	// must have come back out of its own delivery stream (the backlog
 	// survives ring reformations).
-	for _, id := range live {
-		ns := ch.node(id)
+	for _, n := range live {
+		ns := ch.node(n.ID)
 		if ns.crashes > 0 {
 			continue
 		}
 		for _, a := range ns.accepted {
 			if ns.delivered[a.hash] == 0 {
-				ch.fail("self-delivery", id, "accepted submission %q never delivered at its own submitter", a.label)
+				ch.fail("self-delivery", n.ID, "accepted submission %q never delivered at its own submitter", a.label)
 				return
 			}
 		}
@@ -353,10 +404,10 @@ func (ch *Checker) Finish(c *sim.Cluster) {
 	// be buffered, plus one lost per crash. Active styles legitimately
 	// absorb redundant copies, so the 1:1 ledger only holds for passive.
 	if ch.passiveStyle {
-		for _, id := range live {
-			ns := ch.node(id)
+		for _, n := range live {
+			ns := ch.node(n.ID)
 			if leak := ns.tokRx - ns.tokAcct; leak > int64(1+ns.crashes) {
-				ch.fail("token-accounting", id, "%d token receptions but only %d accounted for (gated+timed-out+discarded)",
+				ch.fail("token-accounting", n.ID, "%d token receptions but only %d accounted for (gated+timed-out+discarded)",
 					ns.tokRx, ns.tokAcct)
 				return
 			}
@@ -365,10 +416,10 @@ func (ch *Checker) Finish(c *sim.Cluster) {
 
 	// fault-heal: the fault window is long over, so no live node may
 	// still consider any network faulty.
-	for _, id := range live {
-		for net, faulty := range c.Node(id).Stack.Replicator().Faulty() {
+	for _, n := range live {
+		for net, faulty := range n.Faulty {
 			if faulty {
-				ch.fail("fault-heal", id, "network %d still marked faulty at end of run", net)
+				ch.fail("fault-heal", n.ID, "network %d still marked faulty at end of run", net)
 				return
 			}
 		}

@@ -12,7 +12,7 @@ func deliver(ch *Checker, node proto.NodeID, ring proto.RingID, seq uint32, payl
 }
 
 func TestCheckerAcceptsConsistentOrder(t *testing.T) {
-	ch := newChecker(proto.ReplicationActive, 1<<30)
+	ch := NewChecker(proto.ReplicationActive, 1<<30)
 	ring := proto.RingID{Rep: 1, Epoch: 1}
 	// Node 1 authors the order; node 2 replays it exactly; node 3 joins
 	// late and replays a suffix — all legal under virtual synchrony.
@@ -28,7 +28,7 @@ func TestCheckerAcceptsConsistentOrder(t *testing.T) {
 }
 
 func TestCheckerCatchesChunkDisagreement(t *testing.T) {
-	ch := newChecker(proto.ReplicationActive, 1<<30)
+	ch := NewChecker(proto.ReplicationActive, 1<<30)
 	ring := proto.RingID{Rep: 1, Epoch: 1}
 	deliver(ch, 1, ring, 1, "a")
 	deliver(ch, 2, ring, 1, "X") // same slot, different payload
@@ -39,7 +39,7 @@ func TestCheckerCatchesChunkDisagreement(t *testing.T) {
 }
 
 func TestCheckerCatchesSeqRegression(t *testing.T) {
-	ch := newChecker(proto.ReplicationActive, 1<<30)
+	ch := NewChecker(proto.ReplicationActive, 1<<30)
 	ring := proto.RingID{Rep: 1, Epoch: 1}
 	deliver(ch, 1, ring, 5, "a")
 	deliver(ch, 1, ring, 4, "b")
@@ -50,7 +50,7 @@ func TestCheckerCatchesSeqRegression(t *testing.T) {
 }
 
 func TestCheckerCatchesPartialPacket(t *testing.T) {
-	ch := newChecker(proto.ReplicationActive, 1<<30)
+	ch := NewChecker(proto.ReplicationActive, 1<<30)
 	ring := proto.RingID{Rep: 1, Epoch: 1}
 	// Node 1 authors a two-chunk packet at seq 1; node 2 delivers only the
 	// first chunk and moves on.
@@ -65,7 +65,7 @@ func TestCheckerCatchesPartialPacket(t *testing.T) {
 }
 
 func TestCheckerCatchesLateExtension(t *testing.T) {
-	ch := newChecker(proto.ReplicationActive, 1<<30)
+	ch := NewChecker(proto.ReplicationActive, 1<<30)
 	ring := proto.RingID{Rep: 1, Epoch: 1}
 	// Node 1 completes seq 1 with one chunk and moves to seq 2; node 2
 	// then tries to extend the closed seq 1 with a second chunk.
@@ -80,7 +80,7 @@ func TestCheckerCatchesLateExtension(t *testing.T) {
 }
 
 func TestCheckerCatchesDuplicateDelivery(t *testing.T) {
-	ch := newChecker(proto.ReplicationActive, 1<<30)
+	ch := NewChecker(proto.ReplicationActive, 1<<30)
 	ring := proto.RingID{Rep: 1, Epoch: 1}
 	deliver(ch, 1, ring, 1, "a")
 	deliver(ch, 1, ring, 2, "a") // same payload again
@@ -94,7 +94,7 @@ func TestCheckerAllowsTransitionalSkips(t *testing.T) {
 	// A node may skip sequence numbers it never received (messages from
 	// processors outside its transitional configuration) as long as what
 	// it does deliver replays the global order.
-	ch := newChecker(proto.ReplicationActive, 1<<30)
+	ch := NewChecker(proto.ReplicationActive, 1<<30)
 	ring := proto.RingID{Rep: 1, Epoch: 1}
 	deliver(ch, 1, ring, 1, "a")
 	deliver(ch, 1, ring, 2, "b")

@@ -1,0 +1,89 @@
+package torture
+
+import "github.com/totem-rrp/totem/internal/proto"
+
+// EndState is a backend-neutral snapshot of a cluster at the end of a
+// run: everything the end-of-run invariants need to judge a healed
+// system, and nothing tied to how the run was executed. The virtual-time
+// runner builds one from a sim.Cluster; the live harness builds one from
+// real totem.Nodes via the public inspection API. Checker.Finish accepts
+// either, which is what makes the invariant set a reusable oracle for
+// any execution backend.
+type EndState struct {
+	Nodes []NodeEnd
+}
+
+// NodeEnd is one node's contribution to an EndState.
+type NodeEnd struct {
+	ID proto.NodeID
+	// Crashed marks a node that was fail-stopped and never restarted;
+	// crashed nodes are exempt from the end-of-run invariants.
+	Crashed bool
+	// Operational reports whether the ordering layer has an installed
+	// configuration and is exchanging traffic.
+	Operational bool
+	// State is the human-readable protocol state, used only in violation
+	// messages.
+	State string
+	// Ring and Members identify the node's current configuration.
+	Ring    proto.RingID
+	Members []proto.NodeID
+	// Backlog is the number of queued, unsent application messages.
+	Backlog int
+	// Faulty holds the per-network faulty flags of the RRP layer.
+	Faulty []bool
+}
+
+// live returns the nodes that are not crashed.
+func (e *EndState) live() []*NodeEnd {
+	var out []*NodeEnd
+	for i := range e.Nodes {
+		if !e.Nodes[i].Crashed {
+			out = append(out, &e.Nodes[i])
+		}
+	}
+	return out
+}
+
+// Settled reports whether every live node is operational on one common
+// ring of exactly the live nodes, with drained backlogs and no network
+// still marked faulty — the fixed point runners poll for before handing
+// the snapshot to Checker.Finish.
+func (e *EndState) Settled() bool {
+	live := e.live()
+	if len(live) == 0 {
+		return true
+	}
+	ring := live[0].Ring
+	for _, n := range live {
+		if !n.Operational || n.Ring != ring || len(n.Members) != len(live) {
+			return false
+		}
+		if n.Backlog != 0 {
+			return false
+		}
+		for _, faulty := range n.Faulty {
+			if faulty {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FinalMembers returns the common final-ring membership of the live
+// nodes, or nil when the live nodes do not agree on one ring (in which
+// case Finish reports a final-ring violation anyway).
+func (e *EndState) FinalMembers() []proto.NodeID {
+	live := e.live()
+	if len(live) == 0 {
+		return nil
+	}
+	ring := live[0].Ring
+	for _, n := range live {
+		if n.Ring != ring || len(n.Members) != len(live[0].Members) {
+			return nil
+		}
+	}
+	return append([]proto.NodeID(nil), live[0].Members...)
+}

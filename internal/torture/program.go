@@ -87,9 +87,10 @@ func (p Program) Duration() time.Duration {
 	return p.Warmup + p.FaultWindow + p.Tail
 }
 
-// loadCutoff is when submissions stop: early enough into the tail that
-// backlogs drain before the end-of-run checks.
-func (p Program) loadCutoff() time.Duration {
+// LoadCutoff is when submissions stop: early enough into the tail that
+// backlogs drain before the end-of-run checks. Exported so the live
+// harness reproduces the exact submission schedule.
+func (p Program) LoadCutoff() time.Duration {
 	return p.Warmup + p.FaultWindow + p.Tail/3
 }
 

@@ -22,6 +22,9 @@ type Options struct {
 	Chaos core.ChaosFlags
 	// TraceCap bounds the trace ring; 0 means a 512-event tail.
 	TraceCap int
+	// RecordDeliveries retains each node's delivery order (payload
+	// hashes) in the result, for the sim-vs-live differential mode.
+	RecordDeliveries bool
 }
 
 // Result is the outcome of one torture run.
@@ -36,23 +39,30 @@ type Result struct {
 	// TraceTail is the formatted tail of the event trace, ending at the
 	// violation (or at the end of a clean run).
 	TraceTail []string `json:"traceTail,omitempty"`
+	// FinalMembers is the common final-ring membership of the live nodes
+	// (nil if they never agreed on one).
+	FinalMembers []proto.NodeID `json:"finalMembers,omitempty"`
+	// Deliveries is each node's delivery order as payload hashes, present
+	// only with Options.RecordDeliveries.
+	Deliveries map[proto.NodeID][]uint64 `json:"-"`
 }
 
-// tortureTune shortens the RRP recovery cadence so that fault/heal cycles
+// TortureTune shortens the RRP recovery cadence so that fault/heal cycles
 // converge within a run's tail: decay every 200ms, two clean windows to
-// readmit, flap backoff capped at 8 windows.
-func tortureTune(sc *stack.Config) {
+// readmit, flap backoff capped at 8 windows. The live harness applies the
+// same tuning (scaled) so both backends run the same protocol shape.
+func TortureTune(sc *stack.Config) {
 	sc.RRP.DecayInterval = 200 * time.Millisecond
 	sc.RRP.ProbationWindows = 2
 	sc.RRP.MaxProbation = 8
 	sc.RRP.FlapWindow = 2 * time.Second
 }
 
-// monitorBoundFor derives the count-monitor headroom bound the checker
+// MonitorBoundFor derives the count-monitor headroom bound the checker
 // asserts. After normalisation the minimum non-faulty counter is zero, so
 // a healthy monitor's largest counter stays within a small multiple of
 // the conviction thresholds; see DESIGN.md §10.
-func monitorBoundFor(sc stack.Config) int64 {
+func MonitorBoundFor(sc stack.Config) int64 {
 	return int64(3*sc.RRP.DiffThreshold + 2*sc.RRP.TokenDiffThreshold + 4)
 }
 
@@ -78,8 +88,9 @@ func Execute(p Program, opt Options) (*Result, error) {
 	ring := trace.NewRing(traceCap)
 
 	sample := stack.DefaultConfig(1, p.Networks, style)
-	tortureTune(&sample)
-	ch := newChecker(style, monitorBoundFor(sample))
+	TortureTune(&sample)
+	ch := NewChecker(style, MonitorBoundFor(sample))
+	ch.SetRecordDeliveries(opt.RecordDeliveries)
 
 	c, err := sim.NewCluster(sim.Config{
 		Nodes:    p.Nodes,
@@ -89,13 +100,13 @@ func Execute(p Program, opt Options) (*Result, error) {
 		Net:      sim.DefaultNetworkParams(),
 		Host:     sim.DefaultNodeParams(),
 		Seed:     p.Seed,
-		TuneSRP:  func(_ proto.NodeID, sc *stack.Config) { tortureTune(sc) },
+		TuneSRP:  func(_ proto.NodeID, sc *stack.Config) { TortureTune(sc) },
 		Trace:    trace.Multi{ch, ring},
 	})
 	if err != nil {
 		return nil, err
 	}
-	ch.now = c.Sim.Now
+	ch.SetNow(c.Sim.Now)
 	for _, id := range c.NodeIDs() {
 		id := id
 		n := c.Node(id)
@@ -114,17 +125,27 @@ func Execute(p Program, opt Options) (*Result, error) {
 	for c.Sim.Now() < end && ch.Violation() == nil {
 		c.Run(min(slice, end-c.Sim.Now()))
 	}
+	var endState *EndState
 	if ch.Violation() == nil {
 		// Bounded convergence grace before the end-of-run checks: the
 		// fixed step keeps the extra virtual time deterministic.
-		c.RunUntil(func() bool { return settled(c) }, 25*time.Millisecond, 3*time.Second)
-		ch.Finish(c)
+		c.RunUntil(func() bool {
+			endState = simEndState(c)
+			return endState.Settled()
+		}, 25*time.Millisecond, 3*time.Second)
+		ch.Finish(endState)
 	}
 
 	res := &Result{
 		Program:   p,
 		Violation: ch.Violation(),
 		End:       time.Duration(c.Sim.Now()),
+	}
+	if endState != nil {
+		res.FinalMembers = endState.FinalMembers()
+	}
+	if opt.RecordDeliveries {
+		res.Deliveries = ch.DeliverySeqs()
 	}
 	for _, id := range c.NodeIDs() {
 		res.Delivered += c.Node(id).DeliveredCount
@@ -135,35 +156,25 @@ func Execute(p Program, opt Options) (*Result, error) {
 	return res, nil
 }
 
-// settled reports whether every live node is operational on one common
-// ring of exactly the live nodes, with drained backlogs and no network
-// still marked faulty.
-func settled(c *sim.Cluster) bool {
-	var live []*sim.Node
+// simEndState snapshots the simulated cluster into the backend-neutral
+// form the checker's end-of-run invariants consume.
+func simEndState(c *sim.Cluster) *EndState {
+	end := &EndState{}
 	for _, id := range c.NodeIDs() {
-		if n := c.Node(id); !n.Crashed() {
-			live = append(live, n)
-		}
-	}
-	if len(live) == 0 {
-		return true
-	}
-	ring := live[0].Stack.SRP().Ring()
-	for _, n := range live {
+		n := c.Node(id)
 		m := n.Stack.SRP()
-		if m.State() != srp.StateOperational || m.Ring() != ring || len(m.Members()) != len(live) {
-			return false
-		}
-		if n.Stack.Backlog() != 0 {
-			return false
-		}
-		for _, faulty := range n.Stack.Replicator().Faulty() {
-			if faulty {
-				return false
-			}
-		}
+		end.Nodes = append(end.Nodes, NodeEnd{
+			ID:          id,
+			Crashed:     n.Crashed(),
+			Operational: m.State() == srp.StateOperational,
+			State:       m.State().String(),
+			Ring:        m.Ring(),
+			Members:     m.Members(),
+			Backlog:     n.Stack.Backlog(),
+			Faulty:      n.Stack.Replicator().Faulty(),
+		})
 	}
-	return true
+	return end
 }
 
 // scheduleOps arms every op's apply and undo closures. Undo actions only
@@ -182,7 +193,7 @@ func scheduleOps(c *sim.Cluster, ch *Checker, p Program) {
 			c.Sim.At(at, func() { c.KillNetwork(op.Net) })
 			c.Sim.At(over, func() { c.ReviveNetwork(op.Net) })
 		case OpPartition:
-			c.Sim.At(at, func() { c.Partition(op.Net, partitionGroups(p.Nodes, op.Part)) })
+			c.Sim.At(at, func() { c.Partition(op.Net, PartitionGroups(p.Nodes, op.Part)) })
 			c.Sim.At(over, func() { c.Partition(op.Net, nil) })
 		case OpTokenLoss:
 			c.Sim.At(at, func() {
@@ -246,7 +257,7 @@ func scheduleHeal(c *sim.Cluster, p Program) {
 func scheduleLoad(c *sim.Cluster, ch *Checker, p Program) {
 	ids := c.NodeIDs()
 	start := proto.Time(p.Warmup)
-	cutoff := proto.Time(p.loadCutoff())
+	cutoff := proto.Time(p.LoadCutoff())
 	for i, id := range ids {
 		id := id
 		offset := proto.Time(i) * proto.Time(p.LoadInterval) / proto.Time(len(ids))
@@ -255,22 +266,25 @@ func scheduleLoad(c *sim.Cluster, ch *Checker, p Program) {
 			seqNo := k
 			k++
 			c.Sim.At(t, func() {
-				payload := loadPayload(p, id, seqNo)
+				payload := LoadPayload(p, id, seqNo)
 				ch.NoteSubmit(id, payload, c.Submit(id, payload))
 			})
 		}
 	}
 }
 
-// loadPayload builds the unique payload for node id's seqNo-th submission.
-func loadPayload(p Program, id proto.NodeID, seqNo int) []byte {
+// LoadPayload builds the unique payload for node id's seqNo-th submission.
+// Exported so the live harness submits byte-identical load, which is what
+// makes sim and live delivery sets comparable in the differential mode.
+func LoadPayload(p Program, id proto.NodeID, seqNo int) []byte {
 	buf := make([]byte, p.PayloadLen)
 	copy(buf, fmt.Sprintf("s%d/%v/%d|", p.Seed, id, seqNo))
 	return buf
 }
 
-// partitionGroups expands a bitmask into the simulator's group map.
-func partitionGroups(nodes int, mask uint32) map[proto.NodeID]int {
+// PartitionGroups expands a partition bitmask into the group map both
+// execution backends apply (bit i-1 set puts node i in group 1).
+func PartitionGroups(nodes int, mask uint32) map[proto.NodeID]int {
 	groups := make(map[proto.NodeID]int, nodes)
 	for i := 1; i <= nodes; i++ {
 		g := 0

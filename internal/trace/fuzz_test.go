@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+// FuzzEventText hammers the lazy event formatter with arbitrary typed
+// payloads: every Kind/Code combination — including ones no current
+// probe site emits — must format without panicking and produce non-empty
+// text for a known kind. The formatter runs on the debug-endpoint read
+// path against events recorded by concurrent protocol goroutines, so it
+// can see any field combination, not just the ones the recording sites
+// construct today.
+func FuzzEventText(f *testing.F) {
+	// One seed per event family the live stack records (the population a
+	// torture trace tail contains), plus hostile extremes.
+	f.Add(int64(time.Millisecond), uint32(1), int(PacketSent), 0, 0, int64(2), int64(proto.BroadcastID), int64(1400), "")
+	f.Add(int64(0), uint32(2), int(PacketReceived), 0, 1, int64(1), int64(3), int64(96), "")
+	f.Add(int64(time.Second), uint32(3), int(TimerFired), 0, -1, int64(2), int64(9), int64(0), "")
+	f.Add(int64(5), uint32(1), int(Delivered), 0, -1, int64(42), int64(2), int64(64), "")
+	f.Add(int64(6), uint32(2), int(FaultRaised), 0, 1, int64(0), int64(0), int64(0), "problem counter over threshold")
+	f.Add(int64(7), uint32(2), int(FaultCleared), 0, 1, int64(3), int64(0), int64(0), "")
+	f.Add(int64(8), uint32(4), int(ConfigChanged), 0, -1, int64(1), int64(7), int64(4), "transitional")
+	f.Add(int64(9), uint32(1), int(Machine), int(proto.ProbeMonitorDecay), 0, int64(3), int64(170), int64(0), "")
+	f.Add(int64(10), uint32(1), int(Machine), int(proto.ProbePhase), -1, int64(1), int64(2), int64(0), "")
+	f.Add(int64(11), uint32(1), int(Note), 0, -1, int64(0), int64(0), int64(0), "hello")
+	f.Add(int64(-1), uint32(0), 0, -1, -2, int64(-9e18), int64(9e18), int64(-1), "")
+	f.Add(int64(9e18), uint32(4e9), 9999, 9999, 9999, int64(1), int64(2), int64(3), strings.Repeat("x", 300))
+
+	f.Fuzz(func(t *testing.T, at int64, node uint32, kind, code, network int, a, b, c int64, detail string) {
+		e := Event{
+			At:      time.Duration(at),
+			Node:    proto.NodeID(node),
+			Kind:    Kind(kind),
+			Code:    proto.ProbeCode(code),
+			Network: network,
+			A:       a,
+			B:       b,
+			C:       c,
+			Detail:  detail,
+		}
+		text := e.Text()
+		if e.Detail != "" && text != e.Detail {
+			t.Fatalf("Detail %q not honoured, got %q", e.Detail, text)
+		}
+		s := e.String()
+		if s == "" {
+			t.Fatal("String returned nothing")
+		}
+		if e.Kind == Machine && e.Detail == "" && text == "" {
+			t.Fatal("machine event formatted to nothing")
+		}
+
+		// The ring and counter must swallow any event shape; Events and
+		// CodeCount run the read paths the debug endpoints use.
+		r := NewRing(4)
+		r.Record(e)
+		r.Record(e)
+		for _, ev := range r.Events(nil) {
+			_ = ev.String()
+		}
+		cnt := NewCounter()
+		cnt.Record(e)
+		if e.Kind == Machine && cnt.CodeCount(e.Code) != 1 {
+			t.Fatalf("counter lost a machine event (code %d)", int(e.Code))
+		}
+	})
+}

@@ -28,7 +28,11 @@ type Runtime struct {
 	// and the stack's probe hook. Set before Start; nil costs one branch
 	// per site.
 	tracer trace.Tracer
-	id     proto.NodeID
+	// deliveryTap, when non-nil, observes every delivery synchronously on
+	// the loop goroutine before it is queued for the application. Set
+	// before Start; it must not block.
+	deliveryTap func(proto.Delivery)
+	id          proto.NodeID
 
 	events chan runtimeEvent
 	// submitRejected counts Submit calls refused by SRP backpressure.
@@ -101,6 +105,16 @@ func NewRuntime(st *stack.Node, tr Transport) *Runtime {
 // (trace.Ring is).
 func (r *Runtime) SetTracer(tr trace.Tracer) {
 	r.tracer = tr
+}
+
+// SetDeliveryTap installs a synchronous observer for every delivery,
+// invoked on the loop goroutine before the delivery is queued for the
+// application. Must be called before Start; the tap must not block (it
+// stalls the token ring if it does). The conformance harness uses it to
+// feed the torture checker in protocol order, unperturbed by the
+// application-facing queue.
+func (r *Runtime) SetDeliveryTap(tap func(proto.Delivery)) {
+	r.deliveryTap = tap
 }
 
 // Start boots the protocol stack and the event loop.
@@ -205,6 +219,9 @@ func (r *Runtime) execute(actions []proto.Action) {
 		case proto.CancelTimer:
 			r.cancelTimer(act.ID)
 		case proto.Deliver:
+			if r.deliveryTap != nil {
+				r.deliveryTap(act.Msg)
+			}
 			if r.tracer != nil {
 				r.tracer.Record(trace.Event{
 					At: r.now(), Node: r.id, Kind: trace.Delivered, Network: -1,

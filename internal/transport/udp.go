@@ -130,6 +130,16 @@ func (t *UDPTransport) AddPeer(id proto.NodeID, addrs []string) error {
 	return nil
 }
 
+// RemovePeer unregisters a peer: subsequent unicasts to it return
+// ErrNoPeer and broadcasts skip it. Removing an unknown peer is a no-op,
+// and a later AddPeer re-registers the node. Safe to call while the node
+// is running.
+func (t *UDPTransport) RemovePeer(id proto.NodeID) {
+	t.peerMu.Lock()
+	delete(t.peers, id)
+	t.peerMu.Unlock()
+}
+
 func (t *UDPTransport) readLoop(network int, conn *net.UDPConn) {
 	defer t.wg.Done()
 	// Datagrams are read straight into pooled frames and handed to the

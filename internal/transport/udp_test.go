@@ -2,10 +2,13 @@ package transport
 
 import (
 	"errors"
+	"net"
+	"sync"
 	"testing"
 	"time"
 
 	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/wire"
 )
 
 func newUDPPair(t *testing.T, networks int) (*UDPTransport, *UDPTransport) {
@@ -134,6 +137,150 @@ func TestUDPCloseIsIdempotentAndStopsReceive(t *testing.T) {
 	// Sending to the closed peer simply goes nowhere.
 	if err := a.Send(0, 2, []byte("x")); err != nil {
 		t.Fatalf("send to closed peer errored: %v", err)
+	}
+}
+
+func TestUDPRemovePeerReAdd(t *testing.T) {
+	a, b := newUDPPair(t, 1)
+
+	a.RemovePeer(2)
+	if err := a.Send(0, 2, []byte("gone")); !errors.Is(err, ErrNoPeer) {
+		t.Fatalf("unicast to removed peer: %v, want ErrNoPeer", err)
+	}
+	if err := a.Send(0, proto.BroadcastID, []byte("gone")); err != nil {
+		t.Fatalf("broadcast with no peers errored: %v", err)
+	}
+	expectSilence(t, b, 50*time.Millisecond)
+	a.RemovePeer(42) // unknown peer is a no-op
+
+	// Re-adding restores delivery on both paths.
+	if err := a.AddPeer(2, b.LocalAddrs()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(0, 2, []byte("uni")); err != nil {
+		t.Fatal(err)
+	}
+	if p := recvOne(t, b, 2*time.Second); string(p.Data) != "uni" {
+		t.Fatalf("got %q", p.Data)
+	}
+	if err := a.Send(0, proto.BroadcastID, []byte("bc")); err != nil {
+		t.Fatal(err)
+	}
+	if p := recvOne(t, b, 2*time.Second); string(p.Data) != "bc" {
+		t.Fatalf("got %q", p.Data)
+	}
+}
+
+// TestUDPConcurrentSendPeerChurnClose drives the supported concurrency to
+// its limit under the race detector: one goroutine sending (the Transport
+// contract allows exactly one), another churning the peer table, a third
+// draining, and Close landing while all are in flight.
+func TestUDPConcurrentSendPeerChurnClose(t *testing.T) {
+	a, b := newUDPPair(t, 2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(3)
+	go func() { // sender: errors after Close are expected, panics are not
+		defer wg.Done()
+		payload := []byte("churn")
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a.Send(i%2, proto.BroadcastID, payload) //nolint:errcheck
+			a.Send(i%2, 2, payload)                 //nolint:errcheck
+		}
+	}()
+	go func() { // peer churn
+		defer wg.Done()
+		addrs := b.LocalAddrs()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a.RemovePeer(2)
+			if err := a.AddPeer(2, addrs); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() { // drain so the receive queue never wedges the sender's peer
+		defer wg.Done()
+		for range b.Packets() {
+		}
+	}()
+
+	time.Sleep(100 * time.Millisecond)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the sender race the closed sockets
+	close(stop)
+	b.Close()
+	wg.Wait()
+}
+
+// rawSend fires one datagram at the transport's network-0 socket from an
+// unmanaged socket, bypassing Send's framing entirely.
+func rawSend(t *testing.T, to *UDPTransport, payload []byte) {
+	t.Helper()
+	conn, err := net.Dial("udp", to.LocalAddrs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUDPTruncatedDatagram pins what happens when a datagram exceeds the
+// frame pool's capacity: the kernel truncates it to wire.FrameCap, the
+// read loop stays alive, and well-formed traffic flows afterwards. Upper
+// layers discard the mangled frame when decoding fails.
+func TestUDPTruncatedDatagram(t *testing.T) {
+	a, b := newUDPPair(t, 1)
+	oversize := make([]byte, wire.FrameCap+512)
+	for i := range oversize {
+		oversize[i] = byte(i)
+	}
+	rawSend(t, b, oversize)
+	p := recvOne(t, b, 2*time.Second)
+	if len(p.Data) != wire.FrameCap {
+		t.Fatalf("truncated datagram delivered %d bytes, want %d", len(p.Data), wire.FrameCap)
+	}
+	if err := a.Send(0, 2, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if p := recvOne(t, b, 2*time.Second); string(p.Data) != "after" {
+		t.Fatalf("read loop wedged after truncation: got %q", p.Data)
+	}
+}
+
+// TestUDPShortDatagrams pins the short-read path: zero-length and
+// single-byte datagrams are legal UDP, must not kill the read loop, and
+// surface as (useless but harmless) packets for the decoder to reject.
+func TestUDPShortDatagrams(t *testing.T) {
+	a, b := newUDPPair(t, 1)
+	rawSend(t, b, nil)
+	if p := recvOne(t, b, 2*time.Second); len(p.Data) != 0 {
+		t.Fatalf("zero-length datagram delivered %d bytes", len(p.Data))
+	}
+	rawSend(t, b, []byte{0x7f})
+	if p := recvOne(t, b, 2*time.Second); len(p.Data) != 1 || p.Data[0] != 0x7f {
+		t.Fatalf("one-byte datagram mangled: %v", p.Data)
+	}
+	if err := a.Send(0, 2, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if p := recvOne(t, b, 2*time.Second); string(p.Data) != "after" {
+		t.Fatalf("read loop wedged after short reads: got %q", p.Data)
 	}
 }
 

@@ -1,0 +1,159 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+// Native fuzz targets for the message-packing layer: the Packer's
+// fragmentation and the Assembler's reassembly are the two halves of the
+// paper's §8 packing algorithm, and every byte the ring orders passes
+// through them.
+
+// packerSeeds mirrors the payload-size population the torture harness
+// drives through the stack (its load generator submits 64..364-byte
+// payloads shaped "s<seed>/<node>/<n>|..."), plus the fragmentation
+// boundaries.
+func packerSeeds(f *testing.F) {
+	f.Helper()
+	sizes := func(ns ...int) []byte {
+		var b []byte
+		for _, n := range ns {
+			b = binary.LittleEndian.AppendUint16(b, uint16(n))
+		}
+		return b
+	}
+	f.Add(sizes(64))
+	f.Add(sizes(64, 200, 364))              // torture load population
+	f.Add(sizes(364, 364, 364, 364))        // several per packet
+	f.Add(sizes(maxWhole-1, maxWhole, maxWhole+1)) // split boundary
+	f.Add(sizes(MaxPayload, MaxPayload+1))
+	f.Add(sizes(3*MaxPayload + 17))         // multi-packet fragmentation
+	f.Add(sizes(1, maxWhole+5, 1, 1))       // fragment then small tail
+	f.Add(sizes())                          // empty queue
+	f.Add(sizes(0, 0, 64))                  // zero-length messages
+}
+
+// FuzzPackerAssembler drives arbitrary message-size sequences through
+// Enqueue -> NextChunks -> Assembler.Add and demands perfect reassembly:
+// every message comes back whole, in order, byte for byte, with no drops,
+// and every emitted packet respects the MaxPayload budget.
+func FuzzPackerAssembler(f *testing.F) {
+	packerSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const (
+			maxMsgs = 24
+			maxLen  = 4 * MaxPayload
+			sender  = proto.NodeID(7)
+		)
+		var msgs [][]byte
+		for i := 0; i+1 < len(data) && len(msgs) < maxMsgs; i += 2 {
+			n := int(binary.LittleEndian.Uint16(data[i:])) % (maxLen + 1)
+			msg := make([]byte, n)
+			for j := range msg {
+				msg[j] = byte(len(msgs)*31 + j)
+			}
+			msgs = append(msgs, msg)
+		}
+
+		p := &Packer{}
+		total := 0
+		for _, m := range msgs {
+			p.Enqueue(append([]byte(nil), m...))
+			total += len(m)
+		}
+		if p.Backlog() != len(msgs) || p.QueuedBytes() != total {
+			t.Fatalf("after enqueue: backlog %d queued %d, want %d/%d",
+				p.Backlog(), p.QueuedBytes(), len(msgs), total)
+		}
+
+		a := NewAssembler()
+		var got [][]byte
+		// Each NextChunks call must make progress; total+len(msgs) packets
+		// is a generous upper bound, so exceeding it means livelock.
+		for i := 0; !p.Empty(); i++ {
+			if i > total+len(msgs)+1 {
+				t.Fatalf("packer livelock: %d packets and still %d queued", i, p.Backlog())
+			}
+			chunks := p.NextChunks()
+			if chunks == nil {
+				t.Fatalf("NextChunks returned nil with %d messages queued", p.Backlog())
+			}
+			budget := 0
+			for _, c := range chunks {
+				budget += len(c.Data) + ChunkOverhead
+			}
+			if budget > MaxPayload {
+				t.Fatalf("packet holds %d bytes, budget %d", budget, MaxPayload)
+			}
+			for _, c := range chunks {
+				if m, ok := a.Add(sender, c); ok {
+					got = append(got, append([]byte(nil), m...))
+				}
+			}
+		}
+		if p.NextChunks() != nil {
+			t.Fatal("NextChunks returned chunks from an empty queue")
+		}
+		if p.QueuedBytes() != 0 {
+			t.Fatalf("drained packer still reports %d queued bytes", p.QueuedBytes())
+		}
+		if a.Dropped != 0 {
+			t.Fatalf("assembler dropped %d chunks of a clean in-order stream", a.Dropped)
+		}
+		if len(got) != len(msgs) {
+			t.Fatalf("reassembled %d messages, submitted %d", len(got), len(msgs))
+		}
+		for i := range msgs {
+			if !bytes.Equal(got[i], msgs[i]) {
+				t.Fatalf("message %d corrupted: %d bytes in, %d out", i, len(msgs[i]), len(got[i]))
+			}
+		}
+	})
+}
+
+// FuzzAssemblerStream feeds the Assembler an arbitrary — including
+// protocol-violating — chunk stream across several senders. It must never
+// panic, never fabricate bytes that were not in some chunk, and account
+// for every orphan continuation in Dropped.
+func FuzzAssemblerStream(f *testing.F) {
+	// flags byte, length byte, payload — repeated.
+	f.Add([]byte{byte(ChunkFirst | ChunkLast), 3, 'a', 'b', 'c'})
+	f.Add([]byte{byte(ChunkFirst), 2, 'x', 'y', byte(ChunkLast), 1, 'z'})
+	f.Add([]byte{0, 4, 1, 2, 3, 4}) // orphan continuation
+	f.Add([]byte{byte(ChunkFirst), 1, 'q', byte(ChunkFirst | ChunkLast), 1, 'r'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := NewAssembler()
+		fed, returned, completions := 0, 0, 0
+		for i := 0; i+1 < len(data); {
+			flags := data[i] & (ChunkFirst | ChunkLast)
+			n := int(data[i+1])
+			i += 2
+			if n > len(data)-i {
+				n = len(data) - i
+			}
+			sender := proto.NodeID(1 + n%3)
+			fed += n
+			m, ok := a.Add(sender, Chunk{Flags: flags, Data: data[i : i+n]})
+			i += n
+			if ok {
+				completions++
+				returned += len(m)
+			} else if m != nil {
+				t.Fatal("incomplete Add returned a message")
+			}
+		}
+		if returned > fed {
+			t.Fatalf("assembler returned %d bytes from %d fed", returned, fed)
+		}
+		a.Reset()
+		if m, ok := a.Add(1, Chunk{Flags: 0, Data: []byte("tail")}); ok || m != nil {
+			t.Fatal("continuation accepted after Reset")
+		}
+		_ = fmt.Sprintf("%d", completions) // keep the counter observable under -v
+	})
+}

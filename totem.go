@@ -168,6 +168,13 @@ type Options struct {
 	// nil. Zero disables tracing entirely (probe emission then costs a
 	// single predicted branch per site).
 	TraceCapacity int
+
+	// DeliveryTap, if non-nil, observes every delivery synchronously on
+	// the protocol goroutine, before it is queued on Node.Deliveries. It
+	// must not block: a slow tap stalls the token ring. The conformance
+	// harness uses it to feed the torture invariant checker in exact
+	// protocol order; Deliveries still receives every message.
+	DeliveryTap func(Delivery)
 }
 
 // Errors returned by the public API.
@@ -242,6 +249,9 @@ func NewNode(cfg Config, tr Transport) (*Node, error) {
 	if tracer != nil {
 		n.rt.SetTracer(tracer)
 	}
+	if opts.DeliveryTap != nil {
+		n.rt.SetDeliveryTap(opts.DeliveryTap)
+	}
 	n.rt.Start()
 	return n, nil
 }
@@ -307,6 +317,37 @@ func (n *Node) Operational() bool {
 		op = st.SRP().State() == srp.StateOperational
 	})
 	return op
+}
+
+// StateName returns the human-readable name of the node's current
+// protocol state ("operational", "gather", ...), for diagnostics.
+func (n *Node) StateName() string {
+	s := "closed"
+	n.rt.Inspect(func(st *stack.Node) {
+		s = st.SRP().State().String()
+	})
+	return s
+}
+
+// MaxEpoch returns the highest ring epoch this node has observed. A node
+// restarting into an existing ring should carry it forward (via
+// Options.SRP.InitialEpoch) so its new ring identifiers keep advancing.
+func (n *Node) MaxEpoch() uint32 {
+	var e uint32
+	n.rt.Inspect(func(st *stack.Node) {
+		e = st.SRP().MaxEpoch()
+	})
+	return e
+}
+
+// Backlog returns the number of queued, not-yet-ordered application
+// messages (drains to zero on an idle healthy ring).
+func (n *Node) Backlog() int {
+	b := 0
+	n.rt.Inspect(func(st *stack.Node) {
+		b = st.Backlog()
+	})
+	return b
 }
 
 // NetworkFaults returns the per-network faulty flags of the RRP layer.
