@@ -49,11 +49,12 @@ func main() {
 		seeds    = flag.Int("seeds", 0, "batch mode: run seeds seed-base..seed-base+N-1 for each selected style")
 		seedBase = flag.Int64("seed-base", 1, "first seed of a -seeds batch")
 		seed     = flag.Int64("seed", 0, "single mode: run exactly this seed")
-		style    = flag.String("style", "all", "active | passive | active-passive | all")
+		style    = flag.String("style", "all", "active | passive | active-passive | all | gray")
+		corrupt  = flag.String("corrupt", "", "gray mode: corrupt one node's state mid-run (monitors | held-token | ring-seq | aru | rand)")
 		shrink   = flag.Bool("shrink", false, "on violation, shrink the program to a minimal repro")
 		repro    = flag.String("repro", "", "write the (shrunk) failing program to this JSON file")
 		replay   = flag.String("replay", "", "re-execute a saved repro file instead of generating programs")
-		chaos    = flag.String("chaos", "", "re-introduce a fixed bug: held-token-leak | pinned-min")
+		chaos    = flag.String("chaos", "", "re-introduce a fixed bug: held-token-leak | pinned-min | frozen-token-filter | impatient-gate")
 		expect   = flag.String("expect", "", "require this invariant to fire (mutation testing)")
 		traceN   = flag.Int("trace", 0, "print the last N trace events of a failing (or -v single) run")
 		verbose  = flag.Bool("v", false, "per-run progress output")
@@ -62,6 +63,7 @@ func main() {
 		diffMode  = flag.Bool("diff", false, "differential mode: replay mild programs on both sim and live and compare")
 		transport = flag.String("transport", "mem", "live/diff transport: mem | udp")
 		timescale = flag.Float64("timescale", 0.3, "live/diff: wall seconds per virtual second")
+		skew      = flag.Float64("skew", 0, "live: per-node clock skew fraction (0.1 = timers off by up to ±10%)")
 		workers   = flag.Int("workers", 1, "live mode: concurrent runs")
 		budget    = flag.Duration("budget", 0, "live mode: stop dispatching new seeds after this wall-clock budget")
 	)
@@ -69,10 +71,11 @@ func main() {
 
 	code, err := run(config{
 		seeds: *seeds, seedBase: *seedBase, seed: *seed, style: *style,
-		shrink: *shrink, repro: *repro, replay: *replay,
+		corrupt: *corrupt,
+		shrink:  *shrink, repro: *repro, replay: *replay,
 		chaos: *chaos, expect: *expect, traceN: *traceN, verbose: *verbose,
 		live: *liveMode, diff: *diffMode, transport: *transport,
-		timescale: *timescale, workers: *workers, budget: *budget,
+		timescale: *timescale, skew: *skew, workers: *workers, budget: *budget,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "totemtorture:", err)
@@ -86,6 +89,7 @@ type config struct {
 	seedBase int64
 	seed     int64
 	style    string
+	corrupt  string
 	shrink   bool
 	repro    string
 	replay   string
@@ -98,6 +102,7 @@ type config struct {
 	diff      bool
 	transport string
 	timescale float64
+	skew      float64
 	workers   int
 	budget    time.Duration
 }
@@ -110,8 +115,29 @@ func run(cfg config) (int, error) {
 		opt.Chaos = core.ChaosFlags{HeldTokenLeak: true}
 	case "pinned-min":
 		opt.Chaos = core.ChaosFlags{MonitorPinnedMin: true}
+	case "frozen-token-filter":
+		opt.Chaos = core.ChaosFlags{FrozenTokenFilter: true}
+	case "impatient-gate":
+		opt.Chaos = core.ChaosFlags{ImpatientGate: true}
 	default:
 		return 2, fmt.Errorf("unknown -chaos %q", cfg.chaos)
+	}
+
+	if cfg.corrupt != "" {
+		if cfg.style != "gray" {
+			return 2, fmt.Errorf("-corrupt requires -style gray")
+		}
+		if cfg.corrupt != "rand" {
+			ok := false
+			for _, s := range torture.CorruptSubs {
+				if cfg.corrupt == s {
+					ok = true
+				}
+			}
+			if !ok {
+				return 2, fmt.Errorf("unknown -corrupt %q (want rand or one of %v)", cfg.corrupt, torture.CorruptSubs)
+			}
+		}
 	}
 
 	if (cfg.live || cfg.diff) && cfg.chaos != "" {
@@ -125,9 +151,20 @@ func run(cfg config) (int, error) {
 		return replayFile(cfg, opt)
 	}
 
-	styles, err := selectStyles(cfg.style)
-	if err != nil {
-		return 2, err
+	var styles []proto.ReplicationStyle
+	if cfg.style == "gray" {
+		if cfg.diff {
+			return 2, fmt.Errorf("-style gray is not supported in -diff mode")
+		}
+		// Gray programs draw their replication style from the seed; one
+		// placeholder entry keeps the batch loops shared.
+		styles = []proto.ReplicationStyle{proto.ReplicationActive}
+	} else {
+		var err error
+		styles, err = selectStyles(cfg.style)
+		if err != nil {
+			return 2, err
+		}
 	}
 
 	base, n := cfg.seedBase, cfg.seeds
@@ -146,11 +183,21 @@ func run(cfg config) (int, error) {
 	return batch(cfg, opt, styles, base, n)
 }
 
+// generate builds the program for one (seed, style) job: gray mode draws
+// everything (including the replication style) from the seed.
+func (cfg config) generate(seed int64, style proto.ReplicationStyle) torture.Program {
+	if cfg.style == "gray" {
+		return torture.GenerateGray(seed, cfg.corrupt)
+	}
+	return torture.Generate(seed, style)
+}
+
 // liveOptions maps the CLI flags onto the harness options.
 func liveOptions(cfg config) live.Options {
 	return live.Options{
 		Transport: cfg.transport,
 		TimeScale: cfg.timescale,
+		ClockSkew: cfg.skew,
 	}
 }
 
@@ -196,7 +243,7 @@ func liveBatch(cfg config, styles []proto.ReplicationStyle, base int64, n int) (
 		go func() {
 			defer func() { done <- struct{}{} }()
 			for j := range jobc {
-				p := liveAdapt(torture.Generate(j.seed, j.style), cfg.timescale)
+				p := liveAdapt(cfg.generate(j.seed, j.style), cfg.timescale)
 				res, err := live.Execute(p, liveOptions(cfg))
 				mu.Lock()
 				if err != nil {
@@ -337,7 +384,7 @@ func batch(cfg config, opt torture.Options, styles []proto.ReplicationStyle, bas
 	runs := 0
 	for _, style := range styles {
 		for s := base; s < base+int64(n); s++ {
-			p := torture.Generate(s, style)
+			p := cfg.generate(s, style)
 			res, err := torture.Execute(p, opt)
 			if err != nil {
 				return 2, err
@@ -345,7 +392,7 @@ func batch(cfg config, opt torture.Options, styles []proto.ReplicationStyle, bas
 			runs++
 			if cfg.verbose {
 				fmt.Printf("seed %d %-14s delivered %5d end %8s  %s\n",
-					s, style, res.Delivered, res.End.Truncate(time.Millisecond), outcome(res))
+					s, p.Style, res.Delivered, res.End.Truncate(time.Millisecond), outcome(res))
 			}
 			if res.Violation != nil {
 				if cfg.expect != "" && res.Violation.Invariant == cfg.expect {

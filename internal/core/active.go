@@ -131,7 +131,11 @@ func (a *active) OnPacket(now proto.Time, network int, data []byte) {
 		a.acts.Probe(proto.ProbeTokenGathered, network, int64(seq), int64(rot), 0)
 		// The timer is armed exactly once per generation: a new token can
 		// only arrive after the current one completes a rotation.
-		a.acts.SetTimer(proto.TimerID{Class: proto.TimerRRPToken}, a.cfg.TokenTimeout)
+		timeout := a.cfg.TokenTimeout
+		if Chaos.ImpatientGate {
+			timeout = 0
+		}
+		a.acts.SetTimer(proto.TimerID{Class: proto.TimerRRPToken}, timeout)
 	case key == a.lastKey:
 		a.recvLast[network] = true
 		if a.delivered {

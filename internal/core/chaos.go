@@ -26,4 +26,19 @@ type ChaosFlags struct {
 	// the healthy counters grow without bound. The torture harness catches
 	// this via its monitor-boundedness invariant (requirement P5).
 	MonitorPinnedMin bool
+	// FrozenTokenFilter disables the self-stabilization path that makes
+	// arbitrary-state corruption recoverable: the SRP's duplicate-token
+	// filter is no longer reset when a new ring is installed, so a filter
+	// poisoned with a future sequence number keeps discarding every
+	// genuine token forever and the ring re-forms endlessly. The torture
+	// harness catches this via its bounded-recovery invariant (DESIGN.md
+	// §12). Consulted by internal/srp, not by the replicators.
+	FrozenTokenFilter bool
+	// ImpatientGate removes the active gate's slowness tolerance: the
+	// token gate timer fires immediately instead of after TokenTimeout,
+	// so any network whose token copy is not strictly first gets a
+	// problem-counter charge every rotation and a merely-slow network is
+	// convicted as dead. The torture harness catches this via its
+	// slow-vs-dead discrimination invariant.
+	ImpatientGate bool
 }

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/wire"
+)
+
+// Fault-injection hooks for the torture harness's arbitrary-initial-state
+// recovery mode (DESIGN.md §12). They scramble replicator-internal state
+// the way a latent bug or bit-flip would; the monitors' decay, probation
+// and readmission machinery is expected to absorb the damage on its own.
+// Production drivers never call these.
+
+// CorruptMonitors scrambles the replicator's per-network monitoring
+// counters to arbitrary values around their conviction thresholds. This
+// may falsely convict a healthy network; recovery is the designed path —
+// probation followed by auto-readmission, which resets the counters.
+func CorruptMonitors(r Replicator, rng *rand.Rand) bool {
+	c, ok := r.(interface{ corruptMonitors(*rand.Rand) })
+	if !ok {
+		return false
+	}
+	c.corruptMonitors(rng)
+	return true
+}
+
+// CorruptToken forges token-path state. The caller passes the current ring
+// and the newest (seq, rotation) generation the SRP has seen; each style
+// translates that into its own worst plausible token state: passive forges
+// a stale held token (released by the hold timer, then discarded by the
+// SRP's duplicate filter), active and active-passive poison their
+// generation filter into the future (every genuine token is discarded as a
+// straggler until the token-loss reformation installs a new ring, whose
+// tokens compare fresh again because tokenKey.newer treats a ring change
+// as newer).
+func CorruptToken(r Replicator, ring proto.RingID, seq, rot uint32, rng *rand.Rand) bool {
+	c, ok := r.(interface {
+		corruptToken(proto.RingID, uint32, uint32, *rand.Rand) bool
+	})
+	if !ok {
+		return false
+	}
+	return c.corruptToken(ring, seq, rot, rng)
+}
+
+func (m *countMonitor) scramble(rng *rand.Rand, ceil int64) {
+	for i := range m.recv {
+		m.recv[i] = rng.Int63n(ceil)
+	}
+}
+
+// scrambleMsgMon scrambles every per-sender monitor in sorted sender
+// order — map order would spend the rng draws differently on each run and
+// break replay determinism.
+func scrambleMsgMon(msgMon map[proto.NodeID]*countMonitor, rng *rand.Rand, ceil int64) {
+	senders := make([]proto.NodeID, 0, len(msgMon))
+	for id := range msgMon {
+		senders = append(senders, id)
+	}
+	sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+	for _, id := range senders {
+		msgMon[id].scramble(rng, ceil)
+	}
+}
+
+func (p *passive) corruptMonitors(rng *rand.Rand) {
+	p.tokMon.scramble(rng, int64(p.cfg.TokenDiffThreshold)*2)
+	scrambleMsgMon(p.msgMon, rng, int64(p.cfg.DiffThreshold)*2)
+}
+
+func (a *active) corruptMonitors(rng *rand.Rand) {
+	// Prime the problem counters just below conviction: one more genuine
+	// charge convicts, and the decay timer forgives one charge per window.
+	for i := range a.problem {
+		a.problem[i] = rng.Intn(a.cfg.ProblemThreshold)
+	}
+}
+
+func (ap *activePassive) corruptMonitors(rng *rand.Rand) {
+	ap.tokMon.scramble(rng, int64(ap.cfg.TokenDiffThreshold)*2)
+	scrambleMsgMon(ap.msgMon, rng, int64(ap.cfg.DiffThreshold)*2)
+}
+
+func (p *passive) corruptToken(ring proto.RingID, seq, rot uint32, _ *rand.Rand) bool {
+	tok := wire.Token{Ring: ring, Seq: seq, Rotation: rot}
+	data, err := tok.AppendEncode(wire.GetFrame())
+	if err != nil {
+		wire.PutFrame(data)
+		return false
+	}
+	// Mirror the displacement accounting of OnPacket: the forged token
+	// evicts whatever was genuinely buffered.
+	if p.held != nil {
+		p.met.tokensDiscarded.Inc()
+		p.acts.Probe(proto.ProbeTokenDiscarded, -1, int64(p.heldSeq), 0, 0)
+		wire.PutFrame(p.held)
+	}
+	p.held = data
+	p.heldSeq = seq
+	if !p.holding {
+		p.holding = true
+		p.acts.SetTimer(proto.TimerID{Class: proto.TimerRRPToken}, p.cfg.TokenHold)
+	}
+	return true
+}
+
+func (a *active) corruptToken(ring proto.RingID, seq, rot uint32, rng *rand.Rand) bool {
+	a.haveToken = true
+	a.delivered = true
+	a.lastKey = tokenKey{ring: ring, seq: seq + 32 + uint32(rng.Intn(96)), rotation: rot}
+	return true
+}
+
+func (ap *activePassive) corruptToken(ring proto.RingID, seq, rot uint32, rng *rand.Rand) bool {
+	ap.haveToken = true
+	ap.delivered = true
+	ap.lastKey = tokenKey{ring: ring, seq: seq + 32 + uint32(rng.Intn(96)), rotation: rot}
+	return true
+}

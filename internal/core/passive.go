@@ -247,6 +247,15 @@ func newCountMonitor(n int) *countMonitor {
 // most-lagging non-faulty network, or -1 when none lags. It also
 // normalises the counters so they never grow unboundedly.
 func (m *countMonitor) observe(network int, fault []bool) int {
+	if fault[network] {
+		// Faults are per-node: peers that have not convicted this network
+		// keep transmitting on it, and those receptions still arrive here.
+		// Counting them would grow a convicted network's counter without
+		// bound — it is excluded from the normalisation minimum below, so
+		// nothing would ever pull it back down. A convicted network's
+		// counter stays frozen until readmission resets it.
+		return -1
+	}
 	m.recv[network]++
 	// Normalise: subtract the minimum so the counters track differences
 	// only. The minimum is taken over the non-faulty networks: a faulty

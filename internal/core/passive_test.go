@@ -292,6 +292,45 @@ func TestPassiveChaosHeldTokenLeakRevertsFix(t *testing.T) {
 	}
 }
 
+func TestPassiveMonitorIgnoresConvictedNetworkTraffic(t *testing.T) {
+	// Regression: faults are per-node, so peers that have not convicted a
+	// network keep transmitting on it and those receptions still arrive
+	// here. They used to feed the count monitor, whose counter for the
+	// convicted network is excluded from the normalisation minimum — so it
+	// grew without bound while the sole usable network held the minimum at
+	// zero, breaching the headroom contract long after the original fault
+	// healed. Receptions on a locally-convicted network must leave the
+	// monitors untouched until readmission.
+	rec := &recorder{missing: false}
+	cfg := DefaultConfig(2, proto.ReplicationPassive)
+	cfg.AutoReadmit = false
+	rep, err := New(cfg, &rec.acts, rec.callbacks())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	p := rep.(*passive)
+	var seq uint32
+	// Drive network 1 into a fault the normal way.
+	for i := 0; i <= p.cfg.DiffThreshold; i++ {
+		seq++
+		p.OnPacket(0, 0, dataBytes(t, 3, seq))
+	}
+	if faults := rec.drainFaults(); len(faults) != 1 || faults[0].Network != 1 {
+		t.Fatalf("setup faults = %v, want network 1 convicted", faults)
+	}
+	// A peer that still trusts network 1 floods it; network 0 idles, so
+	// normalisation cannot drain anything it would let in.
+	bound := int64(2*p.cfg.DiffThreshold + 2)
+	for i := 0; i < 10*p.cfg.DiffThreshold; i++ {
+		seq++
+		p.OnPacket(0, 1, dataBytes(t, 3, seq))
+		p.OnPacket(0, 1, tokenBytes(t, seq, 0))
+	}
+	if h := monitorHeadroom(p.tokMon, p.msgMon); h > bound {
+		t.Fatalf("monitor headroom %d exceeds bound %d: convicted-network receptions were counted", h, bound)
+	}
+}
+
 func TestPassiveMonitorBoundedDuringMultiHourFault(t *testing.T) {
 	// Regression: countMonitor.observe normalised with the minimum over
 	// *all* networks, so a faulty network's frozen counter pinned the

@@ -1,0 +1,151 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/torture"
+)
+
+// TestNetemOneWayBlock is the regression pin for the direction-aware path
+// judgment: a one-way block from 1 to 2 must not become two-way, must not
+// leak to other pairs or networks, and must filter broadcasts per
+// destination rather than dropping them whole.
+func TestNetemOneWayBlock(t *testing.T) {
+	peers := []proto.NodeID{2, 3}
+	nm := NewNetem(2, NetemParams{Seed: 1})
+	nm.BlockPair(0, 1, 2, true)
+
+	if v := nm.judgeSend(1, 2, 0, nil); !v.drop {
+		t.Fatal("blocked direction 1->2 not dropped")
+	}
+	if v := nm.judgeSend(2, 1, 0, nil); v.drop {
+		t.Fatal("one-way block became two-way: 2->1 dropped")
+	}
+	if v := nm.judgeSend(1, 3, 0, nil); v.drop {
+		t.Fatal("block leaked to pair 1->3")
+	}
+	if v := nm.judgeSend(1, 2, 1, nil); v.drop {
+		t.Fatal("block leaked onto network 1")
+	}
+	v := nm.judgeSend(1, proto.BroadcastID, 0, peers)
+	if v.drop || len(v.expand) != 1 || v.expand[0] != 3 {
+		t.Fatalf("broadcast verdict %+v, want expansion to [3] only", v)
+	}
+	// An unaffected sender's broadcast may stay a broadcast or expand to
+	// unicasts, but the delivery set must be every peer.
+	if v := nm.judgeSend(2, proto.BroadcastID, 0, []proto.NodeID{1, 3}); v.drop ||
+		(v.expand != nil && len(v.expand) != 2) {
+		t.Fatalf("peer broadcast verdict %+v, want all peers reached", v)
+	}
+
+	nm.BlockPair(0, 1, 2, false)
+	if v := nm.judgeSend(1, 2, 0, nil); v.drop {
+		t.Fatal("unblocked direction still dropped")
+	}
+	if v := nm.judgeSend(1, proto.BroadcastID, 0, peers); v.drop || v.expand != nil {
+		t.Fatalf("broadcast verdict %+v after unblock, want plain broadcast", v)
+	}
+
+	nm.BlockPair(1, 2, 3, true)
+	nm.HealAll()
+	if v := nm.judgeSend(2, 3, 1, nil); v.drop {
+		t.Fatal("HealAll left a pair block in place")
+	}
+}
+
+// TestNetemGrayFaults pins the remaining gray impairments at the verdict
+// level: forced latency floors, duplicate storms, and congestion loss that
+// only bites under burst load.
+func TestNetemGrayFaults(t *testing.T) {
+	peers := []proto.NodeID{2, 3}
+	nm := NewNetem(2, NetemParams{Seed: 1})
+
+	nm.SetSlowNet(0, 300*time.Microsecond)
+	if v := nm.judgeSend(1, proto.BroadcastID, 0, peers); v.drop || v.delay < 300*time.Microsecond {
+		t.Fatalf("slow-net verdict %+v, want delay >= 300µs", v)
+	}
+	if v := nm.judgeSend(1, proto.BroadcastID, 1, peers); v.delay != 0 {
+		t.Fatalf("slow-net leaked onto network 1: %+v", v)
+	}
+	nm.SetSlowNet(0, 0)
+	if v := nm.judgeSend(1, proto.BroadcastID, 0, peers); v.delay != 0 {
+		t.Fatalf("cleared slow-net still delaying: %+v", v)
+	}
+
+	nm.SetDupStorm(0, 1)
+	if v := nm.judgeSend(1, proto.BroadcastID, 0, peers); !v.dup {
+		t.Fatal("dup-storm p=1 did not duplicate")
+	}
+	nm.SetDupStorm(0, 0)
+
+	// Congestion p=1: an idle network may pass traffic (the load factor
+	// starts near zero) but a burst must drop most of it.
+	nm.SetCongestion(0, 1)
+	drops := 0
+	for i := 0; i < 100; i++ {
+		if v := nm.judgeSend(1, proto.BroadcastID, 0, peers); v.drop {
+			drops++
+		}
+	}
+	if drops < 50 {
+		t.Fatalf("congestion p=1 dropped only %d/100 of a burst", drops)
+	}
+	nm.SetCongestion(0, 0)
+	if v := nm.judgeSend(1, proto.BroadcastID, 0, peers); v.drop {
+		t.Fatal("cleared congestion still dropping")
+	}
+}
+
+// TestLiveClockSkew runs the conformance program for every replication
+// style with every node's protocol timers skewed by a seeded ±10%: real
+// deployments never have matched clocks, and this much drift must stay
+// inside the monitors' tolerance — zero violations.
+func TestLiveClockSkew(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock harness")
+	}
+	for _, style := range []proto.ReplicationStyle{
+		proto.ReplicationActive, proto.ReplicationPassive, proto.ReplicationActivePassive,
+	} {
+		style := style
+		t.Run(style.String(), func(t *testing.T) {
+			res, err := Execute(liveProgram(7, style), Options{Transport: "mem", TimeScale: 0.3, ClockSkew: 0.1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violation != nil {
+				t.Fatalf("violation under ±10%% skew: %s\ntrace tail:\n%s", res.Violation, tail(res.TraceTail))
+			}
+			if res.Delivered == 0 {
+				t.Fatal("run delivered nothing")
+			}
+		})
+	}
+}
+
+// TestLiveCorruptRecovery scrambles one real node's SRP token filter
+// mid-run — on real timers, real goroutines — and requires the stack to
+// re-converge and deliver within the recovery budget, with a slow network
+// in the mix for company.
+func TestLiveCorruptRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock harness")
+	}
+	p := liveProgram(17, proto.ReplicationActive)
+	p.Ops = append(p.Ops,
+		torture.Op{Kind: torture.OpSlowNet, At: 200 * time.Millisecond, Dur: time.Second, Net: 1, Lat: time.Millisecond},
+		torture.Op{Kind: torture.OpCorrupt, At: 900 * time.Millisecond, Dur: time.Millisecond, Node: 2, Sub: "ring-seq"},
+	)
+	res, err := Execute(p, Options{Transport: "mem", TimeScale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation: %s\ntrace tail:\n%s", res.Violation, tail(res.TraceTail))
+	}
+	if res.Delivered == 0 {
+		t.Fatal("run delivered nothing")
+	}
+}

@@ -2,6 +2,7 @@ package live
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,12 @@ type Options struct {
 	// SettleTimeout bounds the post-run convergence wait (wall clock);
 	// 0 means 5s.
 	SettleTimeout time.Duration
+	// ClockSkew, when non-zero, scales every node's protocol timers by a
+	// seeded per-node factor drawn from [1-ClockSkew, 1+ClockSkew] — the
+	// live analogue of the simulator's timer-skew fault. Real deployments
+	// never have perfectly matched clocks; a skew the monitors cannot
+	// absorb shows up as spurious convictions.
+	ClockSkew float64
 }
 
 // liveTune compresses the protocol timers for scaled wall-clock runs: the
@@ -59,6 +66,31 @@ func liveTune(o *totem.Options) {
 	o.RRP.MaxProbation = 8
 	o.RRP.FlapWindow = time.Second
 }
+
+// skewTune scales one node's protocol timers by factor f — its private
+// clock rate. Only durations are scaled; counters and thresholds are
+// clock-free.
+func skewTune(o *totem.Options, f float64) {
+	scale := func(d *time.Duration) { *d = time.Duration(float64(*d) * f) }
+	scale(&o.SRP.TokenLossTimeout)
+	scale(&o.SRP.TokenRetransmitInterval)
+	scale(&o.SRP.JoinInterval)
+	scale(&o.SRP.ConsensusTimeout)
+	scale(&o.SRP.CommitRetransmitInterval)
+	scale(&o.SRP.MergeDetectInterval)
+	scale(&o.SRP.IdleTokenHold)
+	scale(&o.RRP.TokenTimeout)
+	scale(&o.RRP.TokenHold)
+	scale(&o.RRP.DecayInterval)
+	scale(&o.RRP.FlapWindow)
+}
+
+// liveSlowNetCap bounds the wall-clock latency a slow-net fault may force
+// on the live harness: at worst-case back-to-back token rotation (~50µs on
+// the mem transport) it keeps the in-flight copy count a comfortable
+// margin under TokenDiffThreshold, so a merely-slow network stays within
+// the monitor tolerance the slow-vs-dead invariant asserts.
+const liveSlowNetCap = 150 * time.Microsecond
 
 // liveNode is one slot in the harness: the node (and its transports) are
 // replaced across crash/restart, the slot persists.
@@ -92,6 +124,7 @@ type harness struct {
 	addrs map[proto.NodeID][]string   // udp transport only: current listen addrs
 	nodes map[proto.NodeID]*liveNode
 	order []proto.NodeID
+	skew  map[proto.NodeID]float64 // per-node clock rate; nil = all 1.0
 
 	delivered atomic.Uint64
 	stopped   atomic.Bool
@@ -146,6 +179,17 @@ func Execute(p torture.Program, opt Options) (*torture.Result, error) {
 	// as the simulator (neither tune changes them).
 	h.ch = torture.NewChecker(style, torture.MonitorBoundFor(stack.DefaultConfig(1, p.Networks, style)))
 	h.ch.SetRecordDeliveries(opt.RecordDeliveries)
+	h.ch.SetSlowOnly(torture.SlowOnlyNets(p))
+	h.ch.SetRecoveryBudget(torture.RecoveryBudget(p))
+	if opt.ClockSkew > 0 {
+		// One seeded draw per node, in slot order, so the same program and
+		// skew setting always yield the same per-node clock rates.
+		rng := rand.New(rand.NewSource(p.Seed ^ 0x5eed))
+		h.skew = make(map[proto.NodeID]float64, p.Nodes)
+		for i := 1; i <= p.Nodes; i++ {
+			h.skew[proto.NodeID(i)] = 1 + (rng.Float64()*2-1)*opt.ClockSkew
+		}
+	}
 	h.tracer = trace.Multi{h.ch, h.ring}
 	if opt.Transport == "mem" {
 		h.hub = transport.NewMemHub(p.Networks)
@@ -285,6 +329,9 @@ func (h *harness) startNode(ln *liveNode) error {
 		K:           h.p.K,
 		Tune: func(o *totem.Options) {
 			liveTune(o)
+			if f, ok := h.skew[id]; ok && f != 1 {
+				skewTune(o, f)
+			}
 			if ln.epoch > o.SRP.InitialEpoch {
 				o.SRP.InitialEpoch = ln.epoch
 			}
@@ -408,11 +455,37 @@ func (h *harness) runSchedule() {
 		case torture.OpBlockRecv:
 			add(at, func() { h.nm.BlockRecv(op.Node, op.Net, true) })
 			add(over, func() { h.nm.BlockRecv(op.Node, op.Net, false) })
-		case torture.OpTimerSkew:
-			// no-op live
+		case torture.OpTimerSkew, torture.OpClockDrift:
+			// no-op live: real clocks cannot be scaled per node from
+			// userspace (Options.ClockSkew covers static rate mismatch)
 		case torture.OpCrash:
 			add(at, func() { h.crash(op.Node) })
 			add(over, func() { h.restart(op.Node) })
+		case torture.OpOneWay:
+			add(at, func() { h.nm.BlockPair(op.Net, op.Node, op.Peer, true) })
+			add(over, func() { h.nm.BlockPair(op.Net, op.Node, op.Peer, false) })
+		case torture.OpCongestion:
+			add(at, func() { h.nm.SetCongestion(op.Net, op.P) })
+			add(over, func() { h.nm.SetCongestion(op.Net, 0) })
+		case torture.OpDupStorm:
+			add(at, func() { h.nm.SetDupStorm(op.Net, op.P) })
+			add(over, func() { h.nm.SetDupStorm(op.Net, 0) })
+		case torture.OpSlowNet:
+			// The program's latency is virtual time; the wall-clock floor
+			// scales with everything else — but is capped so the fault stays
+			// inside the monitors' tolerance at live speeds. The ring rotates
+			// in tens of microseconds on the mem transport, so an uncapped
+			// delay would put more token copies in flight than
+			// TokenDiffThreshold allows, and convicting that is correct
+			// behavior, not a slow-vs-dead misdiagnosis.
+			lat := time.Duration(float64(op.Lat) * h.scale)
+			if lat > liveSlowNetCap {
+				lat = liveSlowNetCap
+			}
+			add(at, func() { h.nm.SetSlowNet(op.Net, lat) })
+			add(over, func() { h.nm.SetSlowNet(op.Net, 0) })
+		case torture.OpCorrupt:
+			add(at, func() { h.corrupt(op) })
 		}
 	}
 	add(p.Warmup+p.FaultWindow, func() { h.nm.HealAll() })
@@ -422,6 +495,21 @@ func (h *harness) runSchedule() {
 		h.sleepUntil(ev.at)
 		ev.fn()
 	}
+}
+
+// corrupt scrambles one slice of the target node's protocol state through
+// the public fault-injection hook — the same corruption, same seed, as the
+// simulator's runner — and arms the checker's bounded-recovery invariant.
+func (h *harness) corrupt(op torture.Op) {
+	ln := h.nodes[op.Node]
+	ln.mu.Lock()
+	n := ln.n
+	ln.mu.Unlock()
+	if n == nil {
+		return
+	}
+	h.ch.NoteCorrupt(op.Node)
+	n.Corrupt(op.Sub, torture.CorruptSeed(h.p, op))
 }
 
 // sleepUntil blocks until the scaled wall-clock image of virtual time t.

@@ -67,7 +67,30 @@ type Netem struct {
 	part      []map[proto.NodeID]int // nil = no partition on that network
 	blockSend map[proto.NodeID][]bool
 	blockRecv map[proto.NodeID][]bool
+
+	// Gray faults (DESIGN.md §12). blockPair holds directed from->to
+	// blocks per network; congest/dupProb are scheduled per-network
+	// probabilities; slowLat, when non-zero, is a forced floor on every
+	// datagram's delay (latency inflation, not loss).
+	blockPair map[[2]proto.NodeID][]bool
+	congest   []float64
+	dupProb   []float64
+	slowLat   []time.Duration
+	// congMark/congCount implement the load correlation for congestion
+	// loss: sends inside one congestionWindow of each other count as
+	// offered load, and the drop probability scales with that count.
+	congMark  []time.Time
+	congCount []int
 }
+
+// congestionWindow is the burst window for congestion-correlated loss: the
+// more datagrams a network carried within the current window, the likelier
+// the next one drops. congestionFull is the count at which the scheduled
+// probability applies in full.
+const (
+	congestionWindow = 2 * time.Millisecond
+	congestionFull   = 8
+)
 
 // NewNetem creates the impairment state for n networks.
 func NewNetem(n int, p NetemParams) *Netem {
@@ -80,6 +103,12 @@ func NewNetem(n int, p NetemParams) *Netem {
 		part:      make([]map[proto.NodeID]int, n),
 		blockSend: make(map[proto.NodeID][]bool),
 		blockRecv: make(map[proto.NodeID][]bool),
+		blockPair: make(map[[2]proto.NodeID][]bool),
+		congest:   make([]float64, n),
+		dupProb:   make([]float64, n),
+		slowLat:   make([]time.Duration, n),
+		congMark:  make([]time.Time, n),
+		congCount: make([]int, n),
 	}
 }
 
@@ -143,6 +172,69 @@ func (nm *Netem) setBlock(m map[proto.NodeID][]bool, id proto.NodeID, i int, v b
 	b[i] = v
 }
 
+// BlockPair blocks (or unblocks) the directed from->to path on network i.
+// Only that direction is affected: to->from traffic still flows — the
+// unidirectional-link gray fault (DESIGN.md §12).
+func (nm *Netem) BlockPair(i int, from, to proto.NodeID, blocked bool) {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	if i < 0 || i >= nm.networks {
+		return
+	}
+	key := [2]proto.NodeID{from, to}
+	b := nm.blockPair[key]
+	if b == nil {
+		if !blocked {
+			return
+		}
+		b = make([]bool, nm.networks)
+		nm.blockPair[key] = b
+	}
+	b[i] = blocked
+	if !blocked {
+		for _, set := range b {
+			if set {
+				return
+			}
+		}
+		delete(nm.blockPair, key)
+	}
+}
+
+// SetCongestion sets network i's congestion-correlated loss probability:
+// the scheduled p applies in full only under burst load (see
+// congestionWindow), so a quiet network stays clean while token storms and
+// retransmit bursts suffer.
+func (nm *Netem) SetCongestion(i int, p float64) {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	if i >= 0 && i < nm.networks {
+		nm.congest[i] = p
+		nm.congCount[i] = 0
+	}
+}
+
+// SetDupStorm sets network i's scheduled duplication probability (on top
+// of the baseline dup rate).
+func (nm *Netem) SetDupStorm(i int, p float64) {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	if i >= 0 && i < nm.networks {
+		nm.dupProb[i] = p
+	}
+}
+
+// SetSlowNet forces a minimum per-datagram delay on network i — latency
+// inflation with zero loss, the merely-slow half of the slow-vs-dead
+// discrimination. 0 restores normal latency.
+func (nm *Netem) SetSlowNet(i int, lat time.Duration) {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	if i >= 0 && i < nm.networks {
+		nm.slowLat[i] = lat
+	}
+}
+
 // HealAll clears every scheduled fault (the unconditional end-of-window
 // repair); the baseline impairment stays on.
 func (nm *Netem) HealAll() {
@@ -152,6 +244,9 @@ func (nm *Netem) HealAll() {
 		nm.down[i] = false
 		nm.loss[i] = 0
 		nm.part[i] = nil
+		nm.congest[i] = 0
+		nm.dupProb[i] = 0
+		nm.slowLat[i] = 0
 	}
 	for _, b := range nm.blockSend {
 		for i := range b {
@@ -163,6 +258,7 @@ func (nm *Netem) HealAll() {
 			b[i] = false
 		}
 	}
+	nm.blockPair = make(map[[2]proto.NodeID][]bool)
 }
 
 // sendVerdict is one send's fate, decided under the Netem lock so the RNG
@@ -175,6 +271,36 @@ type sendVerdict struct {
 	// partition is active (sender-side expansion: receivers cannot filter
 	// by sender, datagrams carry no sender address at this layer).
 	expand []proto.NodeID
+}
+
+// pathAllowed is the direction-aware drop decision: it reports whether a
+// datagram from `from` may reach `dest` on network `net`, consulting the
+// partition map and the directed pair blocks. Every path fault funnels
+// through here — once per (from, dest) pair, never once per send — so a
+// one-way block stays one-way and a partition is judged on both endpoints,
+// not just the sender's side. Caller holds nm.mu.
+func (nm *Netem) pathAllowed(from, dest proto.NodeID, net int) bool {
+	if groups := nm.part[net]; groups != nil && groups[from] != groups[dest] {
+		return false
+	}
+	if b := nm.blockPair[[2]proto.NodeID{from, dest}]; b != nil && b[net] {
+		return false
+	}
+	return true
+}
+
+// pathFiltered reports whether network net has any per-pair path faults
+// that force broadcast expansion. Caller holds nm.mu.
+func (nm *Netem) pathFiltered(net int) bool {
+	if nm.part[net] != nil {
+		return true
+	}
+	for _, b := range nm.blockPair {
+		if b[net] {
+			return true
+		}
+	}
+	return false
 }
 
 // judgeSend decides what happens to one datagram from node `from` to
@@ -197,23 +323,40 @@ func (nm *Netem) judgeSend(from, dest proto.NodeID, net int, peers []proto.NodeI
 	if nm.p.Loss > 0 && nm.rng.Float64() < nm.p.Loss {
 		return sendVerdict{drop: true}
 	}
+	if p := nm.congest[net]; p > 0 {
+		now := time.Now()
+		if now.Sub(nm.congMark[net]) > congestionWindow {
+			nm.congMark[net] = now
+			nm.congCount[net] = 0
+		}
+		nm.congCount[net]++
+		factor := float64(nm.congCount[net]) / congestionFull
+		if factor > 1 {
+			factor = 1
+		}
+		if nm.rng.Float64() < p*factor {
+			return sendVerdict{drop: true}
+		}
+	}
 	var v sendVerdict
-	if groups := nm.part[net]; groups != nil {
-		g := groups[from]
+	if nm.pathFiltered(net) {
 		if dest == proto.BroadcastID {
 			for _, p := range peers {
-				if groups[p] == g {
+				if nm.pathAllowed(from, p, net) {
 					v.expand = append(v.expand, p)
 				}
 			}
 			if len(v.expand) == 0 {
 				return sendVerdict{drop: true}
 			}
-		} else if groups[dest] != g {
+		} else if !nm.pathAllowed(from, dest, net) {
 			return sendVerdict{drop: true}
 		}
 	}
 	if nm.p.Dup > 0 && nm.rng.Float64() < nm.p.Dup {
+		v.dup = true
+	}
+	if p := nm.dupProb[net]; p > 0 && nm.rng.Float64() < p {
 		v.dup = true
 	}
 	if nm.p.DelayProb > 0 && nm.rng.Float64() < nm.p.DelayProb {
@@ -222,6 +365,9 @@ func (nm *Netem) judgeSend(from, dest proto.NodeID, net int, peers []proto.NodeI
 		if span > 0 {
 			v.delay += time.Duration(nm.rng.Int63n(int64(span)))
 		}
+	}
+	if lat := nm.slowLat[net]; lat > 0 && v.delay < lat {
+		v.delay = lat
 	}
 	return v
 }

@@ -67,6 +67,11 @@ const (
 	// sequence space. A = the sequence number that tripped the limit,
 	// B = the limit.
 	ProbeSeqRollover
+	// ProbeStateCorrupted fires when a fault-injection hook scrambles this
+	// node's protocol state (the torture harness's arbitrary-initial-state
+	// recovery mode; never in production). A = 1 if the corruption took
+	// effect, 0 if the machine was in a phase where it could not apply.
+	ProbeStateCorrupted
 )
 
 // String implements fmt.Stringer.
@@ -102,6 +107,8 @@ func (c ProbeCode) String() string {
 		return "token-loss"
 	case ProbeSeqRollover:
 		return "seq-rollover"
+	case ProbeStateCorrupted:
+		return "state-corrupted"
 	default:
 		return fmt.Sprintf("ProbeCode(%d)", uint8(c))
 	}

@@ -68,6 +68,12 @@ func (p NetworkParams) frameTime(encodedLen int) time.Duration {
 	return time.Duration(bits * int64(time.Second) / p.BandwidthBits)
 }
 
+// congestionWindow is the transmit-queue delay at which congestion-
+// correlated loss reaches its configured rate: a frame that waited this
+// long (or longer) for the medium is dropped with the full probability, an
+// idle medium drops nothing.
+const congestionWindow = 500 * time.Microsecond
+
 // network is one simulated LAN.
 type network struct {
 	idx       int
@@ -77,7 +83,16 @@ type network struct {
 	// groups partitions the network: delivery only happens within a
 	// group. nil means fully connected.
 	groups map[proto.NodeID]int
-	rng    *rand.Rand
+	// blockedPair blocks directed links ({from, to} keys): gray one-way
+	// faults, independent of the reverse direction.
+	blockedPair map[[2]proto.NodeID]bool
+	// congestion scales per-frame loss by the transmit queueing delay.
+	congestion float64
+	// dupProb re-emits each frame once more (a babbling switch).
+	dupProb float64
+	// slowLat, when non-zero, overrides params.Latency: slow, not down.
+	slowLat time.Duration
+	rng     *rand.Rand
 }
 
 func (n *network) deliverable(from, to proto.NodeID) bool {
@@ -85,6 +100,9 @@ func (n *network) deliverable(from, to proto.NodeID) bool {
 		return false
 	}
 	if n.groups != nil && n.groups[from] != n.groups[to] {
+		return false
+	}
+	if n.blockedPair != nil && n.blockedPair[[2]proto.NodeID{from, to}] {
 		return false
 	}
 	if n.params.LossProb > 0 && n.rng.Float64() < n.params.LossProb {
@@ -446,6 +464,47 @@ func (c *Cluster) SetTimerSkew(id proto.NodeID, factor float64) {
 	c.nodes[id].timerSkew = factor
 }
 
+// BlockPair blocks the directed link from -> to on network net: a gray
+// unidirectional fault, the reverse direction keeps flowing.
+func (c *Cluster) BlockPair(net int, from, to proto.NodeID, blocked bool) {
+	nw := c.nets[net]
+	if nw.blockedPair == nil {
+		nw.blockedPair = make(map[[2]proto.NodeID]bool)
+	}
+	if blocked {
+		nw.blockedPair[[2]proto.NodeID{from, to}] = true
+	} else {
+		delete(nw.blockedPair, [2]proto.NodeID{from, to})
+	}
+}
+
+// SetCongestion makes network net's loss correlate with its own load: each
+// frame is dropped with probability p scaled by how long it waited for the
+// medium (full weight at one congestionWindow of backlog). Zero heals.
+func (c *Cluster) SetCongestion(net int, p float64) { c.nets[net].congestion = p }
+
+// SetDupStorm makes network net duplicate each transmitted frame with
+// probability p (a babbling switch). Zero heals.
+func (c *Cluster) SetDupStorm(net int, p float64) { c.nets[net].dupProb = p }
+
+// SetSlowNet overrides network net's latency: the network is slow, not
+// down. Zero restores the configured latency.
+func (c *Cluster) SetSlowNet(net int, lat time.Duration) { c.nets[net].slowLat = lat }
+
+// Corrupt scrambles one slice of node id's protocol state in place — the
+// arbitrary-initial-state recovery mode (see stack.Node.Corrupt for the
+// sub vocabulary). It reports whether the injection ran (the node must be
+// alive); the corruption's own actions (forged hold timers, probes) are
+// executed like any handler's.
+func (c *Cluster) Corrupt(id proto.NodeID, sub string, seed int64) bool {
+	n := c.nodes[id]
+	if n == nil || n.crashed {
+		return false
+	}
+	n.execute(c.Sim.Now(), n.Stack.Corrupt(c.Sim.Now(), sub, seed))
+	return true
+}
+
 // --- node internals ---
 
 // dispatch schedules work on the node's CPU: at time at, a slot of length
@@ -595,29 +654,54 @@ func (n *Node) transmit(t proto.Time, pkt proto.SendPacket) {
 	}
 	net := n.cluster.nets[pkt.Network]
 	start := max(t, net.busyUntil)
+	waited := start - t
 	net.busyUntil = start + net.params.frameTime(len(pkt.Data))
-	arrival := net.busyUntil + net.params.Latency
-	ref := n.cluster.trackFrame(pkt.Data)
-	if pkt.Dest == proto.BroadcastID {
-		for _, id := range n.cluster.order {
-			if id == n.ID {
-				continue
-			}
-			n.cluster.deliverFrame(net, n.ID, id, arrival, pkt, ref)
-		}
-		return
+	lat := net.params.Latency
+	if net.slowLat > 0 {
+		lat = net.slowLat
 	}
-	if pkt.Dest != n.ID {
-		n.cluster.deliverFrame(net, n.ID, pkt.Dest, arrival, pkt, ref)
-	} else {
-		// Unicast to self (singleton successor): loop straight back.
-		if ref != nil {
-			ref.refs++
+	arrival := net.busyUntil + lat
+	ref := n.cluster.trackFrame(pkt.Data)
+	if net.congestion > 0 {
+		// Loss correlates with the medium's backlog: the probability ramps
+		// from zero on an idle network to the configured rate once the frame
+		// waited a full congestionWindow for the wire. A drop discards the
+		// whole frame for every receiver, like a switch buffer overflow.
+		factor := float64(waited) / float64(congestionWindow)
+		if factor > 1 {
+			factor = 1
 		}
-		n.dispatch(arrival, n.cluster.cfg.Host.RecvCost, func(now proto.Time) {
-			n.execute(now, n.Stack.OnPacket(now, pkt.Network, pkt.Data))
-			n.cluster.unref(ref)
-		})
+		if factor > 0 && net.rng.Float64() < net.congestion*factor {
+			return // pooled frames are swept at the batch boundary
+		}
+	}
+	send := func(at proto.Time) {
+		if pkt.Dest == proto.BroadcastID {
+			for _, id := range n.cluster.order {
+				if id == n.ID {
+					continue
+				}
+				n.cluster.deliverFrame(net, n.ID, id, at, pkt, ref)
+			}
+			return
+		}
+		if pkt.Dest != n.ID {
+			n.cluster.deliverFrame(net, n.ID, pkt.Dest, at, pkt, ref)
+		} else {
+			// Unicast to self (singleton successor): loop straight back.
+			if ref != nil {
+				ref.refs++
+			}
+			n.dispatch(at, n.cluster.cfg.Host.RecvCost, func(now proto.Time) {
+				n.execute(now, n.Stack.OnPacket(now, pkt.Network, pkt.Data))
+				n.cluster.unref(ref)
+			})
+		}
+	}
+	send(arrival)
+	if net.dupProb > 0 && net.rng.Float64() < net.dupProb {
+		// A babbling switch re-emits the whole frame a beat later.
+		send(arrival + 100*time.Microsecond)
 	}
 }
 

@@ -1,0 +1,50 @@
+package srp
+
+// Fault-injection hooks for the torture harness's arbitrary-initial-state
+// recovery mode (DESIGN.md §12). Each hook scrambles soft protocol state
+// the way a latent memory bug or a partially-applied restart would, and the
+// machine is expected to re-converge on its own — via the duplicate-token
+// filter reset in resetRingState, the retransmission machinery, or plain
+// counter rebuilding over the next rotations. Production drivers never call
+// these; they exist so the bounded-recovery invariant has something real to
+// measure.
+
+// TokenFilter exposes the duplicate-token filter state: the newest token
+// generation seen on the current ring. Drivers use it to forge plausibly
+// stale tokens for injection.
+func (m *Machine) TokenFilter() (seq, rotation uint32, seen bool) {
+	return m.lastTokenSeen.seq, m.lastTokenSeen.rotation, m.seenAnyToken
+}
+
+// CorruptTokenFilter poisons the duplicate-token filter with a generation
+// skip tokens in the future. Every genuine token is then discarded as a
+// duplicate until the token-loss timeout forces a ring reformation, whose
+// resetRingState clears the filter — the self-stabilization path that
+// core.Chaos.FrozenTokenFilter disables. Returns false in membership
+// phases where the filter is not consulted.
+func (m *Machine) CorruptTokenFilter(skip uint32) bool {
+	if m.state != StateOperational && m.state != StateRecovery {
+		return false
+	}
+	m.seenAnyToken = true
+	m.lastTokenSeen = tokenKey{
+		seq:      m.lastTokenSeen.seq + skip,
+		rotation: m.lastTokenSeen.rotation + skip,
+	}
+	return true
+}
+
+// CorruptARU inflates the soft safe-delivery state: safeTo and the
+// previous-rotation ARU snapshot jump to the sequencing high-water mark.
+// The blast radius is bounded by construction — delivery stays capped by
+// myAru and pruning by deliveredTo — and the next two token rotations
+// rebuild both fields, so this corruption must heal without a reformation.
+func (m *Machine) CorruptARU() bool {
+	if m.state != StateOperational {
+		return false
+	}
+	m.safeTo = m.highSeq
+	m.prevTokenAru = m.highSeq
+	m.havePrevTokenAru = true
+	return true
+}

@@ -3,6 +3,7 @@ package srp
 import (
 	"fmt"
 
+	"github.com/totem-rrp/totem/internal/core"
 	"github.com/totem-rrp/totem/internal/metrics"
 	"github.com/totem-rrp/totem/internal/proto"
 	"github.com/totem-rrp/totem/internal/wire"
@@ -404,7 +405,16 @@ func (m *Machine) resetRingState() {
 	m.havePrevTokenAru = false
 	m.prevSent = 0
 	m.prevBacklog = 0
-	m.seenAnyToken = false
+	// Resetting the duplicate-token filter here is what makes the machine
+	// self-stabilizing against a corrupted filter: a poisoned (future)
+	// filter discards every genuine token, the token-loss timeout forces a
+	// reformation, and the new ring starts with a clean filter. The chaos
+	// flag reverts exactly that reset so the torture harness can prove its
+	// bounded-recovery invariant notices when the escape hatch is gone.
+	if !core.Chaos.FrozenTokenFilter {
+		m.seenAnyToken = false
+		m.lastTokenSeen = tokenKey{}
+	}
 	m.lastTokenSent = nil
 	m.tokenRetransOn = false
 	m.asm.Reset()

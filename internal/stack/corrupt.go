@@ -1,0 +1,47 @@
+package stack
+
+import (
+	"math/rand"
+
+	"github.com/totem-rrp/totem/internal/core"
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+// Corrupt scrambles one slice of this node's protocol state in place — the
+// torture harness's arbitrary-initial-state recovery mode (DESIGN.md §12).
+// sub selects the target:
+//
+//   - "monitors":   the RRP per-network monitoring counters
+//   - "held-token": forged/poisoned replicator token state
+//   - "ring-seq":   the SRP duplicate-token filter, pushed into the future
+//   - "aru":        the SRP safe-delivery horizon, inflated to the high mark
+//
+// Unknown subs are no-ops. The returned actions (forged hold timers,
+// probes) must be executed by the driver like any handler's actions; the
+// protocol is then expected to re-converge without outside help.
+func (n *Node) Corrupt(now proto.Time, sub string, seed int64) []proto.Action {
+	rng := rand.New(rand.NewSource(seed))
+	applied := false
+	switch sub {
+	case "monitors":
+		applied = core.CorruptMonitors(n.rep, rng)
+	case "held-token":
+		if seq, rot, seen := n.srp.TokenFilter(); seen {
+			applied = core.CorruptToken(n.rep, n.srp.Ring(), seq, rot, rng)
+		} else {
+			// No token generation to forge from yet (mid-membership);
+			// scrambled monitors are the nearest plausible damage.
+			applied = core.CorruptMonitors(n.rep, rng)
+		}
+	case "ring-seq":
+		applied = n.srp.CorruptTokenFilter(16 + uint32(rng.Intn(112)))
+	case "aru":
+		applied = n.srp.CorruptARU()
+	}
+	a := int64(0)
+	if applied {
+		a = 1
+	}
+	n.acts.Probe(proto.ProbeStateCorrupted, -1, a, 0, 0)
+	return n.acts.Drain()
+}

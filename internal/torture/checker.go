@@ -14,9 +14,10 @@ import (
 // and when. A run has at most one violation — the checker freezes on the
 // first so the trace tail ends at the failure.
 type Violation struct {
-	// Invariant is a stable name from the catalogue in DESIGN.md §10:
+	// Invariant is a stable name from the catalogue in DESIGN.md §10/§12:
 	// "order", "no-dup", "final-ring", "ring-drain", "self-delivery",
-	// "monitor-bound", "token-accounting", "fault-heal".
+	// "monitor-bound", "token-accounting", "fault-heal", "slow-vs-dead",
+	// "recovery".
 	Invariant string        `json:"invariant"`
 	Node      proto.NodeID  `json:"node,omitempty"`
 	At        time.Duration `json:"at"`
@@ -49,7 +50,27 @@ type Checker struct {
 	rings map[proto.RingID]*ringLog
 	nodes map[proto.NodeID]*nodeState
 
+	// slowOnly flags networks that are merely slow (and degraded by
+	// nothing else): convicting one is a slow-vs-dead violation.
+	slowOnly []bool
+	// recoveryBudget caps token receptions between a state corruption and
+	// the corrupted node re-delivering its own traffic; corrupt tracks
+	// each injection.
+	recoveryBudget int64
+	corrupt        map[proto.NodeID]*corruptTrack
+
 	violation *Violation
+}
+
+// corruptTrack follows one node's bounded recovery from a state
+// corruption: the marker is the first submission its stack accepted after
+// the injection, and recovery is proven when the node delivers it.
+type corruptTrack struct {
+	tokRxAt int64  // token receptions at injection time
+	marker  uint64 // payload hash of the marker submission
+	label   string
+	hasMark bool
+	done    bool
 }
 
 // ringLog is the reconstructed global delivery order of one ring. The
@@ -105,6 +126,38 @@ func NewChecker(style proto.ReplicationStyle, monitorBound int64) *Checker {
 		now:          func() proto.Time { return 0 },
 		rings:        make(map[proto.RingID]*ringLog),
 		nodes:        make(map[proto.NodeID]*nodeState),
+		corrupt:      make(map[proto.NodeID]*corruptTrack),
+	}
+}
+
+// SetSlowOnly arms the slow-vs-dead invariant for the flagged networks
+// (SlowOnlyNets derives the set from a program): a fault raised against
+// one of them is a misdiagnosis — the network was slow, within the
+// monitors' tolerance, never dead.
+func (ch *Checker) SetSlowOnly(nets []bool) {
+	ch.mu.Lock()
+	ch.slowOnly = nets
+	ch.mu.Unlock()
+}
+
+// SetRecoveryBudget arms the bounded-recovery invariant: after NoteCorrupt
+// the corrupted node must deliver its marker submission before receiving
+// budget token copies. Zero disarms the online bound (the never-recovered
+// check in Finish still applies).
+func (ch *Checker) SetRecoveryBudget(budget int64) {
+	ch.mu.Lock()
+	ch.recoveryBudget = budget
+	ch.mu.Unlock()
+}
+
+// NoteCorrupt records that node id's protocol state was just scrambled;
+// from here on the node is exempt from slow-vs-dead (its verdicts may be
+// garbage by design) and on the hook for bounded recovery.
+func (ch *Checker) NoteCorrupt(id proto.NodeID) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.corrupt[id] == nil {
+		ch.corrupt[id] = &corruptTrack{tokRxAt: ch.node(id).tokRx}
 	}
 }
 
@@ -211,6 +264,9 @@ func (ch *Checker) OnDeliver(id proto.NodeID, d proto.Delivery) {
 	if ch.recordSeq {
 		ns.seq = append(ns.seq, h)
 	}
+	if ct := ch.corrupt[id]; ct != nil && !ct.done && ct.hasMark && h == ct.marker {
+		ct.done = true // recovery proven: the post-corruption marker came out
+	}
 	if ns.delivered[h] > 1 {
 		ch.fail("no-dup", id, "payload %q delivered %d times on %v seq %d",
 			trimPayload(d.Payload), ns.delivered[h], d.Ring, d.Seq)
@@ -284,7 +340,27 @@ func (ch *Checker) Record(e trace.Event) {
 	switch e.Kind {
 	case trace.PacketReceived:
 		if wire.Kind(e.A) == wire.KindToken {
-			ch.node(e.Node).tokRx++
+			ns := ch.node(e.Node)
+			ns.tokRx++
+			if ct := ch.corrupt[e.Node]; ct != nil && !ct.done && ch.recoveryBudget > 0 {
+				if got := ns.tokRx - ct.tokRxAt; got > ch.recoveryBudget {
+					ch.fail("recovery", e.Node,
+						"corrupted node received %d token copies without re-delivering its own traffic (budget %d)",
+						got, ch.recoveryBudget)
+				}
+			}
+		}
+	case trace.FaultRaised:
+		// slow-vs-dead discrimination: a network that is merely slow —
+		// within the token gate's tolerance, degraded by nothing else —
+		// must never be convicted. Nodes with deliberately scrambled state
+		// are exempt: their verdicts are garbage by design until they
+		// re-converge.
+		if e.Network >= 0 && e.Network < len(ch.slowOnly) &&
+			ch.slowOnly[e.Network] && ch.corrupt[e.Node] == nil {
+			ch.fail("slow-vs-dead", e.Node,
+				"network %d convicted while merely slow (within the monitor tolerance): %s",
+				e.Network, e.Detail)
 		}
 	case trace.Machine:
 		switch e.Code {
@@ -311,6 +387,11 @@ func (ch *Checker) NoteSubmit(id proto.NodeID, payload []byte, accepted bool) {
 	defer ch.mu.Unlock()
 	ns := ch.node(id)
 	ns.accepted = append(ns.accepted, acceptedMsg{hash: hash64(payload), label: trimPayload(payload)})
+	if ct := ch.corrupt[id]; ct != nil && !ct.done && !ct.hasMark {
+		ct.hasMark = true
+		ct.marker = hash64(payload)
+		ct.label = trimPayload(payload)
+	}
 }
 
 // NoteCrash records a fail-stop; crashed nodes are exempt from the
@@ -320,6 +401,10 @@ func (ch *Checker) NoteCrash(id proto.NodeID) {
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
 	ch.node(id).crashes++
+	if ct := ch.corrupt[id]; ct != nil {
+		// The crash wiped the corrupted state; recovery is moot.
+		ct.done = true
+	}
 }
 
 // Finish runs the end-of-run invariants against a snapshot of the healed
@@ -333,6 +418,27 @@ func (ch *Checker) Finish(end *EndState) {
 	if ch.violation != nil {
 		return
 	}
+
+	// recovery (checked first — a node that never re-converged poisons
+	// every downstream check): a corrupted node must have delivered its
+	// first post-corruption submission by end of run. The online budget
+	// check in Record is the sharp bound; this is the backstop for runs
+	// where the stuck node barely receives tokens at all.
+	for id, ct := range ch.corrupt {
+		if ct.done {
+			continue
+		}
+		if !ct.hasMark {
+			// So far gone that no submission was ever accepted again.
+			ch.fail("recovery", id,
+				"corrupted node never accepted a post-corruption submission")
+			return
+		}
+		ch.fail("recovery", id,
+			"corrupted node never delivered its first post-corruption submission %q", ct.label)
+		return
+	}
+
 	live := end.live()
 	if len(live) == 0 {
 		return

@@ -87,3 +87,98 @@ func Generate(seed int64, style proto.ReplicationStyle) Program {
 	}
 	return p
 }
+
+// GenerateGray derives a gray-failure program (DESIGN.md §12): the fault
+// mix favours the non-binary ops — one-way links, congestion-correlated
+// loss, duplicate storms, slow networks, drifting clocks — over hard
+// outages. The replication style is itself drawn from the seed, so a
+// single gray sweep exercises all three styles. If corrupt is non-empty,
+// one OpCorrupt op is appended targeting a random node: "rand" draws the
+// corrupted state from CorruptSubs, anything else names the Sub directly.
+func GenerateGray(seed int64, corrupt string) Program {
+	rng := rand.New(rand.NewSource(seed))
+	styles := []string{"active", "passive", "active-passive"}
+	p := Program{
+		Seed:        seed,
+		Style:       styles[rng.Intn(len(styles))],
+		Nodes:       3 + rng.Intn(2), // 3..4
+		Networks:    2 + rng.Intn(2), // 2..3
+		Warmup:      1500 * time.Millisecond,
+		FaultWindow: 3 * time.Second,
+		Tail:        3 * time.Second,
+
+		LoadInterval: 4 * time.Millisecond,
+		PayloadLen:   64 + rng.Intn(300),
+	}
+	if p.Style == "active-passive" {
+		p.K = 2
+		if p.Networks < 3 {
+			p.Networks = 3
+		}
+	}
+
+	nOps := 2 + rng.Intn(4) // 2..5
+	for i := 0; i < nOps; i++ {
+		op := Op{
+			At: time.Duration(rng.Int63n(int64(p.FaultWindow - 100*time.Millisecond))),
+		}
+		switch rng.Intn(7) {
+		case 0:
+			op.Kind = OpOneWay
+			op.Net = rng.Intn(p.Networks)
+			op.Node = proto.NodeID(1 + rng.Intn(p.Nodes))
+			op.Peer = proto.NodeID(1 + rng.Intn(p.Nodes))
+			for op.Peer == op.Node {
+				op.Peer = proto.NodeID(1 + rng.Intn(p.Nodes))
+			}
+			op.Dur = 200*time.Millisecond + time.Duration(rng.Int63n(int64(900*time.Millisecond)))
+		case 1:
+			op.Kind = OpCongestion
+			op.Net = rng.Intn(p.Networks)
+			op.P = 0.2 + 0.6*rng.Float64()
+			op.Dur = 300*time.Millisecond + time.Duration(rng.Int63n(int64(1200*time.Millisecond)))
+		case 2:
+			op.Kind = OpDupStorm
+			op.Net = rng.Intn(p.Networks)
+			op.P = 0.1 + 0.5*rng.Float64()
+			op.Dur = 300*time.Millisecond + time.Duration(rng.Int63n(int64(1200*time.Millisecond)))
+		case 3:
+			op.Kind = OpSlowNet
+			op.Net = rng.Intn(p.Networks)
+			op.Lat = SlowNetMinLat + time.Duration(rng.Int63n(int64(SlowNetMaxLat-SlowNetMinLat)))
+			op.Dur = 400*time.Millisecond + time.Duration(rng.Int63n(int64(1500*time.Millisecond)))
+		case 4:
+			op.Kind = OpClockDrift
+			op.Node = proto.NodeID(1 + rng.Intn(p.Nodes))
+			op.P = 0.8 + 0.4*rng.Float64() // drift toward 0.8..1.2 of nominal
+			op.Dur = 500*time.Millisecond + time.Duration(rng.Int63n(int64(1500*time.Millisecond)))
+		case 5:
+			op.Kind = OpLossBurst
+			op.Net = rng.Intn(p.Networks)
+			op.P = 0.05 + 0.4*rng.Float64()
+			op.Dur = 100*time.Millisecond + time.Duration(rng.Int63n(int64(600*time.Millisecond)))
+		default:
+			op.Kind = OpBlockSend
+			op.Net = rng.Intn(p.Networks)
+			op.Node = proto.NodeID(1 + rng.Intn(p.Nodes))
+			op.Dur = 200*time.Millisecond + time.Duration(rng.Int63n(int64(800*time.Millisecond)))
+		}
+		p.Ops = append(p.Ops, op)
+	}
+	if corrupt != "" {
+		sub := corrupt
+		if sub == "rand" {
+			sub = CorruptSubs[rng.Intn(len(CorruptSubs))]
+		}
+		p.Ops = append(p.Ops, Op{
+			Kind: OpCorrupt,
+			// Late enough that the ring is operational again even if an
+			// early fault forced a reformation.
+			At:   500*time.Millisecond + time.Duration(rng.Int63n(int64(p.FaultWindow-time.Second))),
+			Dur:  time.Millisecond,
+			Node: proto.NodeID(1 + rng.Intn(p.Nodes)),
+			Sub:  sub,
+		})
+	}
+	return p
+}

@@ -1,0 +1,119 @@
+package torture
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/core"
+)
+
+func TestGrayGenerateDeterministic(t *testing.T) {
+	for _, corrupt := range []string{"", "rand", "ring-seq"} {
+		a := GenerateGray(42, corrupt)
+		b := GenerateGray(42, corrupt)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("corrupt=%q: GenerateGray(42) not deterministic:\n%+v\n%+v", corrupt, a, b)
+		}
+	}
+	for seed := int64(1); seed <= 200; seed++ {
+		if err := GenerateGray(seed, "").Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := GenerateGray(seed, "rand").Validate(); err != nil {
+			t.Fatalf("seed %d corrupt: %v", seed, err)
+		}
+	}
+}
+
+// grayOpCases is one valid instance of every gray-failure op kind, sized
+// for the corpus frozen-token-filter program (3 nodes, 3 networks).
+var grayOpCases = []struct {
+	name string
+	op   Op
+}{
+	{"one-way", Op{Kind: OpOneWay, At: 100 * time.Millisecond, Dur: 500 * time.Millisecond, Net: 0, Node: 2, Peer: 3}},
+	{"congestion", Op{Kind: OpCongestion, At: 100 * time.Millisecond, Dur: 500 * time.Millisecond, Net: 0, P: 0.4}},
+	{"dup-storm", Op{Kind: OpDupStorm, At: 100 * time.Millisecond, Dur: 500 * time.Millisecond, Net: 0, P: 0.3}},
+	{"slow-net", Op{Kind: OpSlowNet, At: 100 * time.Millisecond, Dur: 500 * time.Millisecond, Net: 0, Lat: time.Millisecond}},
+	{"clock-drift", Op{Kind: OpClockDrift, At: 100 * time.Millisecond, Dur: 500 * time.Millisecond, Node: 3, P: 1.1}},
+	{"corrupt", Op{Kind: OpCorrupt, At: 100 * time.Millisecond, Dur: time.Millisecond, Node: 2, Sub: "monitors"}},
+}
+
+// TestGrayOpsJSONRoundTrip holds every new fault-op kind to the repro
+// contract: generate, save, load, and the reloaded program must be
+// byte-identical in structure and replay to an identical trace.
+func TestGrayOpsJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range grayOpCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p := GenerateGray(9, "")
+			p.Ops = []Op{tc.op}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("case program invalid: %v", err)
+			}
+			file := filepath.Join(dir, tc.name+".json")
+			if err := SaveRepro(file, Repro{Note: "round-trip " + tc.name, Program: p}); err != nil {
+				t.Fatal(err)
+			}
+			r, err := LoadRepro(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r.Program, p) {
+				t.Fatalf("program changed across save/load:\n%+v\n%+v", p, r.Program)
+			}
+			a, err := Execute(p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Execute(r.Program, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a.TraceTail, b.TraceTail) {
+				t.Fatal("reloaded program replayed to a different trace")
+			}
+		})
+	}
+}
+
+// TestGrayOpsShrink proves the shrinker can delete every new op kind: a
+// pinned chaos repro (state corruption with recovery sabotaged — a
+// violation robust to any rng perturbation) gains one irrelevant gray op,
+// and Shrink must strip it back out while preserving the violation.
+func TestGrayOpsShrink(t *testing.T) {
+	base, err := LoadRepro("corpus/chaos-frozen-token-filter.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Chaos: core.ChaosFlags{FrozenTokenFilter: true}}
+	for _, tc := range grayOpCases {
+		if tc.op.Kind == OpCorrupt {
+			continue // the base already has its corrupt op (one allowed)
+		}
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p := base.Program
+			p.Ops = append(append([]Op(nil), base.Program.Ops...), tc.op)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("case program invalid: %v", err)
+			}
+			sp, sr, err := Shrink(p, opt, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sr == nil || sr.Violation == nil {
+				t.Fatal("shrunk program no longer fails")
+			}
+			for _, op := range sp.Ops {
+				if op.Kind == tc.op.Kind {
+					t.Fatalf("shrink kept the irrelevant %s op: %+v (violation %v)",
+						tc.op.Kind, sp.Ops, sr.Violation)
+				}
+			}
+		})
+	}
+}

@@ -44,6 +44,46 @@ const (
 	// OpCrash fail-stops node Node at At and reboots it with a fresh
 	// stack at At+Dur.
 	OpCrash OpKind = "crash"
+
+	// Gray failures (DESIGN.md §12): faults that are not binary up/down.
+
+	// OpOneWay blocks the directed link Node -> Peer on network Net: Node's
+	// frames never reach Peer there, while Peer -> Node still flows.
+	OpOneWay OpKind = "one-way"
+	// OpCongestion makes network Net's loss correlate with its own load:
+	// each frame is dropped with probability P scaled by how congested the
+	// medium is at transmit time (no backlog, no loss).
+	OpCongestion OpKind = "congestion"
+	// OpDupStorm duplicates each frame on network Net with probability P —
+	// one network babbling while the others stay clean.
+	OpDupStorm OpKind = "dup-storm"
+	// OpSlowNet inflates network Net's latency to Lat: the network is slow,
+	// not down. Lat is validated to stay within the monitors' tolerance
+	// (well under the RRP token gate timeout), so a correct monitor must
+	// never convict a merely-slow network (the slow-vs-dead invariant).
+	OpSlowNet OpKind = "slow-net"
+	// OpClockDrift ramps node Node's timer scale from nominal to P over
+	// Dur in steps (a slowly drifting clock, vs OpTimerSkew's step change).
+	OpClockDrift OpKind = "clock-drift"
+	// OpCorrupt scrambles part of node Node's protocol state at At (the
+	// arbitrary-initial-state recovery mode, DESIGN.md §12). Sub selects
+	// what is corrupted: "monitors", "held-token", "ring-seq" or "aru".
+	// The bounded-recovery invariant then requires the node to re-converge
+	// within a budget of token receptions. Dur is ignored (corruption is
+	// instantaneous).
+	OpCorrupt OpKind = "corrupt"
+)
+
+// CorruptSubs lists the valid OpCorrupt targets.
+var CorruptSubs = []string{"monitors", "held-token", "ring-seq", "aru"}
+
+// Bounds on OpSlowNet.Lat: the lower bound keeps the op observable, the
+// upper bound keeps the inflated latency well inside the RRP token gate
+// timeout (5ms default in both backends) so the monitors are never
+// entitled to convict the slow network.
+const (
+	SlowNetMinLat = 100 * time.Microsecond
+	SlowNetMaxLat = 2 * time.Millisecond
 )
 
 // Op is one scheduled fault. Which fields matter depends on Kind.
@@ -53,8 +93,11 @@ type Op struct {
 	Dur  time.Duration `json:"dur"`            // how long the fault lasts
 	Net  int           `json:"net,omitempty"`  // target network
 	Node proto.NodeID  `json:"node,omitempty"` // target node
+	Peer proto.NodeID  `json:"peer,omitempty"` // one-way: blocked destination
 	P    float64       `json:"p,omitempty"`    // loss probability / skew factor
 	Part uint32        `json:"part,omitempty"` // partition bitmask (bit i-1 = node i)
+	Lat  time.Duration `json:"lat,omitempty"`  // slow-net: inflated latency
+	Sub  string        `json:"sub,omitempty"`  // corrupt: which state to scramble
 }
 
 // Program is one complete torture run: topology, load, and fault
@@ -129,9 +172,25 @@ func (p Program) Validate() error {
 		return fmt.Errorf("torture: bad load (interval %v, payload %d)",
 			p.LoadInterval, p.PayloadLen)
 	}
+	corrupted := proto.NodeID(0)
 	for i, op := range p.Ops {
 		if err := p.validateOp(op); err != nil {
 			return fmt.Errorf("torture: op %d: %w", i, err)
+		}
+		if op.Kind == OpCorrupt {
+			if corrupted != 0 {
+				return fmt.Errorf("torture: op %d: at most one corrupt op per program", i)
+			}
+			corrupted = op.Node
+		}
+	}
+	if corrupted != 0 {
+		// A crash of the corrupted node would wipe the very state the
+		// bounded-recovery invariant is trying to observe.
+		for i, op := range p.Ops {
+			if op.Kind == OpCrash && op.Node == corrupted {
+				return fmt.Errorf("torture: op %d: crash targets corrupted node %v", i, corrupted)
+			}
 		}
 	}
 	return nil
@@ -173,6 +232,46 @@ func (p Program) validateOp(op Op) error {
 		needNode = true
 		if op.At+op.Dur > p.FaultWindow+p.Tail/2 {
 			return fmt.Errorf("crash restart at %v would land too close to the end checks", op.At+op.Dur)
+		}
+	case OpOneWay:
+		needNet, needNode = true, true
+		if op.Peer < 1 || int(op.Peer) > p.Nodes {
+			return fmt.Errorf("one-way peer %v outside 1..%d", op.Peer, p.Nodes)
+		}
+		if op.Peer == op.Node {
+			return fmt.Errorf("one-way peer equals node %v", op.Node)
+		}
+	case OpCongestion:
+		needNet = true
+		if op.P <= 0 || op.P > 1 {
+			return fmt.Errorf("congestion P %v outside (0,1]", op.P)
+		}
+	case OpDupStorm:
+		needNet = true
+		if op.P <= 0 || op.P > 1 {
+			return fmt.Errorf("dup-storm P %v outside (0,1]", op.P)
+		}
+	case OpSlowNet:
+		needNet = true
+		if op.Lat < SlowNetMinLat || op.Lat > SlowNetMaxLat {
+			return fmt.Errorf("slow-net Lat %v outside [%v,%v]", op.Lat, SlowNetMinLat, SlowNetMaxLat)
+		}
+	case OpClockDrift:
+		needNode = true
+		if op.P < 0.5 || op.P > 2 {
+			return fmt.Errorf("clock-drift factor %v outside [0.5,2]", op.P)
+		}
+	case OpCorrupt:
+		needNode = true
+		ok := false
+		for _, s := range CorruptSubs {
+			if op.Sub == s {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("corrupt sub %q not one of %v", op.Sub, CorruptSubs)
 		}
 	default:
 		return fmt.Errorf("unknown op kind %q", op.Kind)

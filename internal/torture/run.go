@@ -91,6 +91,8 @@ func Execute(p Program, opt Options) (*Result, error) {
 	TortureTune(&sample)
 	ch := NewChecker(style, MonitorBoundFor(sample))
 	ch.SetRecordDeliveries(opt.RecordDeliveries)
+	ch.SetSlowOnly(SlowOnlyNets(p))
+	ch.SetRecoveryBudget(RecoveryBudget(p))
 
 	c, err := sim.NewCluster(sim.Config{
 		Nodes:    p.Nodes,
@@ -227,8 +229,92 @@ func scheduleOps(c *sim.Cluster, ch *Checker, p Program) {
 				// node; either way it is running afterwards.
 				_ = c.Restart(op.Node)
 			})
+		case OpOneWay:
+			c.Sim.At(at, func() { c.BlockPair(op.Net, op.Node, op.Peer, true) })
+			c.Sim.At(over, func() { c.BlockPair(op.Net, op.Node, op.Peer, false) })
+		case OpCongestion:
+			c.Sim.At(at, func() { c.SetCongestion(op.Net, op.P) })
+			c.Sim.At(over, func() { c.SetCongestion(op.Net, 0) })
+		case OpDupStorm:
+			c.Sim.At(at, func() { c.SetDupStorm(op.Net, op.P) })
+			c.Sim.At(over, func() { c.SetDupStorm(op.Net, 0) })
+		case OpSlowNet:
+			c.Sim.At(at, func() { c.SetSlowNet(op.Net, op.Lat) })
+			c.Sim.At(over, func() { c.SetSlowNet(op.Net, 0) })
+		case OpClockDrift:
+			// A drifting (not stepping) clock: ramp the skew from nominal
+			// to the target in fixed steps across the op's duration.
+			const steps = 8
+			for s := 1; s <= steps; s++ {
+				s := s
+				c.Sim.At(at+proto.Time(op.Dur)*proto.Time(s-1)/steps, func() {
+					c.SetTimerSkew(op.Node, 1+(op.P-1)*float64(s)/steps)
+				})
+			}
+			c.Sim.At(over, func() { c.SetTimerSkew(op.Node, 1) })
+		case OpCorrupt:
+			c.Sim.At(at, func() {
+				if c.Node(op.Node).Crashed() {
+					return
+				}
+				ch.NoteCorrupt(op.Node)
+				c.Corrupt(op.Node, op.Sub, CorruptSeed(p, op))
+			})
 		}
 	}
+}
+
+// CorruptSeed derives the corruption's private rand stream from the
+// program so replays scramble identically.
+func CorruptSeed(p Program, op Op) int64 {
+	return p.Seed*16777619 ^ int64(op.Node)<<7 ^ int64(op.At)
+}
+
+// SlowOnlyNets computes the networks the slow-vs-dead invariant is armed
+// for: those targeted by a slow-net op and degraded by nothing else. Ops
+// that legitimately starve a network of receptions (loss, outages,
+// partitions, blocks, one-way links, congestion) disqualify their target,
+// and program-wide distortions disarm the invariant entirely: token-loss
+// blackouts black out every network, duplicate storms inflate one
+// network's reception counts (making the others lag on a correct monitor),
+// and a fast-running clock shrinks the token gate below the latency the
+// slow network is entitled to.
+func SlowOnlyNets(p Program) []bool {
+	slow := make([]bool, p.Networks)
+	hard := make([]bool, p.Networks)
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case OpSlowNet:
+			slow[op.Net] = true
+		case OpTokenLoss, OpDupStorm:
+			return make([]bool, p.Networks)
+		case OpTimerSkew, OpClockDrift:
+			if op.P < 1 {
+				return make([]bool, p.Networks)
+			}
+		case OpLossBurst, OpNetDown, OpPartition, OpBlockSend, OpBlockRecv, OpOneWay, OpCongestion:
+			hard[op.Net] = true
+		}
+	}
+	for i := range slow {
+		if hard[i] {
+			slow[i] = false
+		}
+	}
+	return slow
+}
+
+// RecoveryBudget is the bounded-recovery allowance (DESIGN.md §12): after
+// an OpCorrupt fires, the corrupted node must deliver its own next
+// accepted submission before receiving this many token copies. The worst
+// healthy path is a full token-loss reformation — retransmit bursts, a
+// membership round, then draining the backlog accumulated while the
+// filter was poisoned — which stays well under a hundred receptions per
+// network; the budget more than doubles that for slack. A node whose
+// recovery path is sabotaged re-forms endlessly instead and either blows
+// through the budget or never delivers at all (caught at Finish).
+func RecoveryBudget(p Program) int64 {
+	return int64(256 * p.Networks)
 }
 
 // scheduleHeal arms the unconditional end-of-fault-window repair. It is
@@ -236,12 +322,23 @@ func scheduleOps(c *sim.Cluster, ch *Checker, p Program) {
 // system the end-of-run invariants judge is always a healed one.
 func scheduleHeal(c *sim.Cluster, p Program) {
 	c.Sim.At(proto.Time(p.Warmup+p.FaultWindow), func() {
+		ids := c.NodeIDs()
 		for i := 0; i < p.Networks; i++ {
 			c.ReviveNetwork(i)
 			c.SetLoss(i, 0)
 			c.Partition(i, nil)
+			c.SetCongestion(i, 0)
+			c.SetDupStorm(i, 0)
+			c.SetSlowNet(i, 0)
+			for _, a := range ids {
+				for _, b := range ids {
+					if a != b {
+						c.BlockPair(i, a, b, false)
+					}
+				}
+			}
 		}
-		for _, id := range c.NodeIDs() {
+		for _, id := range ids {
 			c.SetTimerSkew(id, 1)
 			for i := 0; i < p.Networks; i++ {
 				c.BlockSend(id, i, false)

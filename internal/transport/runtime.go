@@ -351,6 +351,30 @@ func (r *Runtime) Inspect(fn func(*stack.Node)) bool {
 	}
 }
 
+// Mutate runs fn inside the event loop like Inspect, then executes the
+// actions it returns — for hooks that change stack state and emit timers
+// or probes (the torture harness's state-corruption injector). Inspect is
+// NOT a substitute: it discards actions, so a mutation that arms a timer
+// would silently lose it.
+func (r *Runtime) Mutate(fn func(proto.Time, *stack.Node) []proto.Action) bool {
+	done := make(chan struct{})
+	q := func() {
+		r.execute(fn(r.now(), r.stack))
+		close(done)
+	}
+	select {
+	case r.events <- runtimeEvent{query: q}:
+	case <-r.stop:
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	case <-r.stop:
+		return false
+	}
+}
+
 // Deliveries returns the totally-ordered message stream.
 func (r *Runtime) Deliveries() <-chan proto.Delivery { return r.deliveries.out }
 

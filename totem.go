@@ -371,6 +371,18 @@ func (n *Node) ReadmitNetwork(network int) {
 	})
 }
 
+// Corrupt scrambles one slice of this node's protocol state in place and
+// reports whether the damage applied — the arbitrary-initial-state
+// recovery probe used by the conformance harness (DESIGN.md §12). sub is
+// one of "monitors", "held-token", "ring-seq", "aru"; seed fixes the
+// scramble for replay. The protocol is expected to re-converge on its own;
+// this is a fault-injection hook, not an administrative API.
+func (n *Node) Corrupt(sub string, seed int64) bool {
+	return n.rt.Mutate(func(now proto.Time, st *stack.Node) []proto.Action {
+		return st.Corrupt(now, sub, seed)
+	})
+}
+
 // Stats is a point-in-time snapshot of the node's protocol counters.
 type Stats struct {
 	// SRP counters (ordering layer).
