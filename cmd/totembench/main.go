@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"github.com/totem-rrp/totem/internal/bench"
 )
@@ -28,9 +29,23 @@ func main() {
 	csvDir := flag.String("csv", "", "also write the sweep data as CSV files into this directory")
 	jsonOut := flag.Bool("json", false, "run the hot-path benchmark suite and write it as JSON (skips -figure)")
 	outPath := flag.String("out", "BENCH_hotpath.json", "output path for -json")
+	liveRun := flag.Bool("live", false, "also run the live Figure 6 analog (4 nodes on loopback UDP, portable vs batched wire path) and gate on it")
+	liveDur := flag.Duration("live-dur", 2*time.Second, "live: measured window per wire path")
+	liveLen := flag.Int("live-len", 100, "live: payload bytes")
+	liveFloor := flag.Float64("live-floor", 0, "live gate: minimum batched-driver msgs/sec (0 disables the absolute floor)")
+	liveMsgsGain := flag.Float64("live-msgs-gain", 2.0, "live gate: required batch/portable msgs-per-sec ratio (ORed with -live-syscall-gain)")
+	liveSyscallGain := flag.Float64("live-syscall-gain", 2.0, "live gate: required portable/batch syscalls-per-message ratio (ORed with -live-msgs-gain)")
 	flag.Parse()
-	if *jsonOut {
-		if err := runHotPath(*outPath); err != nil {
+	if *jsonOut || *liveRun {
+		cfg := liveConfig{
+			run:         *liveRun,
+			dur:         *liveDur,
+			msgLen:      *liveLen,
+			floor:       *liveFloor,
+			msgsGain:    *liveMsgsGain,
+			syscallGain: *liveSyscallGain,
+		}
+		if err := runHotPath(*outPath, *jsonOut, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -42,23 +57,58 @@ func main() {
 	}
 }
 
+type liveConfig struct {
+	run         bool
+	dur         time.Duration
+	msgLen      int
+	floor       float64
+	msgsGain    float64
+	syscallGain float64
+}
+
 // runHotPath regenerates the allocation-budget report (micro allocs/op
-// plus wall-clock Figure 6 points) and saves it for EXPERIMENTS.md.
-func runHotPath(path string) error {
-	rep, err := bench.HotPath()
-	if err != nil {
-		return err
+// plus wall-clock Figure 6 points) and saves it for EXPERIMENTS.md. With
+// live.run it appends the live wire sweep and enforces the wire-path
+// gate: the batched driver must beat the portable one by the configured
+// throughput or syscall margin.
+func runHotPath(path string, writeJSON bool, live liveConfig) error {
+	var rep bench.HotPathReport
+	var err error
+	if writeJSON {
+		rep, err = bench.HotPath()
+		if err != nil {
+			return err
+		}
+	}
+	if live.run {
+		points, err := bench.LiveWire(bench.LiveWireOptions{
+			Duration: live.dur,
+			MsgLen:   live.msgLen,
+		})
+		if err != nil {
+			return err
+		}
+		rep.LiveWire = points
 	}
 	bench.PrintHotPath(os.Stdout, rep)
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	if writeJSON {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := bench.WriteHotPathJSON(f, rep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
 	}
-	defer f.Close()
-	if err := bench.WriteHotPathJSON(f, rep); err != nil {
-		return err
+	if live.run {
+		verdict, ok := bench.LiveWireGate(rep.LiveWire, live.msgsGain, live.syscallGain, live.floor)
+		fmt.Println(verdict)
+		if !ok {
+			return fmt.Errorf("live wire-path gate failed")
+		}
 	}
-	fmt.Printf("wrote %s\n", path)
 	return nil
 }
 

@@ -62,6 +62,7 @@ func main() {
 		liveMode  = flag.Bool("live", false, "run programs on the live goroutine/socket harness instead of the simulator")
 		diffMode  = flag.Bool("diff", false, "differential mode: replay mild programs on both sim and live and compare")
 		transport = flag.String("transport", "mem", "live/diff transport: mem | udp")
+		wirepath  = flag.String("wirepath", "", "live/diff UDP wire path: auto | portable | batch (empty = auto)")
 		timescale = flag.Float64("timescale", 0.3, "live/diff: wall seconds per virtual second")
 		skew      = flag.Float64("skew", 0, "live: per-node clock skew fraction (0.1 = timers off by up to ±10%)")
 		workers   = flag.Int("workers", 1, "live mode: concurrent runs")
@@ -74,7 +75,7 @@ func main() {
 		corrupt: *corrupt,
 		shrink:  *shrink, repro: *repro, replay: *replay,
 		chaos: *chaos, expect: *expect, traceN: *traceN, verbose: *verbose,
-		live: *liveMode, diff: *diffMode, transport: *transport,
+		live: *liveMode, diff: *diffMode, transport: *transport, wirepath: *wirepath,
 		timescale: *timescale, skew: *skew, workers: *workers, budget: *budget,
 	})
 	if err != nil {
@@ -101,6 +102,7 @@ type config struct {
 	live      bool
 	diff      bool
 	transport string
+	wirepath  string
 	timescale float64
 	skew      float64
 	workers   int
@@ -196,6 +198,7 @@ func (cfg config) generate(seed int64, style proto.ReplicationStyle) torture.Pro
 func liveOptions(cfg config) live.Options {
 	return live.Options{
 		Transport: cfg.transport,
+		WirePath:  cfg.wirepath,
 		TimeScale: cfg.timescale,
 		ClockSkew: cfg.skew,
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/totem-rrp/totem/internal/core"
+	"github.com/totem-rrp/totem/internal/live"
 	"github.com/totem-rrp/totem/internal/proto"
 	"github.com/totem-rrp/totem/internal/wire"
 )
@@ -40,10 +41,13 @@ type HotPathPoint struct {
 	WallMsgsPerSec    float64 `json:"wall_msgs_per_sec"`
 }
 
-// HotPathReport is the payload of BENCH_hotpath.json.
+// HotPathReport is the payload of BENCH_hotpath.json. LiveWire is filled
+// only by `totembench -json -live`: the simulated figures are cheap and
+// deterministic, the live sweep costs real wall-clock seconds.
 type HotPathReport struct {
-	Micro   []HotPathMicro `json:"micro"`
-	Figure6 []HotPathPoint `json:"figure6_4nodes"`
+	Micro    []HotPathMicro        `json:"micro"`
+	Figure6  []HotPathPoint        `json:"figure6_4nodes"`
+	LiveWire []live.WireBenchPoint `json:"figure6_live,omitempty"`
 }
 
 // HotPathMicros measures the allocation budget of the steady-state packet
@@ -183,17 +187,29 @@ func WriteHotPathJSON(w io.Writer, rep HotPathReport) error {
 	return enc.Encode(rep)
 }
 
-// PrintHotPath renders the report for the terminal.
+// PrintHotPath renders the report for the terminal; empty sections (a
+// -live-only run carries no micro or simulated points) are skipped.
 func PrintHotPath(w io.Writer, rep HotPathReport) {
-	fmt.Fprintln(w, "hot path allocation budget (steady-state packet path)")
-	for _, m := range rep.Micro {
-		fmt.Fprintf(w, "  %-14s %10.1f ns/op %6d allocs/op %8d B/op\n",
-			m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
+	if len(rep.Micro) > 0 {
+		fmt.Fprintln(w, "hot path allocation budget (steady-state packet path)")
+		for _, m := range rep.Micro {
+			fmt.Fprintf(w, "  %-14s %10.1f ns/op %6d allocs/op %8d B/op\n",
+				m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
+		}
+	}
+	if len(rep.Figure6) == 0 {
+		if len(rep.LiveWire) > 0 {
+			PrintLiveWire(w, rep.LiveWire)
+		}
+		return
 	}
 	fmt.Fprintln(w, "figure 6 (4 nodes, no replication), wall clock")
 	fmt.Fprintf(w, "  %-8s %12s %14s %14s %12s\n", "len(B)", "wall ms", "vmsgs/s", "wall msgs/s", "allocs")
 	for _, p := range rep.Figure6 {
 		fmt.Fprintf(w, "  %-8d %12.1f %14.0f %14.0f %12d\n",
 			p.MsgLen, float64(p.WallNs)/1e6, p.VirtualMsgsPerSec, p.WallMsgsPerSec, p.Allocs)
+	}
+	if len(rep.LiveWire) > 0 {
+		PrintLiveWire(w, rep.LiveWire)
 	}
 }

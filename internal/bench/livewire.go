@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/live"
+	"github.com/totem-rrp/totem/internal/transport"
+)
+
+// LiveWireOptions shapes the live Figure 6 analog sweep: the same
+// 4-node × 2-network cluster as the paper's testbed figure, run on real
+// loopback sockets once per available wire path so the two drivers are
+// compared inside a single process on identical hardware.
+type LiveWireOptions struct {
+	// Duration is the measured window per wire path (default 2s).
+	Duration time.Duration
+	// MsgLen is the payload size (default 100 bytes, the Figure 6 left
+	// edge where per-message kernel cost dominates).
+	MsgLen int
+	// Nodes and Networks default to 4 and 2.
+	Nodes    int
+	Networks int
+}
+
+// LiveWire measures the live wire-path points: always the portable
+// driver, plus the batched driver where the platform has it.
+func LiveWire(opt LiveWireOptions) ([]live.WireBenchPoint, error) {
+	paths := []string{transport.WirePathPortable}
+	if transport.BatchSupported() {
+		paths = append(paths, transport.WirePathBatch)
+	}
+	out := make([]live.WireBenchPoint, 0, len(paths))
+	for _, path := range paths {
+		p, err := live.WireBench(live.WireBenchOptions{
+			Nodes:    opt.Nodes,
+			Networks: opt.Networks,
+			MsgLen:   opt.MsgLen,
+			Duration: opt.Duration,
+			WirePath: path,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("live wire bench (%s): %w", path, err)
+		}
+		out = append(out, *p)
+	}
+	return out, nil
+}
+
+// LiveWireGate judges a measured sweep against the wire-path acceptance
+// bar: the batched driver must deliver at least msgsGain× the portable
+// throughput OR cut syscalls per ordered message by at least
+// syscallGain×. floor, when positive, additionally requires the batched
+// driver to clear an absolute msgs/sec bar. It returns a human-readable
+// verdict line and whether the gate passed; a sweep without a batch
+// point (non-Linux) passes vacuously so one CI invocation fits every
+// platform.
+func LiveWireGate(points []live.WireBenchPoint, msgsGain, syscallGain, floor float64) (string, bool) {
+	var portable, batch *live.WireBenchPoint
+	for i := range points {
+		switch points[i].WirePath {
+		case transport.WirePathPortable:
+			portable = &points[i]
+		case transport.WirePathBatch:
+			batch = &points[i]
+		}
+	}
+	if batch == nil {
+		return "live wire gate: no batched driver on this platform (vacuous pass)", true
+	}
+	if portable == nil {
+		return "live wire gate: no portable baseline point", false
+	}
+	msgsRatio := 0.0
+	if portable.MsgsPerSec > 0 {
+		msgsRatio = batch.MsgsPerSec / portable.MsgsPerSec
+	}
+	syscallRatio := 0.0
+	if batch.SyscallsPerMsg > 0 {
+		syscallRatio = portable.SyscallsPerMsg / batch.SyscallsPerMsg
+	}
+	ok := msgsRatio >= msgsGain || syscallRatio >= syscallGain
+	if floor > 0 && batch.MsgsPerSec < floor {
+		ok = false
+	}
+	verdict := fmt.Sprintf(
+		"live wire gate: batch %.0f msgs/s vs portable %.0f (%.2fx), syscalls/msg %.1f vs %.1f (%.2fx fewer)",
+		batch.MsgsPerSec, portable.MsgsPerSec, msgsRatio,
+		batch.SyscallsPerMsg, portable.SyscallsPerMsg, syscallRatio)
+	if floor > 0 {
+		verdict += fmt.Sprintf(", floor %.0f", floor)
+	}
+	if ok {
+		verdict += " — PASS"
+	} else {
+		verdict += fmt.Sprintf(" — FAIL (need %.1fx msgs or %.1fx fewer syscalls)", msgsGain, syscallGain)
+	}
+	return verdict, ok
+}
+
+// PrintLiveWire renders the live wire sweep for the terminal.
+func PrintLiveWire(w io.Writer, points []live.WireBenchPoint) {
+	fmt.Fprintln(w, "figure 6 live analog (real loopback UDP, wall clock)")
+	fmt.Fprintf(w, "  %-10s %6s %4s %9s %10s %12s %9s %9s %9s\n",
+		"wirepath", "len(B)", "n×N", "msgs/s", "KB/s", "syscall/msg", "p50(µs)", "p99(µs)", "txerr")
+	for _, p := range points {
+		fmt.Fprintf(w, "  %-10s %6d %dx%d %9.0f %10.1f %12.2f %9.0f %9.0f %9d\n",
+			p.WirePath, p.MsgLen, p.Nodes, p.Networks,
+			p.MsgsPerSec, p.KBPerSec, p.SyscallsPerMsg,
+			p.P50LatencyUs, p.P99LatencyUs, p.TxErrors)
+	}
+}

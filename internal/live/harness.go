@@ -21,6 +21,10 @@ type Options struct {
 	// Transport selects the medium: "mem" (in-process hub, default) or
 	// "udp" (loopback sockets, one per node per network).
 	Transport string
+	// WirePath selects the UDP kernel driver ("auto", "portable",
+	// "batch"); empty means auto. Ignored by the mem transport. The
+	// conformance sweep runs the same programs on both drivers.
+	WirePath string
 	// TimeScale compresses the program's virtual-time phases onto the wall
 	// clock: wall = virtual × TimeScale. The protocol timers are tuned
 	// (liveTune) so rings form and heal well inside the scaled phases.
@@ -120,8 +124,8 @@ type harness struct {
 	ring   *trace.Ring
 	epoch  time.Time
 
-	hub   *transport.MemHub           // mem transport only
-	addrs map[proto.NodeID][]string   // udp transport only: current listen addrs
+	hub   *transport.MemHub         // mem transport only
+	addrs map[proto.NodeID][]string // udp transport only: current listen addrs
 	nodes map[proto.NodeID]*liveNode
 	order []proto.NodeID
 	skew  map[proto.NodeID]float64 // per-node clock rate; nil = all 1.0
@@ -303,7 +307,11 @@ func (h *harness) newUDP(id proto.NodeID) (*transport.UDPTransport, error) {
 	for i := range listen {
 		listen[i] = "127.0.0.1:0"
 	}
-	return transport.NewUDP(transport.UDPConfig{ID: id, Listen: listen})
+	return transport.NewUDP(transport.UDPConfig{
+		ID:       id,
+		Listen:   listen,
+		WirePath: h.opt.WirePath,
+	})
 }
 
 // startNode wraps the slot's inner transport in the impairment layer and

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/totem-rrp/totem/internal/metrics"
 	"github.com/totem-rrp/totem/internal/proto"
 	"github.com/totem-rrp/totem/internal/transport"
 	"github.com/totem-rrp/totem/internal/wire"
@@ -499,6 +500,27 @@ func (t *Impaired) pump() {
 
 // Packets implements transport.Transport.
 func (t *Impaired) Packets() <-chan transport.Packet { return t.rx }
+
+// Flush implements transport.BatchSender by forwarding to the inner
+// transport, so the runtime's per-action-batch flush reaches the batched
+// UDP wire path through the impairment layer. Datagrams a netem delay is
+// still holding are not affected — they enter the inner transport later
+// and ride its deadline backstop, exactly like late traffic from a real
+// switch.
+func (t *Impaired) Flush() {
+	if bs, ok := t.inner.(transport.BatchSender); ok {
+		bs.Flush()
+	}
+}
+
+// RegisterMetrics implements transport.MetricSource by forwarding, so a
+// live node's registry carries the inner transport's wire counters
+// (udp.netI.*) — the live Figure 6 bench reads its syscall counts there.
+func (t *Impaired) RegisterMetrics(reg *metrics.Registry) {
+	if ms, ok := t.inner.(transport.MetricSource); ok {
+		ms.RegisterMetrics(reg)
+	}
+}
 
 // Close implements transport.Transport, closing the inner transport too
 // (the harness owns both).

@@ -1,0 +1,287 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	totem "github.com/totem-rrp/totem"
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/transport"
+)
+
+// WireBenchOptions parameterises one live Figure 6 analog run: real
+// totem.Nodes over loopback UDP sockets (no impairment layer), driven at
+// saturation for a wall-clock window. The point is to measure the wire
+// path itself, so the netem wrapper is deliberately absent.
+type WireBenchOptions struct {
+	// Nodes is the ring size (default 4, the paper's Figure 6 cluster).
+	Nodes int
+	// Networks is the redundant network count (default 2).
+	Networks int
+	// MsgLen is the payload size in bytes (default 100; min 8 — the
+	// payload carries a send timestamp for one-way latency).
+	MsgLen int
+	// Duration is the measurement window (default 2s).
+	Duration time.Duration
+	// Warmup bounds the wait for ring formation (default 10s).
+	Warmup time.Duration
+	// WirePath selects the UDP kernel driver ("portable", "batch", "" =
+	// auto).
+	WirePath string
+}
+
+// WireBenchPoint is one measured run, the unit the live benchmark gate
+// compares across wire paths.
+type WireBenchPoint struct {
+	WirePath string `json:"wirepath"`
+	Nodes    int    `json:"nodes"`
+	Networks int    `json:"networks"`
+	MsgLen   int    `json:"msg_len"`
+	// DurationSec is the measured window on the wall clock.
+	DurationSec float64 `json:"duration_sec"`
+	// Delivered is the total delivery count across all nodes in the
+	// window; MsgsPerSec is ordered messages per second (delivered /
+	// nodes / duration) — the Figure 6 y-axis.
+	Delivered  uint64  `json:"delivered"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	KBPerSec   float64 `json:"kbytes_per_sec"`
+	// Wire accounting, summed across every node and network over the
+	// window. SyscallsPerMsg is (TxSyscalls+RxSyscalls)/ordered messages —
+	// the kernel-boundary cost the batched path exists to cut.
+	TxDatagrams    uint64  `json:"tx_datagrams"`
+	TxSyscalls     uint64  `json:"tx_syscalls"`
+	RxDatagrams    uint64  `json:"rx_datagrams"`
+	RxSyscalls     uint64  `json:"rx_syscalls"`
+	TxErrors       uint64  `json:"tx_errors"`
+	RxDropped      uint64  `json:"rx_dropped"`
+	SyscallsPerMsg float64 `json:"syscalls_per_msg"`
+	// One-way delivery latency percentiles in microseconds, sampled from
+	// the timestamp each payload carries.
+	P50LatencyUs float64 `json:"p50_latency_us"`
+	P99LatencyUs float64 `json:"p99_latency_us"`
+}
+
+// wireCounterNames are the per-network transport counters the bench sums.
+var wireCounterNames = []string{
+	"tx_datagrams", "tx_syscalls", "rx_datagrams", "rx_syscalls",
+	"tx_errors", "rx_dropped",
+}
+
+// WireBench boots the cluster, waits for the ring, drives every node at
+// saturation for the window and reports the measured point.
+func WireBench(opt WireBenchOptions) (*WireBenchPoint, error) {
+	if opt.Nodes <= 0 {
+		opt.Nodes = 4
+	}
+	if opt.Networks <= 0 {
+		opt.Networks = 2
+	}
+	if opt.MsgLen < 8 {
+		opt.MsgLen = 100
+	}
+	if opt.Duration <= 0 {
+		opt.Duration = 2 * time.Second
+	}
+	if opt.Warmup <= 0 {
+		opt.Warmup = 10 * time.Second
+	}
+
+	epoch := time.Now()
+	var (
+		delivered  atomic.Uint64
+		latMu      sync.Mutex
+		latSamples []time.Duration
+	)
+
+	nodes := make([]*benchNode, opt.Nodes)
+	defer func() {
+		for _, bn := range nodes {
+			if bn == nil {
+				continue
+			}
+			if bn.n != nil {
+				bn.n.Close()
+			}
+			if bn.tr != nil {
+				bn.tr.Close()
+			}
+		}
+	}()
+
+	listen := make([]string, opt.Networks)
+	for i := range listen {
+		listen[i] = "127.0.0.1:0"
+	}
+	for i := range nodes {
+		tr, err := transport.NewUDP(transport.UDPConfig{
+			ID:       proto.NodeID(i + 1),
+			Listen:   listen,
+			WirePath: opt.WirePath,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("wirebench: node %d: %w", i+1, err)
+		}
+		nodes[i] = &benchNode{tr: tr}
+	}
+	for i, bn := range nodes {
+		for j, other := range nodes {
+			if i == j {
+				continue
+			}
+			if err := bn.tr.AddPeer(proto.NodeID(j+1), other.tr.LocalAddrs()); err != nil {
+				return nil, fmt.Errorf("wirebench: peer wiring: %w", err)
+			}
+		}
+	}
+	var sampleTick atomic.Uint64
+	for i, bn := range nodes {
+		n, err := totem.NewNode(totem.Config{
+			ID:          proto.NodeID(i + 1),
+			Networks:    opt.Networks,
+			Replication: proto.ReplicationActive,
+			Tune: func(o *totem.Options) {
+				liveTune(o)
+				o.DeliveryTap = func(d totem.Delivery) {
+					delivered.Add(1)
+					// Sample 1 in 16 latencies: enough for stable
+					// percentiles, cheap enough not to perturb the loop.
+					if sampleTick.Add(1)%16 != 0 || len(d.Payload) < 8 {
+						return
+					}
+					sent := time.Duration(binary.BigEndian.Uint64(d.Payload))
+					lat := time.Since(epoch) - sent
+					latMu.Lock()
+					if len(latSamples) < 1<<17 {
+						latSamples = append(latSamples, lat)
+					}
+					latMu.Unlock()
+				}
+			},
+		}, bn.tr)
+		if err != nil {
+			return nil, fmt.Errorf("wirebench: node %d: %w", i+1, err)
+		}
+		bn.n = n
+		// Drain the application-facing stream so the unbounded queue does
+		// not hoard memory; the tap has already counted each delivery.
+		go func(ch <-chan totem.Delivery) {
+			for range ch {
+			}
+		}(n.Deliveries())
+	}
+
+	// Ring formation: every node operational before the clock starts.
+	deadline := time.Now().Add(opt.Warmup)
+	for {
+		ready := 0
+		for _, bn := range nodes {
+			if bn.n.Operational() {
+				ready++
+			}
+		}
+		if ready == opt.Nodes {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("wirebench: ring not operational after %s (%d/%d nodes)",
+				opt.Warmup, ready, opt.Nodes)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Saturation load: one submitter per node, payload stamped with the
+	// send time for the latency percentiles.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, bn := range nodes {
+		wg.Add(1)
+		go func(n *totem.Node) {
+			defer wg.Done()
+			payload := make([]byte, opt.MsgLen)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				binary.BigEndian.PutUint64(payload, uint64(time.Since(epoch)))
+				if err := n.Send(payload); err != nil {
+					// Backpressure (or shutdown): yield and retry.
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		}(bn.n)
+	}
+
+	// Let the pipeline fill before the measured window.
+	time.Sleep(200 * time.Millisecond)
+	before := snapshotWire(nodes, opt.Networks)
+	deliveredBefore := delivered.Load()
+	latMu.Lock()
+	latSamples = latSamples[:0]
+	latMu.Unlock()
+	start := time.Now()
+	time.Sleep(opt.Duration)
+	window := time.Since(start)
+	after := snapshotWire(nodes, opt.Networks)
+	deliveredAfter := delivered.Load()
+	close(stop)
+	wg.Wait()
+
+	p := &WireBenchPoint{
+		WirePath:    nodes[0].tr.WirePath(),
+		Nodes:       opt.Nodes,
+		Networks:    opt.Networks,
+		MsgLen:      opt.MsgLen,
+		DurationSec: window.Seconds(),
+		Delivered:   deliveredAfter - deliveredBefore,
+		TxDatagrams: after["tx_datagrams"] - before["tx_datagrams"],
+		TxSyscalls:  after["tx_syscalls"] - before["tx_syscalls"],
+		RxDatagrams: after["rx_datagrams"] - before["rx_datagrams"],
+		RxSyscalls:  after["rx_syscalls"] - before["rx_syscalls"],
+		TxErrors:    after["tx_errors"] - before["tx_errors"],
+		RxDropped:   after["rx_dropped"] - before["rx_dropped"],
+	}
+	msgs := float64(p.Delivered) / float64(opt.Nodes)
+	p.MsgsPerSec = msgs / window.Seconds()
+	p.KBPerSec = p.MsgsPerSec * float64(opt.MsgLen) / 1024
+	if msgs > 0 {
+		p.SyscallsPerMsg = float64(p.TxSyscalls+p.RxSyscalls) / msgs
+	}
+	latMu.Lock()
+	samples := append([]time.Duration(nil), latSamples...)
+	latMu.Unlock()
+	if len(samples) > 0 {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		p.P50LatencyUs = float64(samples[len(samples)/2]) / float64(time.Microsecond)
+		p.P99LatencyUs = float64(samples[len(samples)*99/100]) / float64(time.Microsecond)
+	}
+	return p, nil
+}
+
+// benchNode is one cluster slot: the raw UDP transport (for WirePath and
+// LocalAddrs) and the node running on it.
+type benchNode struct {
+	tr *transport.UDPTransport
+	n  *totem.Node
+}
+
+// snapshotWire sums the wire counters across every node and network.
+func snapshotWire(nodes []*benchNode, networks int) map[string]uint64 {
+	out := make(map[string]uint64, len(wireCounterNames))
+	for _, bn := range nodes {
+		reg := bn.n.Metrics()
+		for net := 0; net < networks; net++ {
+			for _, name := range wireCounterNames {
+				if v, ok := reg.Get(fmt.Sprintf("udp.net%d.%s", net, name)); ok {
+					out[name] += uint64(v)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package live
+
+import (
+	"testing"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/transport"
+)
+
+// TestLiveUDPWirePathParity runs the same impaired conformance program
+// over loopback UDP on every wire driver this platform has: the batched
+// sendmmsg/recvmmsg path must uphold exactly the invariants the portable
+// path does (satellite #3 — the kernel fast path is a drop-in).
+func TestLiveUDPWirePathParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock harness")
+	}
+	paths := []string{transport.WirePathPortable}
+	if transport.BatchSupported() {
+		paths = append(paths, transport.WirePathBatch)
+	}
+	for _, path := range paths {
+		t.Run(path, func(t *testing.T) {
+			res, err := Execute(liveProgram(17, proto.ReplicationActive), Options{
+				Transport: "udp",
+				WirePath:  path,
+				TimeScale: 0.3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violation != nil {
+				t.Fatalf("violation on %s driver: %s\ntrace tail:\n%s",
+					path, res.Violation, tail(res.TraceTail))
+			}
+			if res.Delivered == 0 {
+				t.Fatalf("run on %s driver delivered nothing", path)
+			}
+			if res.FinalMembers == nil {
+				t.Fatalf("no agreed final membership on %s driver", path)
+			}
+		})
+	}
+}

@@ -1,0 +1,69 @@
+package transport
+
+import (
+	"fmt"
+	"os"
+)
+
+// Wire-path names. The wire path is the driver the UDP transport uses to
+// move datagrams across the kernel boundary:
+//
+//   - WirePathPortable issues one sendto/recvfrom per datagram through
+//     net.UDPConn — works everywhere Go does.
+//   - WirePathBatch coalesces the encode-once fan-out into sendmmsg and
+//     drains each port with recvmmsg across SO_REUSEPORT receive shards —
+//     Linux amd64/arm64 only (raw syscall numbers; see udp_batch_linux.go).
+//
+// DESIGN.md §13 describes the split and the flush policy.
+const (
+	WirePathAuto     = "auto"
+	WirePathPortable = "portable"
+	WirePathBatch    = "batch"
+)
+
+// WirePathEnv is the environment knob that overrides automatic wire-path
+// selection — the conformance sweep uses it to force the portable fallback
+// on Linux without touching configuration ("TOTEM_WIREPATH=portable").
+// An explicit UDPConfig.WirePath always wins over the environment.
+const WirePathEnv = "TOTEM_WIREPATH"
+
+// BatchSupported reports whether the batched sendmmsg/recvmmsg driver is
+// compiled into this binary (Linux amd64/arm64).
+func BatchSupported() bool { return batchSupported }
+
+// resolveWirePath turns a UDPConfig.WirePath request into the concrete
+// driver to use. Precedence: explicit config, then TOTEM_WIREPATH, then
+// auto-detection (batch where supported, portable elsewhere). Asking for
+// "batch" explicitly on a platform without it is a configuration error;
+// the environment knob degrades gracefully instead, so one CI matrix can
+// export it everywhere.
+func resolveWirePath(requested string) (string, error) {
+	pick := func(name string, strict bool) (string, error) {
+		switch name {
+		case WirePathPortable:
+			return WirePathPortable, nil
+		case WirePathBatch:
+			if batchSupported {
+				return WirePathBatch, nil
+			}
+			if strict {
+				return "", fmt.Errorf("udp: wire path %q not supported on this platform", name)
+			}
+			return WirePathPortable, nil
+		case "", WirePathAuto:
+			return "", nil // caller falls through to the next source
+		default:
+			return "", fmt.Errorf("udp: unknown wire path %q", name)
+		}
+	}
+	if wp, err := pick(requested, true); wp != "" || err != nil {
+		return wp, err
+	}
+	if wp, err := pick(os.Getenv(WirePathEnv), false); wp != "" || err != nil {
+		return wp, err
+	}
+	if batchSupported {
+		return WirePathBatch, nil
+	}
+	return WirePathPortable, nil
+}

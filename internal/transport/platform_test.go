@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestResolveWirePathPrecedence pins the selection order: explicit config
+// beats the TOTEM_WIREPATH environment knob beats auto-detection, and the
+// environment degrades gracefully where an explicit "batch" is strict.
+func TestResolveWirePathPrecedence(t *testing.T) {
+	auto := WirePathPortable
+	if BatchSupported() {
+		auto = WirePathBatch
+	}
+
+	cases := []struct {
+		name      string
+		requested string
+		env       string
+		want      string
+	}{
+		{"auto no env", WirePathAuto, "", auto},
+		{"empty is auto", "", "", auto},
+		{"explicit portable", WirePathPortable, "", WirePathPortable},
+		{"config beats env", WirePathPortable, WirePathBatch, WirePathPortable},
+		{"env portable overrides auto", "", WirePathPortable, WirePathPortable},
+		{"env auto falls through", "", WirePathAuto, auto},
+		// The environment knob never hard-fails: a CI matrix exports
+		// TOTEM_WIREPATH=batch everywhere and non-Linux runners degrade.
+		{"env batch degrades", "", WirePathBatch, auto},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Setenv(WirePathEnv, tc.env)
+			got, err := resolveWirePath(tc.requested)
+			if err != nil {
+				t.Fatalf("resolveWirePath(%q): %v", tc.requested, err)
+			}
+			if got != tc.want {
+				t.Fatalf("resolveWirePath(%q) with env %q = %q, want %q",
+					tc.requested, tc.env, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestResolveWirePathErrors(t *testing.T) {
+	t.Setenv(WirePathEnv, "")
+	if _, err := resolveWirePath("carrier-pigeon"); err == nil {
+		t.Fatal("unknown wire path accepted")
+	}
+	t.Setenv(WirePathEnv, "carrier-pigeon")
+	if _, err := resolveWirePath(""); err == nil {
+		t.Fatal("unknown wire path in environment accepted")
+	}
+	if !BatchSupported() {
+		// Explicit config is strict: asking for the batched driver on a
+		// platform without it is a configuration error, not a silent
+		// downgrade.
+		if _, err := resolveWirePath(WirePathBatch); err == nil {
+			t.Fatal("explicit batch accepted on unsupported platform")
+		}
+	}
+}
+
+// TestUDPWirePathReported pins that a constructed transport reports the
+// driver actually in use and registers the matching gauge.
+func TestUDPWirePathReported(t *testing.T) {
+	t.Setenv(WirePathEnv, "")
+	tr, err := NewUDP(UDPConfig{
+		ID: 1, Listen: []string{"127.0.0.1:0"}, WirePath: WirePathPortable,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if got := tr.WirePath(); got != WirePathPortable {
+		t.Fatalf("WirePath() = %q, want portable", got)
+	}
+
+	tr2, err := NewUDP(UDPConfig{ID: 2, Listen: []string{"127.0.0.1:0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	want := WirePathPortable
+	if BatchSupported() {
+		want = WirePathBatch
+	}
+	if got := tr2.WirePath(); got != want {
+		t.Fatalf("auto WirePath() = %q, want %q", got, want)
+	}
+}
+
+func TestNewUDPRejectsUnknownWirePath(t *testing.T) {
+	_, err := NewUDP(UDPConfig{
+		ID: 1, Listen: []string{"127.0.0.1:0"}, WirePath: "quantum",
+	})
+	if err == nil || !strings.Contains(err.Error(), "wire path") {
+		t.Fatalf("unknown wire path accepted: %v", err)
+	}
+}

@@ -19,6 +19,10 @@ import (
 type Runtime struct {
 	stack *stack.Node
 	tr    Transport
+	// flush, when non-nil, is the transport's batch-flush hook: execute
+	// calls it once per action batch that sent anything, so the batched
+	// wire path coalesces a whole token visit into one kernel entry.
+	flush func()
 	epoch time.Time
 	// sent is execute's reusable scratch of pooled frames to release once
 	// the batch completes (only touched by the loop goroutine).
@@ -95,6 +99,9 @@ func NewRuntime(st *stack.Node, tr Transport) *Runtime {
 	reg.RegisterFunc("runtime.submit_rejected", func() int64 { return int64(r.submitRejected.Load()) })
 	if ms, ok := tr.(MetricSource); ok {
 		ms.RegisterMetrics(reg)
+	}
+	if bs, ok := tr.(BatchSender); ok {
+		r.flush = bs.Flush
 	}
 	return r
 }
@@ -200,9 +207,11 @@ func (r *Runtime) takeTimer(tf *timerFire) bool {
 }
 
 func (r *Runtime) execute(actions []proto.Action) {
+	sentAny := false
 	for _, a := range actions {
 		switch act := a.(type) {
 		case *proto.SendPacket:
+			sentAny = true
 			// Send errors are deliberately absorbed: a dead network is
 			// exactly what the RRP monitors are there to detect.
 			r.tr.Send(act.Network, act.Dest, act.Data) //nolint:errcheck
@@ -259,6 +268,11 @@ func (r *Runtime) execute(actions []proto.Action) {
 			}
 			r.configs.push(act.Change)
 		}
+	}
+	// One kernel visit per action batch: everything this batch queued on a
+	// batching transport (a token visit's worth of fan-out) leaves now.
+	if sentAny && r.flush != nil {
+		r.flush()
 	}
 	// Both transports copy outbound bytes during Send (into the kernel or
 	// into per-receiver pooled frames), so once the batch has executed the

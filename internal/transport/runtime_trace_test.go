@@ -121,10 +121,14 @@ func TestRuntimeNoTracerNoEvents(t *testing.T) {
 	if !rts[0].Submit([]byte("untraced")) {
 		t.Fatal("submit rejected")
 	}
-	select {
-	case <-rts[1].Deliveries():
-	case <-time.After(10 * time.Second):
-		t.Fatal("no delivery")
+	// Wait for the delivery on every node: agreed order guarantees both
+	// deliver, but the sender's own delivery can trail the receiver's.
+	for _, rt := range rts {
+		select {
+		case <-rt.Deliveries():
+		case <-time.After(10 * time.Second):
+			t.Fatal("no delivery")
+		}
 	}
 	for _, rt := range rts {
 		if rt.tracer != nil {

@@ -42,6 +42,17 @@ type MetricSource interface {
 	RegisterMetrics(*metrics.Registry)
 }
 
+// BatchSender is implemented by transports that queue Send calls for
+// batched kernel submission (the UDP transport's sendmmsg wire path).
+// Flush forces everything queued onto the wire, preserving the Send
+// order. The Runtime calls it at the end of every action batch, so a
+// token and the messages emitted with it leave in one kernel visit;
+// transports also self-flush on a size threshold and a sub-millisecond
+// deadline, so callers that never Flush still make progress.
+type BatchSender interface {
+	Flush()
+}
+
 // Transport errors.
 var (
 	ErrClosed     = errors.New("transport: closed")

@@ -31,14 +31,50 @@ type UDPConfig struct {
 	// Peers maps every other node to its per-network addresses; the inner
 	// slice is indexed by network and must have len(Listen) entries.
 	Peers map[proto.NodeID][]string
+
+	// WirePath selects the kernel driver: "" or "auto" picks the batched
+	// sendmmsg/recvmmsg driver where the platform supports it (unless
+	// TOTEM_WIREPATH overrides), "portable" forces the per-datagram
+	// WriteToUDP/ReadFromUDP path, and "batch" requires the batched driver
+	// (an error on platforms without it). See DESIGN.md §13.
+	WirePath string
+	// RecvShards is the number of SO_REUSEPORT receive sockets per network
+	// on the batched driver: R reader goroutines drain one port without a
+	// shared-socket convoy. 0 means the driver default (2); the portable
+	// driver always uses a single socket.
+	RecvShards int
+	// BatchMax caps the datagrams coalesced into one sendmmsg on the
+	// batched driver (0 = driver default, 64). Ignored by the portable
+	// driver.
+	BatchMax int
 }
 
-// UDPTransport implements Transport over one UDP socket per network.
+// wireDriver is the socket backend behind a UDPTransport: the portable
+// per-datagram path or the Linux batched path. Drivers own the sockets and
+// the read goroutines; the transport owns peers, the receive channel and
+// the counters.
+type wireDriver interface {
+	// localAddrs returns the bound receive addresses, one per network.
+	localAddrs() []string
+	// unicast sends (or queues) one datagram. data is not retained past
+	// the call.
+	unicast(network int, addr *net.UDPAddr, data []byte) error
+	// broadcast fans data out to addrs, preserving enqueue order with any
+	// earlier traffic on the same network. data is not retained.
+	broadcast(network int, addrs []*net.UDPAddr, data []byte)
+	// flush forces any queued datagrams onto the wire.
+	flush()
+	// close releases the driver's sockets, unblocking its read loops.
+	close() error
+}
+
+// UDPTransport implements Transport over one UDP socket set per network.
 type UDPTransport struct {
 	networks int
-	conns    []*net.UDPConn
-	// counters index by network; incremented from the read loops and the
-	// send goroutine, so they are atomics (see netCounters).
+	wirepath string
+	driver   wireDriver
+	// counters index by network; incremented from the read loops, the
+	// send goroutine and flush timers, so they are atomics (netCounters).
 	counters []netCounters
 
 	peerMu sync.RWMutex
@@ -54,15 +90,23 @@ type UDPTransport struct {
 	wg        sync.WaitGroup
 }
 
-var _ Transport = (*UDPTransport)(nil)
+var (
+	_ Transport   = (*UDPTransport)(nil)
+	_ BatchSender = (*UDPTransport)(nil)
+)
 
 // NewUDP opens the sockets and starts the receive loops.
 func NewUDP(cfg UDPConfig) (*UDPTransport, error) {
 	if len(cfg.Listen) == 0 {
 		return nil, errors.New("udp: no listen addresses")
 	}
+	wirepath, err := resolveWirePath(cfg.WirePath)
+	if err != nil {
+		return nil, err
+	}
 	t := &UDPTransport{
 		networks: len(cfg.Listen),
+		wirepath: wirepath,
 		counters: make([]netCounters, len(cfg.Listen)),
 		peers:    make(map[proto.NodeID][]*net.UDPAddr, len(cfg.Peers)),
 		rx:       make(chan Packet, memDepth),
@@ -82,33 +126,28 @@ func NewUDP(cfg UDPConfig) (*UDPTransport, error) {
 		}
 		t.peers[id] = resolved
 	}
-	for i, a := range cfg.Listen {
-		ua, err := net.ResolveUDPAddr("udp", a)
-		if err != nil {
-			t.Close()
-			return nil, fmt.Errorf("udp: listen %q: %w", a, err)
-		}
-		conn, err := net.ListenUDP("udp", ua)
-		if err != nil {
-			t.Close()
-			return nil, fmt.Errorf("udp: listen %q: %w", a, err)
-		}
-		t.conns = append(t.conns, conn)
-		t.wg.Add(1)
-		go t.readLoop(i, conn)
+	if wirepath == WirePathBatch {
+		t.driver, err = newBatchDriver(t, cfg)
+	} else {
+		t.driver, err = newPortableDriver(t, cfg)
+	}
+	if err != nil {
+		// A failed constructor has closed any sockets it opened; the read
+		// loops it may have started exit on those closed sockets.
+		close(t.closed)
+		t.wg.Wait()
+		close(t.rx)
+		return nil, err
 	}
 	return t, nil
 }
 
+// WirePath reports the active wire driver: "portable" or "batch".
+func (t *UDPTransport) WirePath() string { return t.wirepath }
+
 // LocalAddrs returns the bound addresses, one per network (useful when
 // listening on port 0).
-func (t *UDPTransport) LocalAddrs() []string {
-	out := make([]string, len(t.conns))
-	for i, c := range t.conns {
-		out[i] = c.LocalAddr().String()
-	}
-	return out
-}
+func (t *UDPTransport) LocalAddrs() []string { return t.driver.localAddrs() }
 
 // AddPeer registers (or replaces) a peer's per-network addresses. It is
 // safe to call while the node is running.
@@ -140,8 +179,160 @@ func (t *UDPTransport) RemovePeer(id proto.NodeID) {
 	t.peerMu.Unlock()
 }
 
-func (t *UDPTransport) readLoop(network int, conn *net.UDPConn) {
-	defer t.wg.Done()
+// deliver hands one received datagram to the consumer and reports whether
+// the buffer was consumed (false lets the read loop reuse it for the next
+// datagram). Drop on overflow is UDP semantics; retransmission recovers.
+func (t *UDPTransport) deliver(network int, data []byte) bool {
+	t.counters[network].rxDatagrams.Add(1)
+	select {
+	case t.rx <- Packet{Network: network, Data: data}:
+		return true
+	case <-t.closed:
+		return false
+	default:
+		t.counters[network].rxDropped.Add(1)
+		return false
+	}
+}
+
+// Networks implements Transport.
+func (t *UDPTransport) Networks() int { return t.networks }
+
+// Send implements Transport. For broadcast, the peer addresses are
+// snapshotted under the read lock and the socket work done outside it, so
+// a concurrent AddPeer is never blocked behind a slow socket. The snapshot
+// buffer is reused across calls (Send is single-goroutine per the
+// Transport contract). On the batched driver the datagrams may be queued
+// rather than sent; Flush, a control packet, the size threshold or the
+// sub-millisecond deadline put them on the wire in FIFO order.
+func (t *UDPTransport) Send(network int, dest proto.NodeID, data []byte) error {
+	if network < 0 || network >= t.networks {
+		return ErrBadNetwork
+	}
+	if dest == proto.BroadcastID {
+		t.peerMu.RLock()
+		t.bcast = t.bcast[:0]
+		for _, addrs := range t.peers {
+			t.bcast = append(t.bcast, addrs[network])
+		}
+		t.peerMu.RUnlock()
+		t.driver.broadcast(network, t.bcast, data)
+		return nil
+	}
+	t.peerMu.RLock()
+	addrs, ok := t.peers[dest]
+	t.peerMu.RUnlock()
+	if !ok {
+		return ErrNoPeer
+	}
+	return t.driver.unicast(network, addrs[network], data)
+}
+
+// Flush implements BatchSender: it forces any queued datagrams onto the
+// wire. The runtime calls it at the end of every action batch, so a token
+// and the messages sent with it leave in one kernel visit on the batched
+// driver. A no-op on the portable driver.
+func (t *UDPTransport) Flush() { t.driver.flush() }
+
+// netCounters is one network's datagram accounting.
+type netCounters struct {
+	rxDatagrams atomic.Uint64
+	rxDropped   atomic.Uint64
+	rxSyscalls  atomic.Uint64
+	txDatagrams atomic.Uint64
+	txErrors    atomic.Uint64
+	txSyscalls  atomic.Uint64
+	// flush-reason counters (batched driver only): why each sendmmsg
+	// batch left the queue.
+	flushControl  atomic.Uint64
+	flushSize     atomic.Uint64
+	flushDeadline atomic.Uint64
+	flushExplicit atomic.Uint64
+}
+
+// RegisterMetrics implements MetricSource: per-network datagram counts,
+// overflow drops, send errors, kernel-visit counts and batch flush
+// reasons under "udp.netI.*", plus the shared receive-queue depth gauge
+// and the active wire path (0 portable, 1 batch).
+func (t *UDPTransport) RegisterMetrics(reg *metrics.Registry) {
+	for i := range t.counters {
+		c := &t.counters[i]
+		prefix := "udp.net" + strconv.Itoa(i)
+		counter := func(name string, v *atomic.Uint64) {
+			reg.RegisterFunc(prefix+name, func() int64 { return int64(v.Load()) })
+		}
+		counter(".rx_datagrams", &c.rxDatagrams)
+		counter(".rx_dropped", &c.rxDropped)
+		counter(".rx_syscalls", &c.rxSyscalls)
+		counter(".tx_datagrams", &c.txDatagrams)
+		counter(".tx_errors", &c.txErrors)
+		counter(".tx_syscalls", &c.txSyscalls)
+		counter(".flush_control", &c.flushControl)
+		counter(".flush_size", &c.flushSize)
+		counter(".flush_deadline", &c.flushDeadline)
+		counter(".flush_explicit", &c.flushExplicit)
+	}
+	reg.RegisterFunc("udp.rx_queue_depth", func() int64 { return int64(len(t.rx)) })
+	wirepath := int64(0)
+	if t.wirepath == WirePathBatch {
+		wirepath = 1
+	}
+	reg.RegisterFunc("udp.wirepath_batch", func() int64 { return wirepath })
+}
+
+// Packets implements Transport.
+func (t *UDPTransport) Packets() <-chan Packet { return t.rx }
+
+// Close implements Transport.
+func (t *UDPTransport) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		t.driver.close() //nolint:errcheck
+		t.wg.Wait()
+		close(t.rx)
+	})
+	return nil
+}
+
+// portableDriver is the per-datagram path: one net.UDPConn per network,
+// one blocking ReadFromUDP loop each, one WriteToUDP per outbound
+// datagram. It works on every platform Go supports and is the semantic
+// reference for the batched driver.
+type portableDriver struct {
+	t     *UDPTransport
+	conns []*net.UDPConn
+}
+
+func newPortableDriver(t *UDPTransport, cfg UDPConfig) (wireDriver, error) {
+	d := &portableDriver{t: t}
+	for i, a := range cfg.Listen {
+		ua, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			d.close() //nolint:errcheck
+			return nil, fmt.Errorf("udp: listen %q: %w", a, err)
+		}
+		conn, err := net.ListenUDP("udp", ua)
+		if err != nil {
+			d.close() //nolint:errcheck
+			return nil, fmt.Errorf("udp: listen %q: %w", a, err)
+		}
+		d.conns = append(d.conns, conn)
+		t.wg.Add(1)
+		go d.readLoop(i, conn)
+	}
+	return d, nil
+}
+
+func (d *portableDriver) localAddrs() []string {
+	out := make([]string, len(d.conns))
+	for i, c := range d.conns {
+		out[i] = c.LocalAddr().String()
+	}
+	return out
+}
+
+func (d *portableDriver) readLoop(network int, conn *net.UDPConn) {
+	defer d.t.wg.Done()
 	// Datagrams are read straight into pooled frames and handed to the
 	// consumer without copying; a dropped datagram reuses its frame for
 	// the next read. The consumer recycles data frames after processing
@@ -154,91 +345,44 @@ func (t *UDPTransport) readLoop(network int, conn *net.UDPConn) {
 			wire.PutFrame(buf)
 			return // socket closed
 		}
-		t.counters[network].rxDatagrams.Add(1)
-		select {
-		case t.rx <- Packet{Network: network, Data: buf[:n]}:
+		d.t.counters[network].rxSyscalls.Add(1)
+		if d.t.deliver(network, buf[:n]) {
 			buf = wire.GetFrame()[:wire.FrameCap]
-		case <-t.closed:
-			wire.PutFrame(buf)
-			return
-		default:
-			// Drop on overflow: UDP semantics; retransmission recovers.
-			t.counters[network].rxDropped.Add(1)
 		}
 	}
 }
 
-// Networks implements Transport.
-func (t *UDPTransport) Networks() int { return t.networks }
-
-// Send implements Transport. For broadcast, the peer addresses are
-// snapshotted under the read lock and the syscalls issued outside it, so a
-// concurrent AddPeer is never blocked behind a slow socket. The snapshot
-// buffer is reused across calls (Send is single-goroutine per the
-// Transport contract).
-func (t *UDPTransport) Send(network int, dest proto.NodeID, data []byte) error {
-	if network < 0 || network >= t.networks {
-		return ErrBadNetwork
+func (d *portableDriver) unicast(network int, addr *net.UDPAddr, data []byte) error {
+	c := &d.t.counters[network]
+	c.txDatagrams.Add(1)
+	c.txSyscalls.Add(1)
+	_, err := d.conns[network].WriteToUDP(data, addr)
+	if err != nil {
+		c.txErrors.Add(1)
 	}
-	conn := t.conns[network]
-	if dest == proto.BroadcastID {
-		t.peerMu.RLock()
-		t.bcast = t.bcast[:0]
-		for _, addrs := range t.peers {
-			t.bcast = append(t.bcast, addrs[network])
-		}
-		t.peerMu.RUnlock()
-		for _, a := range t.bcast {
-			// Best-effort fan-out: a failed peer must not stop the rest.
-			conn.WriteToUDP(data, a) //nolint:errcheck
-		}
-		t.counters[network].txDatagrams.Add(uint64(len(t.bcast)))
-		return nil
-	}
-	t.peerMu.RLock()
-	addrs, ok := t.peers[dest]
-	t.peerMu.RUnlock()
-	if !ok {
-		return ErrNoPeer
-	}
-	t.counters[network].txDatagrams.Add(1)
-	_, err := conn.WriteToUDP(data, addrs[network])
 	return err
 }
 
-// netCounters is one network's datagram accounting.
-type netCounters struct {
-	rxDatagrams atomic.Uint64
-	rxDropped   atomic.Uint64
-	txDatagrams atomic.Uint64
-}
-
-// RegisterMetrics implements MetricSource: per-network datagram counts
-// and overflow drops under "udp.netI.*", plus the shared receive-queue
-// depth gauge.
-func (t *UDPTransport) RegisterMetrics(reg *metrics.Registry) {
-	for i := range t.counters {
-		c := &t.counters[i]
-		prefix := "udp.net" + strconv.Itoa(i)
-		reg.RegisterFunc(prefix+".rx_datagrams", func() int64 { return int64(c.rxDatagrams.Load()) })
-		reg.RegisterFunc(prefix+".rx_dropped", func() int64 { return int64(c.rxDropped.Load()) })
-		reg.RegisterFunc(prefix+".tx_datagrams", func() int64 { return int64(c.txDatagrams.Load()) })
-	}
-	reg.RegisterFunc("udp.rx_queue_depth", func() int64 { return int64(len(t.rx)) })
-}
-
-// Packets implements Transport.
-func (t *UDPTransport) Packets() <-chan Packet { return t.rx }
-
-// Close implements Transport.
-func (t *UDPTransport) Close() error {
-	t.closeOnce.Do(func() {
-		close(t.closed)
-		for _, c := range t.conns {
-			c.Close() //nolint:errcheck
+func (d *portableDriver) broadcast(network int, addrs []*net.UDPAddr, data []byte) {
+	c := &d.t.counters[network]
+	conn := d.conns[network]
+	for _, a := range addrs {
+		// Best-effort fan-out: a failed peer must not stop the rest, but
+		// the failure is counted — a saturated socket buffer shows up in
+		// udp.netI.tx_errors instead of as invisible loss.
+		if _, err := conn.WriteToUDP(data, a); err != nil {
+			c.txErrors.Add(1)
 		}
-		t.wg.Wait()
-		close(t.rx)
-	})
+	}
+	c.txDatagrams.Add(uint64(len(addrs)))
+	c.txSyscalls.Add(uint64(len(addrs)))
+}
+
+func (d *portableDriver) flush() {}
+
+func (d *portableDriver) close() error {
+	for _, c := range d.conns {
+		c.Close() //nolint:errcheck
+	}
 	return nil
 }

@@ -1,0 +1,16 @@
+//go:build !linux || !(amd64 || arm64)
+
+package transport
+
+import "errors"
+
+// The batched sendmmsg/recvmmsg wire path is Linux amd64/arm64 only; on
+// every other platform the detector (platform.go) degrades to the
+// portable driver and this constructor is unreachable except through an
+// explicit UDPConfig.WirePath="batch", which resolveWirePath rejects
+// first.
+const batchSupported = false
+
+func newBatchDriver(t *UDPTransport, cfg UDPConfig) (wireDriver, error) {
+	return nil, errors.New("udp: batched wire path not supported on this platform")
+}

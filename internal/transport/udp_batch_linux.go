@@ -1,0 +1,480 @@
+//go:build linux && (amd64 || arm64)
+
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"syscall"
+	"time"
+	"unsafe"
+
+	"github.com/totem-rrp/totem/internal/wire"
+)
+
+// The batched wire path (DESIGN.md §13): one sendmmsg per queued batch on
+// the way out, one recvmmsg per kernel visit on the way in, SO_REUSEPORT
+// receive shards draining one port in parallel. The Go runtime's netpoller
+// still owns readiness (syscall.RawConn.Read/Write), so blocking semantics
+// and Close behaviour match the portable driver exactly.
+
+const batchSupported = true
+
+const (
+	// defaultRecvShards is the SO_REUSEPORT socket count per network. The
+	// kernel hashes each (src, dst) flow to one shard, so per-sender FIFO
+	// — which the SRP relies on per link — is preserved while distinct
+	// peers drain in parallel.
+	defaultRecvShards = 2
+	maxRecvShards     = 16
+	// defaultBatchMax caps datagrams per sendmmsg; 64 comfortably covers
+	// a full token visit (MaxPerVisit messages × peers + the token).
+	defaultBatchMax = 64
+	maxBatchMax     = 512
+	// recvBatch is the mmsghdr count per recvmmsg.
+	recvBatch = 16
+	// batchSlot is the per-datagram buffer budget in the send queue; any
+	// larger datagram bypasses the queue (after a FIFO-preserving flush).
+	batchSlot = wire.FrameCap
+	// flushDelay is the deadline backstop: a queued batch never waits
+	// longer than this for an explicit Flush or a control packet. The
+	// runtime flushes after every action batch, so in steady state this
+	// timer is armed and disarmed without ever firing.
+	flushDelay = 200 * time.Microsecond
+)
+
+// soReusePort is SO_REUSEPORT; the frozen syscall package predates it.
+const soReusePort = 0xf
+
+// rawSockaddr is a kernel-ready destination address (IPv4 or IPv6),
+// stored by value in fixed batch slots so msg_hdr.Name can point at it
+// without allocation.
+type rawSockaddr struct {
+	data [syscall.SizeofSockaddrInet6]byte
+	len  uint32
+}
+
+// fill converts a resolved *net.UDPAddr. It reports false for addresses
+// the kernel cannot take (nil IP).
+func (ra *rawSockaddr) fill(a *net.UDPAddr) bool {
+	if ip := a.IP.To4(); ip != nil {
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(&ra.data[0]))
+		*sa = syscall.RawSockaddrInet4{Family: syscall.AF_INET}
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		p[0], p[1] = byte(a.Port>>8), byte(a.Port) // network byte order
+		copy(sa.Addr[:], ip)
+		ra.len = syscall.SizeofSockaddrInet4
+		return true
+	}
+	if ip := a.IP.To16(); ip != nil {
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(&ra.data[0]))
+		*sa = syscall.RawSockaddrInet6{Family: syscall.AF_INET6}
+		p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+		p[0], p[1] = byte(a.Port>>8), byte(a.Port)
+		copy(sa.Addr[:], ip)
+		ra.len = syscall.SizeofSockaddrInet6
+		return true
+	}
+	return false
+}
+
+// mmsghdr mirrors struct mmsghdr; the explicit pad keeps the array stride
+// at 64 bytes on both amd64 and arm64 (msghdr is 56 bytes on each).
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	cnt uint32
+	_   [4]byte
+}
+
+func sendmmsg(fd uintptr, hdrs []mmsghdr) (int, syscall.Errno) {
+	n, _, e := syscall.Syscall6(sysSendmmsg, fd,
+		uintptr(unsafe.Pointer(&hdrs[0])), uintptr(len(hdrs)), 0, 0, 0)
+	if e != 0 {
+		return -1, e
+	}
+	return int(n), 0
+}
+
+func recvmmsg(fd uintptr, hdrs []mmsghdr, flags uintptr) (int, syscall.Errno) {
+	n, _, e := syscall.Syscall6(sysRecvmmsg, fd,
+		uintptr(unsafe.Pointer(&hdrs[0])), uintptr(len(hdrs)), flags, 0, 0)
+	if e != 0 {
+		return -1, e
+	}
+	return int(n), 0
+}
+
+// netBatch is one network's send queue: datagram bytes appended
+// back-to-back in a fixed buffer, one entry per destination. A broadcast
+// copies its payload once and adds one entry per peer pointing at the
+// same bytes, so the encode-once fan-out stays copy-once too.
+type netBatch struct {
+	d       *batchDriver
+	network int
+
+	mu sync.Mutex
+	// buf holds the queued datagram bytes (cap fixed at construction;
+	// never reallocated, so iovec base pointers stay valid).
+	buf []byte
+	n   int // entries queued
+	// per-entry parallel slots, length batchMax.
+	offs  []int
+	lens  []int
+	dsts  []rawSockaddr
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	timer *time.Timer
+	// armed tracks whether the deadline timer is pending, so the deadline
+	// runs from the first queued datagram and is never pushed out by
+	// later enqueues.
+	armed bool
+}
+
+// batchDriver implements wireDriver with batched syscalls.
+type batchDriver struct {
+	t        *UDPTransport
+	batchMax int
+	// conns[i] holds network i's SO_REUSEPORT shard sockets; shard 0
+	// doubles as the send socket (its bound port is the one peers know).
+	conns   [][]*net.UDPConn
+	sendRC  []syscall.RawConn
+	batches []*netBatch
+}
+
+func newBatchDriver(t *UDPTransport, cfg UDPConfig) (wireDriver, error) {
+	shards := cfg.RecvShards
+	if shards <= 0 {
+		shards = defaultRecvShards
+	}
+	if shards > maxRecvShards {
+		shards = maxRecvShards
+	}
+	batchMax := cfg.BatchMax
+	if batchMax <= 0 {
+		batchMax = defaultBatchMax
+	}
+	if batchMax > maxBatchMax {
+		batchMax = maxBatchMax
+	}
+	d := &batchDriver{t: t, batchMax: batchMax}
+	for i, addr := range cfg.Listen {
+		conns, err := listenReusePort(addr, shards)
+		if err != nil {
+			d.close() //nolint:errcheck
+			return nil, fmt.Errorf("udp: listen %q: %w", addr, err)
+		}
+		rc, err := conns[0].SyscallConn()
+		if err != nil {
+			for _, c := range conns {
+				c.Close() //nolint:errcheck
+			}
+			d.close() //nolint:errcheck
+			return nil, fmt.Errorf("udp: listen %q: %w", addr, err)
+		}
+		d.conns = append(d.conns, conns)
+		d.sendRC = append(d.sendRC, rc)
+		nb := &netBatch{
+			d:       d,
+			network: i,
+			buf:     make([]byte, 0, batchMax*batchSlot),
+			offs:    make([]int, batchMax),
+			lens:    make([]int, batchMax),
+			dsts:    make([]rawSockaddr, batchMax),
+			hdrs:    make([]mmsghdr, batchMax),
+			iovs:    make([]syscall.Iovec, batchMax),
+		}
+		nb.timer = time.AfterFunc(time.Hour, nb.deadlineFlush)
+		nb.timer.Stop()
+		d.batches = append(d.batches, nb)
+		for _, c := range conns {
+			t.wg.Add(1)
+			go d.readLoop(i, c)
+		}
+	}
+	return d, nil
+}
+
+// listenReusePort binds `shards` UDP sockets to the same address with
+// SO_REUSEPORT. With a ":0" request the first socket picks the port and
+// the rest join it.
+func listenReusePort(addr string, shards int) ([]*net.UDPConn, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	conns := make([]*net.UDPConn, 0, shards)
+	for i := 0; i < shards; i++ {
+		pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+		if err != nil {
+			for _, c := range conns {
+				c.Close() //nolint:errcheck
+			}
+			return nil, err
+		}
+		uc := pc.(*net.UDPConn)
+		conns = append(conns, uc)
+		if i == 0 {
+			addr = uc.LocalAddr().String() // later shards join the bound port
+		}
+	}
+	return conns, nil
+}
+
+func (d *batchDriver) localAddrs() []string {
+	out := make([]string, len(d.conns))
+	for i, cs := range d.conns {
+		out[i] = cs[0].LocalAddr().String()
+	}
+	return out
+}
+
+func (d *batchDriver) readLoop(network int, conn *net.UDPConn) {
+	defer d.t.wg.Done()
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return
+	}
+	c := &d.t.counters[network]
+	var bufs [recvBatch][]byte
+	for i := range bufs {
+		bufs[i] = wire.GetFrame()[:wire.FrameCap]
+	}
+	hdrs := make([]mmsghdr, recvBatch)
+	iovs := make([]syscall.Iovec, recvBatch)
+	for {
+		// Re-point the iovecs every round: delivered buffers were replaced
+		// with fresh pooled frames.
+		for i := range hdrs {
+			iovs[i] = syscall.Iovec{Base: &bufs[i][0], Len: wire.FrameCap}
+			hdrs[i] = mmsghdr{hdr: syscall.Msghdr{Iov: &iovs[i], Iovlen: 1}}
+		}
+		var (
+			n  int
+			en syscall.Errno
+		)
+		rerr := rc.Read(func(fd uintptr) bool {
+			n, en = recvmmsg(fd, hdrs, syscall.MSG_DONTWAIT)
+			return !(n < 0 && en == syscall.EAGAIN)
+		})
+		runtime.KeepAlive(&bufs)
+		if rerr != nil {
+			for i := range bufs {
+				wire.PutFrame(bufs[i])
+			}
+			return // socket closed
+		}
+		if n <= 0 {
+			continue // transient errno (e.g. async ICMP); the socket lives
+		}
+		c.rxSyscalls.Add(1)
+		for i := 0; i < n; i++ {
+			if d.t.deliver(network, bufs[i][:hdrs[i].cnt]) {
+				bufs[i] = wire.GetFrame()[:wire.FrameCap]
+			}
+		}
+	}
+}
+
+// isControl reports whether data is a protocol control packet (token,
+// join, commit, merge-detect): those flush the batch immediately so
+// token rotation and membership formation never wait out the deadline.
+func isControl(data []byte) bool {
+	k, err := wire.PeekKind(data)
+	return err == nil && k != wire.KindData
+}
+
+func (d *batchDriver) unicast(network int, addr *net.UDPAddr, data []byte) error {
+	return d.batches[network].enqueue(addr, nil, data)
+}
+
+func (d *batchDriver) broadcast(network int, addrs []*net.UDPAddr, data []byte) {
+	if len(addrs) == 0 {
+		return
+	}
+	d.batches[network].enqueue(nil, addrs, data)
+}
+
+func (d *batchDriver) flush() {
+	for _, nb := range d.batches {
+		nb.mu.Lock()
+		if nb.n > 0 {
+			d.t.counters[nb.network].flushExplicit.Add(1)
+			nb.flushLocked()
+		}
+		nb.mu.Unlock()
+	}
+}
+
+func (d *batchDriver) close() error {
+	for _, nb := range d.batches {
+		nb.mu.Lock()
+		nb.timer.Stop()
+		// Drop whatever is still queued: the sockets are going away and a
+		// closing node's unflushed datagrams are indistinguishable from
+		// wire loss to the peers.
+		nb.buf, nb.n = nb.buf[:0], 0
+		nb.mu.Unlock()
+	}
+	for _, cs := range d.conns {
+		for _, c := range cs {
+			c.Close() //nolint:errcheck
+		}
+	}
+	return nil
+}
+
+// enqueue queues one datagram for addr (unicast) or one shared payload
+// copy fanned out to every addrs entry (broadcast). FIFO order with all
+// earlier traffic on the network is preserved across every flush path.
+// The returned error is meaningful only for the oversize direct path — a
+// queued datagram's kernel verdict arrives at flush time, where it is
+// counted rather than returned, just like broadcast fan-out.
+func (nb *netBatch) enqueue(addr *net.UDPAddr, addrs []*net.UDPAddr, data []byte) error {
+	c := &nb.d.t.counters[nb.network]
+	nb.mu.Lock()
+	if len(data) > batchSlot {
+		// Too big for a batch slot: flush what is queued (FIFO), then send
+		// directly through the same socket.
+		if nb.n > 0 {
+			c.flushSize.Add(1)
+			nb.flushLocked()
+		}
+		nb.mu.Unlock()
+		conn := nb.d.conns[nb.network][0]
+		if addr != nil {
+			addrs = []*net.UDPAddr{addr}
+		}
+		var werr error
+		for _, a := range addrs {
+			c.txDatagrams.Add(1)
+			c.txSyscalls.Add(1)
+			if _, err := conn.WriteToUDP(data, a); err != nil {
+				c.txErrors.Add(1)
+				werr = err
+			}
+		}
+		return werr
+	}
+	if addr != nil {
+		nb.add(addr, data, -1)
+	} else {
+		// One payload copy, many entries. A mid-fan-out size flush resets
+		// the buffer, so the copy offset is re-established as needed.
+		off := -1
+		for _, a := range addrs {
+			off = nb.add(a, data, off)
+		}
+	}
+	c.txDatagrams.Add(uint64(max(1, len(addrs))))
+	switch {
+	case isControl(data):
+		c.flushControl.Add(1)
+		nb.flushLocked()
+	case nb.n > 0 && !nb.armed:
+		// Arm the deadline backstop for the batch head.
+		nb.armed = true
+		nb.timer.Reset(flushDelay)
+	}
+	nb.mu.Unlock()
+	return nil
+}
+
+// add appends one entry, copying data into the buffer unless off (an
+// offset from an earlier entry of the same fan-out) is still valid. It
+// returns the offset holding data. Caller holds nb.mu.
+func (nb *netBatch) add(a *net.UDPAddr, data []byte, off int) int {
+	c := &nb.d.t.counters[nb.network]
+	if nb.n == nb.d.batchMax || (off < 0 && len(nb.buf)+len(data) > cap(nb.buf)) {
+		c.flushSize.Add(1)
+		nb.flushLocked()
+		off = -1
+	}
+	if off < 0 {
+		off = len(nb.buf)
+		nb.buf = append(nb.buf, data...)
+	}
+	if !nb.dsts[nb.n].fill(a) {
+		c.txErrors.Add(1)
+		return off
+	}
+	nb.offs[nb.n] = off
+	nb.lens[nb.n] = len(data)
+	nb.n++
+	return off
+}
+
+func (nb *netBatch) deadlineFlush() {
+	nb.mu.Lock()
+	if nb.n > 0 {
+		nb.d.t.counters[nb.network].flushDeadline.Add(1)
+		nb.flushLocked()
+	}
+	nb.mu.Unlock()
+}
+
+// flushLocked puts the queued batch on the wire with as few sendmmsg
+// calls as the kernel allows, in strict FIFO order. A datagram the kernel
+// rejects outright is dropped (counted in tx_errors) rather than
+// reordered. Caller holds nb.mu and has already counted the flush reason.
+func (nb *netBatch) flushLocked() {
+	c := &nb.d.t.counters[nb.network]
+	for i := 0; i < nb.n; i++ {
+		// Zero-length datagrams are anchored off-buffer: their offset may
+		// equal len(buf) (nothing was appended), which is not indexable.
+		base := &zeroByte
+		if nb.lens[i] > 0 {
+			base = &nb.buf[nb.offs[i]]
+		}
+		nb.iovs[i] = syscall.Iovec{Base: base, Len: uint64(nb.lens[i])}
+		nb.hdrs[i] = mmsghdr{hdr: syscall.Msghdr{
+			Name:    &nb.dsts[i].data[0],
+			Namelen: nb.dsts[i].len,
+			Iov:     &nb.iovs[i],
+			Iovlen:  1,
+		}}
+	}
+	i := 0
+	for i < nb.n {
+		var (
+			sent int
+			en   syscall.Errno
+		)
+		werr := nb.d.sendRC[nb.network].Write(func(fd uintptr) bool {
+			c.txSyscalls.Add(1)
+			sent, en = sendmmsg(fd, nb.hdrs[i:nb.n])
+			return !(sent < 0 && en == syscall.EAGAIN)
+		})
+		if werr != nil {
+			// Socket closed underneath us: drop the remainder.
+			c.txErrors.Add(uint64(nb.n - i))
+			break
+		}
+		if sent <= 0 {
+			// Hard error on the batch head (e.g. async ICMP): skip that
+			// one datagram, keep the rest in order.
+			c.txErrors.Add(1)
+			i++
+			continue
+		}
+		i += sent
+	}
+	runtime.KeepAlive(nb)
+	nb.buf = nb.buf[:0]
+	nb.n = 0
+	nb.armed = false
+	nb.timer.Stop()
+}
+
+// zeroByte anchors the iovec of a zero-length datagram.
+var zeroByte byte

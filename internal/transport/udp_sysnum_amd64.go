@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package transport
+
+// Raw syscall numbers for the batched wire path. The frozen syscall
+// package predates sendmmsg, so both are pinned here per architecture.
+const (
+	sysSendmmsg = 307
+	sysRecvmmsg = 299
+)

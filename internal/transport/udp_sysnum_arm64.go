@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package transport
+
+// Raw syscall numbers for the batched wire path (asm-generic table).
+const (
+	sysSendmmsg = 269
+	sysRecvmmsg = 243
+)

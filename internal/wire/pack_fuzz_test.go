@@ -28,14 +28,14 @@ func packerSeeds(f *testing.F) {
 		return b
 	}
 	f.Add(sizes(64))
-	f.Add(sizes(64, 200, 364))              // torture load population
-	f.Add(sizes(364, 364, 364, 364))        // several per packet
+	f.Add(sizes(64, 200, 364))                     // torture load population
+	f.Add(sizes(364, 364, 364, 364))               // several per packet
 	f.Add(sizes(maxWhole-1, maxWhole, maxWhole+1)) // split boundary
 	f.Add(sizes(MaxPayload, MaxPayload+1))
-	f.Add(sizes(3*MaxPayload + 17))         // multi-packet fragmentation
-	f.Add(sizes(1, maxWhole+5, 1, 1))       // fragment then small tail
-	f.Add(sizes())                          // empty queue
-	f.Add(sizes(0, 0, 64))                  // zero-length messages
+	f.Add(sizes(3*MaxPayload + 17))   // multi-packet fragmentation
+	f.Add(sizes(1, maxWhole+5, 1, 1)) // fragment then small tail
+	f.Add(sizes())                    // empty queue
+	f.Add(sizes(0, 0, 64))            // zero-length messages
 }
 
 // FuzzPackerAssembler drives arbitrary message-size sequences through
