@@ -12,9 +12,12 @@
 //	totembench -figure all
 //	totembench -json            # hot-path allocation budget + wall-clock
 //	                            # figure data, written to BENCH_hotpath.json
+//	totembench -shards 4        # multi-ring scaling sweep (1 ring vs 4)
+//	                            # with a >=3x aggregate throughput gate
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,8 +38,12 @@ func main() {
 	liveFloor := flag.Float64("live-floor", 0, "live gate: minimum batched-driver msgs/sec (0 disables the absolute floor)")
 	liveMsgsGain := flag.Float64("live-msgs-gain", 2.0, "live gate: required batch/portable msgs-per-sec ratio (ORed with -live-syscall-gain)")
 	liveSyscallGain := flag.Float64("live-syscall-gain", 2.0, "live gate: required portable/batch syscalls-per-message ratio (ORed with -live-msgs-gain)")
+	shards := flag.Int("shards", 0, "also run the multi-ring sharding sweep at this ring count vs a single-ring baseline, and gate on it (0 disables)")
+	shardDur := flag.Duration("shards-dur", time.Second, "shards: measured window per point")
+	shardLen := flag.Int("shards-len", 100, "shards: payload bytes")
+	shardGain := flag.Float64("shards-gain", 3.0, "shards gate: required M-ring/1-ring aggregate msgs-per-sec ratio")
 	flag.Parse()
-	if *jsonOut || *liveRun {
+	if *jsonOut || *liveRun || *shards > 0 {
 		cfg := liveConfig{
 			run:         *liveRun,
 			dur:         *liveDur,
@@ -45,7 +52,13 @@ func main() {
 			msgsGain:    *liveMsgsGain,
 			syscallGain: *liveSyscallGain,
 		}
-		if err := runHotPath(*outPath, *jsonOut, cfg); err != nil {
+		scfg := shardConfig{
+			shards: *shards,
+			dur:    *shardDur,
+			msgLen: *shardLen,
+			gain:   *shardGain,
+		}
+		if err := runHotPath(*outPath, *jsonOut, cfg, scfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -66,12 +79,21 @@ type liveConfig struct {
 	syscallGain float64
 }
 
+type shardConfig struct {
+	shards int
+	dur    time.Duration
+	msgLen int
+	gain   float64
+}
+
 // runHotPath regenerates the allocation-budget report (micro allocs/op
 // plus wall-clock Figure 6 points) and saves it for EXPERIMENTS.md. With
 // live.run it appends the live wire sweep and enforces the wire-path
 // gate: the batched driver must beat the portable one by the configured
-// throughput or syscall margin.
-func runHotPath(path string, writeJSON bool, live liveConfig) error {
+// throughput or syscall margin. With shard.shards > 0 it appends the
+// multi-ring sweep and enforces the sharding gate; a sweep run without
+// -json merges into an existing report file rather than clobbering it.
+func runHotPath(path string, writeJSON bool, live liveConfig, shard shardConfig) error {
 	var rep bench.HotPathReport
 	var err error
 	if writeJSON {
@@ -79,6 +101,17 @@ func runHotPath(path string, writeJSON bool, live liveConfig) error {
 		if err != nil {
 			return err
 		}
+	} else {
+		// Keep the simulated sections from the last full run so a
+		// sweep-only invocation updates its own section in place.
+		if prev, err := os.ReadFile(path); err == nil {
+			if err := json.Unmarshal(prev, &rep); err != nil {
+				return fmt.Errorf("existing %s: %w", path, err)
+			}
+		}
+		// Shard sweeps always persist their section; -live alone keeps
+		// its historical print-and-gate-only behaviour.
+		writeJSON = shard.shards > 0
 	}
 	if live.run {
 		points, err := bench.LiveWire(bench.LiveWireOptions{
@@ -89,6 +122,17 @@ func runHotPath(path string, writeJSON bool, live liveConfig) error {
 			return err
 		}
 		rep.LiveWire = points
+	}
+	if shard.shards > 0 {
+		points, err := bench.ShardScale(bench.ShardScaleOptions{
+			Shards:   shard.shards,
+			Duration: shard.dur,
+			MsgLen:   shard.msgLen,
+		})
+		if err != nil {
+			return err
+		}
+		rep.ShardScale = points
 	}
 	bench.PrintHotPath(os.Stdout, rep)
 	if writeJSON {
@@ -107,6 +151,13 @@ func runHotPath(path string, writeJSON bool, live liveConfig) error {
 		fmt.Println(verdict)
 		if !ok {
 			return fmt.Errorf("live wire-path gate failed")
+		}
+	}
+	if shard.shards > 0 {
+		verdict, ok := bench.ShardGate(rep.ShardScale, shard.gain)
+		fmt.Println(verdict)
+		if !ok {
+			return fmt.Errorf("sharding gate failed")
 		}
 	}
 	return nil

@@ -34,10 +34,11 @@ func main() {
 	listen := flag.String("listen", "", "comma-separated local addresses, one per redundant network")
 	style := flag.String("style", "passive", "replication style: none, active, passive, active-passive")
 	k := flag.Int("k", 2, "copies for active-passive replication")
-	debugAddr := flag.String("debug-addr", "", "serve /healthz /stats /trace on this address (e.g. 127.0.0.1:6060)")
+	shards := flag.Int("shards", 1, "independent rings over the same networks; >1 enables /key sends and per-shard debug views")
+	debugAddr := flag.String("debug-addr", "", "serve /healthz /stats /trace (and /shards, /stats?shard=N on a sharded node) on this address (e.g. 127.0.0.1:6060)")
 	flag.Var(&peers, "peer", "peer spec id=addr1,addr2,... (repeatable)")
 	flag.Parse()
-	if err := run(uint32(*id), *listen, *style, *k, *debugAddr, peers); err != nil {
+	if err := run(uint32(*id), *listen, *style, *k, *shards, *debugAddr, peers); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -58,7 +59,7 @@ func parseStyle(s string) (totem.ReplicationStyle, error) {
 	}
 }
 
-func run(id uint32, listen, styleName string, k int, debugAddr string, peers peerList) error {
+func run(id uint32, listen, styleName string, k, shards int, debugAddr string, peers peerList) error {
 	if id == 0 {
 		return fmt.Errorf("-id is required and must be non-zero")
 	}
@@ -96,6 +97,7 @@ func run(id uint32, listen, styleName string, k int, debugAddr string, peers pee
 		Networks:    len(cfg.Listen),
 		Replication: style,
 		K:           k,
+		Shards:      shards,
 	}
 	if debugAddr != "" {
 		// Retain recent protocol events for the /trace endpoint.
@@ -108,7 +110,7 @@ func run(id uint32, listen, styleName string, k int, debugAddr string, peers pee
 	defer node.Close()
 
 	if debugAddr != "" {
-		ln, stopDebug, err := debughttp.Serve(debugAddr, debughttp.Config{
+		dcfg := debughttp.Config{
 			Health: func() any {
 				ring, members := node.Ring()
 				return map[string]any{
@@ -119,11 +121,27 @@ func run(id uint32, listen, styleName string, k int, debugAddr string, peers pee
 					"ring_epoch":  ring.Epoch,
 					"members":     len(members),
 					"faults":      node.NetworkFaults(),
+					"shards":      node.Shards(),
 				}
 			},
 			Metrics: node.Metrics(),
 			Trace:   node.Trace(),
-		})
+		}
+		if node.Shards() > 1 {
+			dcfg.Shards = node.Shards()
+			dcfg.MetricsOf = node.MetricsOf
+			dcfg.ShardHealth = func(s int) any {
+				ring, members := node.RingOf(s)
+				return map[string]any{
+					"shard":       s,
+					"operational": node.OperationalOf(s),
+					"ring_rep":    uint32(ring.Rep),
+					"ring_epoch":  ring.Epoch,
+					"members":     len(members),
+				}
+			}
+		}
+		ln, stopDebug, err := debughttp.Serve(debugAddr, dcfg)
 		if err != nil {
 			return fmt.Errorf("debug endpoint: %w", err)
 		}
@@ -131,12 +149,16 @@ func run(id uint32, listen, styleName string, k int, debugAddr string, peers pee
 		fmt.Printf("debug endpoints on http://%s/{healthz,stats,trace}\n", ln.Addr())
 	}
 
-	fmt.Printf("node %d up on %d network(s), style %v — type to broadcast; /status /stats /readmit <n>\n",
-		id, len(cfg.Listen), style)
+	fmt.Printf("node %d up on %d network(s), style %v, %d shard(s) — type to broadcast; /status /stats /readmit <n> /key <k> <msg>\n",
+		id, len(cfg.Listen), style, node.Shards())
 
 	go func() {
 		for d := range node.Deliveries() {
-			fmt.Printf("[%v seq=%d] %s\n", d.Sender, d.Seq, d.Payload)
+			if node.Shards() > 1 {
+				fmt.Printf("[%v shard=%d seq=%d] %s\n", d.Sender, d.Shard, d.Seq, d.Payload)
+			} else {
+				fmt.Printf("[%v seq=%d] %s\n", d.Sender, d.Seq, d.Payload)
+			}
 		}
 	}()
 	go func() {
@@ -164,6 +186,15 @@ func run(id uint32, listen, styleName string, k int, debugAddr string, peers pee
 		// Operator commands; anything else is broadcast.
 		switch {
 		case line == "/status":
+			if node.Shards() > 1 {
+				for s := 0; s < node.Shards(); s++ {
+					ring, members := node.RingOf(s)
+					fmt.Printf("shard %d ring %v members %v operational %v\n",
+						s, ring, members, node.OperationalOf(s))
+				}
+				fmt.Printf("faults %v\n", node.NetworkFaults())
+				continue
+			}
 			ring, members := node.Ring()
 			fmt.Printf("ring %v members %v faults %v\n", ring, members, node.NetworkFaults())
 		case line == "/stats":
@@ -172,6 +203,18 @@ func run(id uint32, listen, styleName string, k int, debugAddr string, peers pee
 				s.SRP, s.RRP.TxPackets, s.RRP.RxPackets, s.RRP.TokensGated, s.RRP.TokensTimedOut)
 			fmt.Printf("rrp faults=%d cleared=%d readmits=%d flapbackoffs=%d\n",
 				s.RRP.FaultsRaised, s.RRP.FaultsCleared, s.RRP.Readmits, s.RRP.FlapBackoffs)
+		case strings.HasPrefix(line, "/key "):
+			rest := strings.TrimPrefix(line, "/key ")
+			key, msg, ok := strings.Cut(rest, " ")
+			if !ok {
+				fmt.Println("usage: /key <key> <message>")
+				continue
+			}
+			if err := node.SendKeyed([]byte(key), []byte(msg)); err != nil {
+				fmt.Printf("keyed send failed: %v\n", err)
+				continue
+			}
+			fmt.Printf("sent on shard %d\n", node.ShardOf([]byte(key)))
 		case strings.HasPrefix(line, "/readmit "):
 			var net int
 			if _, err := fmt.Sscanf(line, "/readmit %d", &net); err != nil {

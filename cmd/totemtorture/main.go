@@ -27,6 +27,16 @@
 //	totemtorture -live -seeds 20 -budget 90s     # stop dispatching at 90s
 //	totemtorture -diff -seeds 2                  # sim-vs-live differential
 //
+// Multi-ring mode tortures an M-shard cluster: on the simulator each
+// seed expands to M independent derived-seed programs (sharded rings
+// never exchange a frame); with -live it boots real M-ring Nodes under
+// keyed load and blacks out individual shards, checking per-shard
+// ordering, non-stall of healthy shards and post-heal recovery:
+//
+//	totemtorture -shards 4 -seeds 25             # sim: 25 seeds x 4 rings
+//	totemtorture -shards 4 -live -seeds 3        # live multi-ring torture
+//	totemtorture -shards 3 -live -seeds 2 -cross-order
+//
 // Exit codes: 0 clean (or the expected violation fired), 1 violation (or
 // an expected violation did not fire), 2 usage or execution error.
 package main
@@ -59,6 +69,9 @@ func main() {
 		traceN   = flag.Int("trace", 0, "print the last N trace events of a failing (or -v single) run")
 		verbose  = flag.Bool("v", false, "per-run progress output")
 
+		shards     = flag.Int("shards", 0, "multi-ring mode: with M>1 the simulator runs M derived-seed programs per seed (one per independent ring); -live runs the live multi-ring shard torture instead")
+		crossOrder = flag.Bool("cross-order", false, "shards live mode: also run the deterministic cross-shard merge and check merged agreement")
+
 		liveMode  = flag.Bool("live", false, "run programs on the live goroutine/socket harness instead of the simulator")
 		diffMode  = flag.Bool("diff", false, "differential mode: replay mild programs on both sim and live and compare")
 		transport = flag.String("transport", "mem", "live/diff transport: mem | udp")
@@ -75,6 +88,7 @@ func main() {
 		corrupt: *corrupt,
 		shrink:  *shrink, repro: *repro, replay: *replay,
 		chaos: *chaos, expect: *expect, traceN: *traceN, verbose: *verbose,
+		shards: *shards, crossOrder: *crossOrder,
 		live: *liveMode, diff: *diffMode, transport: *transport, wirepath: *wirepath,
 		timescale: *timescale, skew: *skew, workers: *workers, budget: *budget,
 	})
@@ -98,6 +112,9 @@ type config struct {
 	expect   string
 	traceN   int
 	verbose  bool
+
+	shards     int
+	crossOrder bool
 
 	live      bool
 	diff      bool
@@ -176,6 +193,18 @@ func run(cfg config) (int, error) {
 	if n <= 0 {
 		return 2, fmt.Errorf("need -seeds N, -seed S or -replay FILE (see -help)")
 	}
+	if cfg.shards > 1 {
+		if cfg.diff {
+			return 2, fmt.Errorf("-shards is not supported in -diff mode")
+		}
+		if cfg.style == "gray" {
+			return 2, fmt.Errorf("-shards is not supported with -style gray")
+		}
+		if cfg.live {
+			return shardLiveBatch(cfg, base, n)
+		}
+		return shardSimBatch(cfg, opt, styles, base, n)
+	}
 	switch {
 	case cfg.diff:
 		return diffBatch(cfg, styles, base, n)
@@ -183,6 +212,93 @@ func run(cfg config) (int, error) {
 		return liveBatch(cfg, styles, base, n)
 	}
 	return batch(cfg, opt, styles, base, n)
+}
+
+// shardSeed derives an independent per-ring seed: M sharded rings never
+// exchange a frame, so the sim equivalent of one M-shard cluster is M
+// unrelated programs — distinct seeds keep their fault schedules from
+// being artificially synchronised.
+func shardSeed(seed int64, shard int) int64 {
+	return seed*1000003 + int64(shard)*7919
+}
+
+// shardSimBatch models an M-ring cluster on the simulator: each seed
+// expands to M derived-seed single-ring programs, all of which must run
+// clean for the seed to pass.
+func shardSimBatch(cfg config, opt torture.Options, styles []proto.ReplicationStyle, base int64, n int) (int, error) {
+	start := time.Now()
+	runs := 0
+	for _, style := range styles {
+		for s := base; s < base+int64(n); s++ {
+			for sh := 0; sh < cfg.shards; sh++ {
+				p := cfg.generate(shardSeed(s, sh), style)
+				res, err := torture.Execute(p, opt)
+				if err != nil {
+					return 2, err
+				}
+				runs++
+				if cfg.verbose {
+					fmt.Printf("seed %d shard %d %-14s delivered %5d end %8s  %s\n",
+						s, sh, p.Style, res.Delivered, res.End.Truncate(time.Millisecond), outcome(res))
+				}
+				if res.Violation != nil {
+					fmt.Printf("(shard %d of an M=%d sim batch, derived seed %d)\n", sh, cfg.shards, p.Seed)
+					return report(cfg, opt, p, res)
+				}
+			}
+		}
+	}
+	fmt.Printf("ok: %d runs (%d seeds x %d shards), %d styles, 0 violations (%.1fs)\n",
+		runs, n, cfg.shards, len(styles), time.Since(start).Seconds())
+	return 0, nil
+}
+
+// shardLiveBatch sweeps seeds through the live multi-ring torture: real
+// Nodes with M rings under keyed load and per-shard blackouts, checked
+// for per-shard ordering, non-stall and post-heal recovery.
+func shardLiveBatch(cfg config, base int64, n int) (int, error) {
+	start := time.Now()
+	style := cfg.style
+	if style == "all" {
+		style = "" // harness default
+	}
+	runs := 0
+	for s := base; s < base+int64(n); s++ {
+		res, err := live.ShardTorture(live.ShardTortureOptions{
+			Shards:     cfg.shards,
+			Style:      style,
+			Transport:  cfg.transport,
+			WirePath:   cfg.wirepath,
+			Seed:       s,
+			CrossOrder: cfg.crossOrder,
+		})
+		if err != nil {
+			return 2, err
+		}
+		runs++
+		if cfg.verbose {
+			fmt.Printf("shard-live seed %d delivered %6d windows %d  %s\n",
+				s, res.Delivered, res.Windows, shardOutcome(res))
+		}
+		if !res.Ok() {
+			fmt.Printf("SHARD LIVE VIOLATION seed %d (shards %d, transport %s):\n",
+				s, cfg.shards, cfg.transport)
+			for _, v := range res.Violations {
+				fmt.Println("  " + v)
+			}
+			return 1, nil
+		}
+	}
+	fmt.Printf("shard-live ok: %d runs on %s, %d shards, 0 violations (%.1fs)\n",
+		runs, cfg.transport, cfg.shards, time.Since(start).Seconds())
+	return 0, nil
+}
+
+func shardOutcome(res *live.ShardTortureResult) string {
+	if res.Ok() {
+		return "ok"
+	}
+	return fmt.Sprintf("%d violations", len(res.Violations))
 }
 
 // generate builds the program for one (seed, style) job: gray mode draws

@@ -42,12 +42,14 @@ type HotPathPoint struct {
 }
 
 // HotPathReport is the payload of BENCH_hotpath.json. LiveWire is filled
-// only by `totembench -json -live`: the simulated figures are cheap and
-// deterministic, the live sweep costs real wall-clock seconds.
+// only by `totembench -json -live`, ShardScale only by
+// `totembench -json -shards M`: the simulated figures are cheap and
+// deterministic, the live sweeps cost real wall-clock seconds.
 type HotPathReport struct {
-	Micro    []HotPathMicro        `json:"micro"`
-	Figure6  []HotPathPoint        `json:"figure6_4nodes"`
-	LiveWire []live.WireBenchPoint `json:"figure6_live,omitempty"`
+	Micro      []HotPathMicro         `json:"micro"`
+	Figure6    []HotPathPoint         `json:"figure6_4nodes"`
+	LiveWire   []live.WireBenchPoint  `json:"figure6_live,omitempty"`
+	ShardScale []live.ShardBenchPoint `json:"figure6_shards,omitempty"`
 }
 
 // HotPathMicros measures the allocation budget of the steady-state packet
@@ -201,6 +203,9 @@ func PrintHotPath(w io.Writer, rep HotPathReport) {
 		if len(rep.LiveWire) > 0 {
 			PrintLiveWire(w, rep.LiveWire)
 		}
+		if len(rep.ShardScale) > 0 {
+			PrintShardScale(w, rep.ShardScale)
+		}
 		return
 	}
 	fmt.Fprintln(w, "figure 6 (4 nodes, no replication), wall clock")
@@ -211,5 +216,8 @@ func PrintHotPath(w io.Writer, rep HotPathReport) {
 	}
 	if len(rep.LiveWire) > 0 {
 		PrintLiveWire(w, rep.LiveWire)
+	}
+	if len(rep.ShardScale) > 0 {
+		PrintShardScale(w, rep.ShardScale)
 	}
 }

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/live"
+)
+
+// ShardScaleOptions shapes the multi-ring scaling sweep: the same
+// 4-node × 2-network cluster measured at 1 ring and at M rings, on a
+// latency-floored in-memory wire so the single ring is rotation-bound
+// (the paper's LAN regime) rather than CPU-bound.
+type ShardScaleOptions struct {
+	// Shards is the high point M of the sweep (default 4).
+	Shards int
+	// Duration is the measured window per point (default 1s).
+	Duration time.Duration
+	// MsgLen is the payload size (default 100 bytes).
+	MsgLen int
+	// Nodes and Networks default to 4 and 2.
+	Nodes    int
+	Networks int
+}
+
+// ShardScale measures the sharding sweep: a single-ring baseline, then
+// the M-ring point, under identical cluster shape and load style.
+func ShardScale(opt ShardScaleOptions) ([]live.ShardBenchPoint, error) {
+	if opt.Shards <= 0 {
+		opt.Shards = 4
+	}
+	counts := []int{1}
+	if opt.Shards > 1 {
+		counts = append(counts, opt.Shards)
+	}
+	out := make([]live.ShardBenchPoint, 0, len(counts))
+	for _, m := range counts {
+		p, err := live.ShardBench(live.ShardBenchOptions{
+			Nodes:    opt.Nodes,
+			Networks: opt.Networks,
+			Shards:   m,
+			MsgLen:   opt.MsgLen,
+			Duration: opt.Duration,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("shard bench (M=%d): %w", m, err)
+		}
+		out = append(out, *p)
+	}
+	return out, nil
+}
+
+// ShardGate judges a measured sweep against the sharding acceptance bar:
+// the M-ring point must deliver at least gain× the single-ring aggregate
+// throughput. It returns a human-readable verdict line and whether the
+// gate passed.
+func ShardGate(points []live.ShardBenchPoint, gain float64) (string, bool) {
+	var base, high *live.ShardBenchPoint
+	for i := range points {
+		if points[i].Shards == 1 {
+			base = &points[i]
+		} else if high == nil || points[i].Shards > high.Shards {
+			high = &points[i]
+		}
+	}
+	if base == nil {
+		return "shard gate: no single-ring baseline point", false
+	}
+	if high == nil {
+		return "shard gate: no multi-ring point", false
+	}
+	ratio := 0.0
+	if base.MsgsPerSec > 0 {
+		ratio = high.MsgsPerSec / base.MsgsPerSec
+	}
+	ok := ratio >= gain
+	verdict := fmt.Sprintf(
+		"shard gate: %d rings %.0f msgs/s vs 1 ring %.0f (%.2fx)",
+		high.Shards, high.MsgsPerSec, base.MsgsPerSec, ratio)
+	if ok {
+		verdict += " — PASS"
+	} else {
+		verdict += fmt.Sprintf(" — FAIL (need %.1fx)", gain)
+	}
+	return verdict, ok
+}
+
+// PrintShardScale renders the sharding sweep for the terminal.
+func PrintShardScale(w io.Writer, points []live.ShardBenchPoint) {
+	fmt.Fprintln(w, "multi-ring sharding scaling (mem wire, uniform latency floor)")
+	fmt.Fprintf(w, "  %-6s %6s %4s %9s %10s  %s\n",
+		"shards", "len(B)", "n×N", "msgs/s", "KB/s", "per-shard msgs/s")
+	for _, p := range points {
+		per := ""
+		for i, v := range p.PerShardMsgsPerSec {
+			if i > 0 {
+				per += " "
+			}
+			per += fmt.Sprintf("%.0f", v)
+		}
+		fmt.Fprintf(w, "  %-6d %6d %dx%d %9.0f %10.1f  [%s]\n",
+			p.Shards, p.MsgLen, p.Nodes, p.Networks,
+			p.MsgsPerSec, p.KBPerSec, per)
+	}
+}

@@ -1,16 +1,19 @@
 // Package debughttp serves a node's observability surfaces over plain
 // net/http for live inspection: /healthz (liveness JSON), /stats (a flat
-// JSON snapshot of the metric registry) and /trace (a text dump of the
-// event ring). It has no dependencies beyond the standard library and the
-// repo's own metrics/trace packages, and is safe to serve while the node
-// is under full load — every handler reads through the concurrency-safe
-// snapshot paths (Registry.WriteJSON, Ring.Dump).
+// JSON snapshot of the metric registry), /trace (a text dump of the
+// event ring) and, on a sharded node, /shards (a per-ring summary) with
+// /stats?shard=N selecting one ring's registry. It has no dependencies
+// beyond the standard library and the repo's own metrics/trace packages,
+// and is safe to serve while the node is under full load — every handler
+// reads through the concurrency-safe snapshot paths
+// (Registry.WriteJSON, Ring.Dump).
 package debughttp
 
 import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"github.com/totem-rrp/totem/internal/metrics"
@@ -27,9 +30,22 @@ type Config struct {
 	Metrics *metrics.Registry
 	// Trace backs /trace.
 	Trace *trace.Ring
+	// Shards, together with MetricsOf, enables the multi-ring views:
+	// /stats?shard=N serves ring N's registry and /shards serves a
+	// summary array. Zero (or a nil MetricsOf) leaves both off.
+	Shards int
+	// MetricsOf returns shard s's registry (0 <= s < Shards).
+	MetricsOf func(s int) *metrics.Registry
+	// ShardHealth, if non-nil, is invoked per shard for the /shards
+	// summary; its return value is one element of the rendered array.
+	ShardHealth func(s int) any
 }
 
-// Handler returns an http.Handler serving /healthz, /stats and /trace.
+// sharded reports whether the per-ring views are wired up.
+func (cfg Config) sharded() bool { return cfg.Shards > 0 && cfg.MetricsOf != nil }
+
+// Handler returns an http.Handler serving /healthz, /stats, /trace and
+// (on a sharded config) /shards.
 func Handler(cfg Config) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -42,8 +58,35 @@ func Handler(cfg Config) http.Handler {
 	})
 	if cfg.Metrics != nil {
 		mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+			reg := cfg.Metrics
+			if q := r.URL.Query().Get("shard"); q != "" {
+				if !cfg.sharded() {
+					http.Error(w, "not a sharded node", http.StatusBadRequest)
+					return
+				}
+				s, err := strconv.Atoi(q)
+				if err != nil || s < 0 || s >= cfg.Shards {
+					http.Error(w, "shard out of range", http.StatusBadRequest)
+					return
+				}
+				reg = cfg.MetricsOf(s)
+			}
 			w.Header().Set("Content-Type", "application/json")
-			cfg.Metrics.WriteJSON(w) //nolint:errcheck
+			reg.WriteJSON(w) //nolint:errcheck
+		})
+	}
+	if cfg.sharded() {
+		mux.HandleFunc("/shards", func(w http.ResponseWriter, r *http.Request) {
+			out := make([]any, cfg.Shards)
+			for s := 0; s < cfg.Shards; s++ {
+				if cfg.ShardHealth != nil {
+					out[s] = cfg.ShardHealth(s)
+				} else {
+					out[s] = map[string]any{"shard": s}
+				}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(out) //nolint:errcheck
 		})
 	}
 	if cfg.Trace != nil {

@@ -94,6 +94,79 @@ func TestDisabledEndpoints(t *testing.T) {
 	}
 }
 
+func shardedConfig() Config {
+	regs := []*metrics.Registry{metrics.NewRegistry(), metrics.NewRegistry(), metrics.NewRegistry()}
+	for s, reg := range regs {
+		reg.Counter("srp.msgs_delivered").Add(uint64(10 * (s + 1)))
+	}
+	return Config{
+		Metrics:   regs[0],
+		Shards:    len(regs),
+		MetricsOf: func(s int) *metrics.Registry { return regs[s] },
+		ShardHealth: func(s int) any {
+			return map[string]any{"shard": s, "operational": true}
+		},
+	}
+}
+
+func TestStatsShardParam(t *testing.T) {
+	h := Handler(shardedConfig())
+	for s, want := range []int64{10, 20, 30} {
+		code, body := get(t, h, "/stats?shard="+string(rune('0'+s)))
+		if code != http.StatusOK {
+			t.Fatalf("stats?shard=%d status %d", s, code)
+		}
+		var m map[string]int64
+		if err := json.Unmarshal([]byte(body), &m); err != nil {
+			t.Fatalf("sharded stats not JSON: %v\n%s", err, body)
+		}
+		if m["srp.msgs_delivered"] != want {
+			t.Fatalf("shard %d stats = %s, want msgs_delivered %d", s, body, want)
+		}
+	}
+	// Bare /stats still serves shard 0's registry.
+	if _, body := get(t, h, "/stats"); !strings.Contains(body, `"srp.msgs_delivered": 10`) {
+		t.Fatalf("bare stats lost shard 0 view: %q", body)
+	}
+	for _, bad := range []string{"/stats?shard=3", "/stats?shard=-1", "/stats?shard=x"} {
+		if code, _ := get(t, h, bad); code != http.StatusBadRequest {
+			t.Fatalf("%s should 400, got %d", bad, code)
+		}
+	}
+}
+
+func TestStatsShardParamOnSingleRing(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := Handler(Config{Metrics: reg})
+	if code, _ := get(t, h, "/stats?shard=0"); code != http.StatusBadRequest {
+		t.Fatalf("shard param on unsharded node should 400, got %d", code)
+	}
+}
+
+func TestShardsSummary(t *testing.T) {
+	h := Handler(shardedConfig())
+	code, body := get(t, h, "/shards")
+	if code != http.StatusOK {
+		t.Fatalf("shards status %d", code)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+		t.Fatalf("shards not JSON: %v\n%s", err, body)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 shard rows, got %d: %s", len(rows), body)
+	}
+	for s, row := range rows {
+		if row["shard"] != float64(s) || row["operational"] != true {
+			t.Fatalf("shard row %d wrong: %v", s, row)
+		}
+	}
+	// Single-ring configs don't grow the endpoint.
+	if code, _ := get(t, Handler(Config{Metrics: metrics.NewRegistry()}), "/shards"); code != http.StatusNotFound {
+		t.Fatalf("shards should 404 on a single-ring node, got %d", code)
+	}
+}
+
 func TestServe(t *testing.T) {
 	reg := metrics.NewRegistry()
 	reg.Counter("x").Inc()

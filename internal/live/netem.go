@@ -77,6 +77,14 @@ type Netem struct {
 	congest   []float64
 	dupProb   []float64
 	slowLat   []time.Duration
+
+	// Shard faults: a multi-ring cluster's shards share every physical
+	// network, so per-shard faults are keyed off the wire shard tag rather
+	// than a network index. blockShard silences one node's interface to
+	// one shard (both directions); shardLoss drops one shard's frames
+	// cluster-wide with the given probability.
+	blockShard map[proto.NodeID]map[int]bool
+	shardLoss  map[int]float64
 	// congMark/congCount implement the load correlation for congestion
 	// loss: sends inside one congestionWindow of each other count as
 	// offered load, and the drop probability scales with that count.
@@ -110,7 +118,84 @@ func NewNetem(n int, p NetemParams) *Netem {
 		slowLat:   make([]time.Duration, n),
 		congMark:  make([]time.Time, n),
 		congCount: make([]int, n),
+
+		blockShard: make(map[proto.NodeID]map[int]bool),
+		shardLoss:  make(map[int]float64),
 	}
+}
+
+// BlockShard silences node id's interface to shard sh in both directions
+// (its frames drop on send and on receive). The other shards of the same
+// node — and this shard on every other node — are untouched: the
+// one-shard-dark gray fault a multi-ring deployment must survive without
+// stalling the healthy rings.
+func (nm *Netem) BlockShard(id proto.NodeID, sh int, blocked bool) {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	m := nm.blockShard[id]
+	if m == nil {
+		if !blocked {
+			return
+		}
+		m = make(map[int]bool)
+		nm.blockShard[id] = m
+	}
+	if blocked {
+		m[sh] = true
+	} else {
+		delete(m, sh)
+	}
+}
+
+// SetShardLoss drops shard sh's frames cluster-wide with probability p on
+// every send — a whole-ring brownout for one shard while its siblings on
+// the same wires stay clean. 0 heals.
+func (nm *Netem) SetShardLoss(sh int, p float64) {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	if p <= 0 {
+		delete(nm.shardLoss, sh)
+	} else {
+		nm.shardLoss[sh] = p
+	}
+}
+
+// dropShardSend judges one outbound frame against the shard faults.
+func (nm *Netem) dropShardSend(from proto.NodeID, sh int) bool {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	if m := nm.blockShard[from]; m != nil && m[sh] {
+		return true
+	}
+	if p := nm.shardLoss[sh]; p > 0 && nm.rng.Float64() < p {
+		return true
+	}
+	return false
+}
+
+// dropShardRecv judges one inbound frame against the shard faults.
+func (nm *Netem) dropShardRecv(id proto.NodeID, sh int) bool {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	m := nm.blockShard[id]
+	return m != nil && m[sh]
+}
+
+// shardFaultsActive reports whether any shard fault is scheduled, letting
+// the hot path skip the per-frame shard peek entirely on unsharded (or
+// unfaulted) clusters.
+func (nm *Netem) shardFaultsActive() bool {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	if len(nm.shardLoss) > 0 {
+		return true
+	}
+	for _, m := range nm.blockShard {
+		if len(m) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // SetLoss sets network i's scheduled loss probability (on top of the
@@ -260,6 +345,8 @@ func (nm *Netem) HealAll() {
 		}
 	}
 	nm.blockPair = make(map[[2]proto.NodeID][]bool)
+	nm.blockShard = make(map[proto.NodeID]map[int]bool)
+	nm.shardLoss = make(map[int]float64)
 }
 
 // sendVerdict is one send's fate, decided under the Netem lock so the RNG
@@ -434,6 +521,11 @@ func (t *Impaired) Networks() int { return t.inner.Networks() }
 // Send implements transport.Transport, applying the impairment verdict.
 // Impairment drops report success, like a lossy wire.
 func (t *Impaired) Send(network int, dest proto.NodeID, data []byte) error {
+	if t.nm.shardFaultsActive() {
+		if sh, _, err := wire.PeekShard(data); err == nil && t.nm.dropShardSend(t.id, sh) {
+			return nil
+		}
+	}
 	v := t.nm.judgeSend(t.id, dest, network, t.peers)
 	if v.drop {
 		return nil
@@ -488,6 +580,12 @@ func (t *Impaired) pump() {
 		if t.nm.dropRecv(t.id, pkt.Network) {
 			wire.ReleaseFrame(pkt.Data)
 			continue
+		}
+		if t.nm.shardFaultsActive() {
+			if sh, _, err := wire.PeekShard(pkt.Data); err == nil && t.nm.dropShardRecv(t.id, sh) {
+				wire.PutFrame(pkt.Data)
+				continue
+			}
 		}
 		select {
 		case t.rx <- pkt:

@@ -1,0 +1,247 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	totem "github.com/totem-rrp/totem"
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/transport"
+)
+
+// ShardBenchOptions parameterises one multi-ring scaling run: a cluster
+// on the in-memory transport with a uniform per-datagram latency floor,
+// so a single ring is bounded by its token rotation — the regime the
+// paper's LAN testbed lives in, and the one sharding exists to break.
+// Measuring CPU-bound loopback instead would conflate ring-count scaling
+// with core-count scaling.
+type ShardBenchOptions struct {
+	// Nodes is the ring size (default 4); Networks the redundant network
+	// count (default 2).
+	Nodes    int
+	Networks int
+	// Shards is M, the ring count under test (default 1).
+	Shards int
+	// MsgLen is the payload size in bytes (default 100).
+	MsgLen int
+	// Duration is the measurement window (default 1s).
+	Duration time.Duration
+	// Warmup bounds the wait for all rings to form (default 15s).
+	Warmup time.Duration
+	// RotateLat is the per-datagram latency floor emulating the LAN
+	// (default 250µs on every network, uniformly, so the RRP monitors see
+	// symmetric networks).
+	RotateLat time.Duration
+}
+
+// ShardBenchPoint is one measured multi-ring run.
+type ShardBenchPoint struct {
+	Shards   int `json:"shards"`
+	Nodes    int `json:"nodes"`
+	Networks int `json:"networks"`
+	MsgLen   int `json:"msg_len"`
+	// DurationSec is the measured window on the wall clock.
+	DurationSec float64 `json:"duration_sec"`
+	// Delivered is the total delivery count across nodes and shards in
+	// the window; MsgsPerSec is aggregate ordered messages per second
+	// (delivered / nodes / duration) — the sharding scaling y-axis.
+	Delivered  uint64  `json:"delivered"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	KBPerSec   float64 `json:"kbytes_per_sec"`
+	// PerShardMsgsPerSec breaks the aggregate down by ring, exposing
+	// imbalance (each entry is that shard's ordered msgs/s per node).
+	PerShardMsgsPerSec []float64 `json:"per_shard_msgs_per_sec"`
+}
+
+// benchShardFunc pins each key's first byte to a shard, letting the
+// saturation senders address rings directly.
+func benchShardFunc(key []byte, shards int) int {
+	if len(key) == 0 {
+		return 0
+	}
+	return int(key[0]) % shards
+}
+
+// ShardBench boots the cluster with M rings, waits for every ring to
+// form, drives every (node, shard) pair at saturation for the window and
+// reports the aggregate.
+func ShardBench(opt ShardBenchOptions) (*ShardBenchPoint, error) {
+	if opt.Nodes <= 0 {
+		opt.Nodes = 4
+	}
+	if opt.Networks <= 0 {
+		opt.Networks = 2
+	}
+	if opt.Shards <= 0 {
+		opt.Shards = 1
+	}
+	if opt.MsgLen <= 0 {
+		opt.MsgLen = 100
+	}
+	if opt.Duration <= 0 {
+		opt.Duration = time.Second
+	}
+	if opt.Warmup <= 0 {
+		opt.Warmup = 15 * time.Second
+	}
+	if opt.RotateLat <= 0 {
+		opt.RotateLat = 250 * time.Microsecond
+	}
+
+	// Zero baseline impairment: the netem layer is here only for its
+	// uniform latency floor.
+	nm := NewNetem(opt.Networks, NetemParams{Seed: 1})
+	for i := 0; i < opt.Networks; i++ {
+		nm.SetSlowNet(i, opt.RotateLat)
+	}
+	hub := transport.NewMemHub(opt.Networks)
+
+	order := make([]proto.NodeID, 0, opt.Nodes)
+	for i := 1; i <= opt.Nodes; i++ {
+		order = append(order, proto.NodeID(i))
+	}
+	peersOf := func(id proto.NodeID) []proto.NodeID {
+		out := make([]proto.NodeID, 0, len(order)-1)
+		for _, p := range order {
+			if p != id {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+
+	var delivered atomic.Uint64
+	perShard := make([]atomic.Uint64, opt.Shards)
+
+	nodes := make([]*totem.Node, 0, opt.Nodes)
+	imps := make([]*Impaired, 0, opt.Nodes)
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+		for _, imp := range imps {
+			imp.Close()
+		}
+	}()
+	for _, id := range order {
+		inner, err := hub.Join(id)
+		if err != nil {
+			return nil, err
+		}
+		imp := Impair(inner, id, peersOf(id), nm)
+		imps = append(imps, imp)
+		n, err := totem.NewNode(totem.Config{
+			ID:          id,
+			Networks:    opt.Networks,
+			Replication: proto.ReplicationActive,
+			Shards:      opt.Shards,
+			ShardFunc:   benchShardFunc,
+			Tune: func(o *totem.Options) {
+				liveTune(o)
+				// A small flow-control window keeps the ring in the
+				// rotation-bound regime the latency floor establishes: the
+				// point is rings×rotation scaling, not queue depth.
+				o.SRP.WindowSize = 16
+				o.SRP.MaxPerVisit = 4
+				o.DeliveryTap = func(d totem.Delivery) {
+					delivered.Add(1)
+					if d.Shard < len(perShard) {
+						perShard[d.Shard].Add(1)
+					}
+				}
+			},
+		}, imp)
+		if err != nil {
+			imp.Close()
+			return nil, fmt.Errorf("shardbench: node %v: %w", id, err)
+		}
+		nodes = append(nodes, n)
+		go func(ch <-chan totem.Delivery) {
+			for range ch {
+			}
+		}(n.Deliveries())
+	}
+
+	// Every ring of every node operational before the clock starts.
+	deadline := time.Now().Add(opt.Warmup)
+	for {
+		ready := true
+		for _, n := range nodes {
+			if !n.Operational() {
+				ready = false
+				break
+			}
+			for s := 0; s < opt.Shards; s++ {
+				if _, members := n.RingOf(s); len(members) != opt.Nodes {
+					ready = false
+					break
+				}
+			}
+		}
+		if ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("shardbench: %d rings not operational after %s", opt.Shards, opt.Warmup)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Saturation: one submitter per (node, shard) pair, each pinned to
+	// its ring through the bench shard func.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, n := range nodes {
+		for s := 0; s < opt.Shards; s++ {
+			wg.Add(1)
+			go func(n *totem.Node, s int) {
+				defer wg.Done()
+				key := []byte{byte(s)}
+				payload := make([]byte, opt.MsgLen)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := n.SendKeyed(key, payload); err != nil {
+						time.Sleep(100 * time.Microsecond)
+					}
+				}
+			}(n, s)
+		}
+	}
+
+	// Fill the pipelines, then measure.
+	time.Sleep(300 * time.Millisecond)
+	startCount := delivered.Load()
+	startShard := make([]uint64, opt.Shards)
+	for s := range perShard {
+		startShard[s] = perShard[s].Load()
+	}
+	start := time.Now()
+	time.Sleep(opt.Duration)
+	window := time.Since(start)
+	endCount := delivered.Load()
+	close(stop)
+	wg.Wait()
+
+	p := &ShardBenchPoint{
+		Shards:      opt.Shards,
+		Nodes:       opt.Nodes,
+		Networks:    opt.Networks,
+		MsgLen:      opt.MsgLen,
+		DurationSec: window.Seconds(),
+		Delivered:   endCount - startCount,
+	}
+	msgs := float64(p.Delivered) / float64(opt.Nodes)
+	p.MsgsPerSec = msgs / window.Seconds()
+	p.KBPerSec = p.MsgsPerSec * float64(opt.MsgLen) / 1024
+	for s := range perShard {
+		d := float64(perShard[s].Load()-startShard[s]) / float64(opt.Nodes)
+		p.PerShardMsgsPerSec = append(p.PerShardMsgsPerSec, d/window.Seconds())
+	}
+	return p, nil
+}

@@ -88,6 +88,10 @@ type Delivery struct {
 	// configuration during membership recovery (extended virtual
 	// synchrony).
 	Transitional bool
+	// Shard is the ring shard the message was ordered on. The protocol
+	// machines never set it: a multi-ring node tags it at the delivery
+	// fan-in, so it is always 0 on a single-ring node.
+	Shard int
 }
 
 // FaultReport describes a detected network fault (paper §3). The protocol
@@ -100,6 +104,9 @@ type FaultReport struct {
 	Reason string
 	// Time is the (virtual or real) time of detection.
 	Time Time
+	// Shard is the ring shard whose monitors raised the report (tagged at
+	// the multi-ring fan-in; 0 on a single-ring node).
+	Shard int
 }
 
 // String implements fmt.Stringer.
@@ -119,6 +126,9 @@ type ClearReport struct {
 	Probation int
 	// Time is the (virtual or real) time of readmission.
 	Time Time
+	// Shard is the ring shard that readmitted the network (tagged at the
+	// multi-ring fan-in; 0 on a single-ring node).
+	Shard int
 }
 
 // String implements fmt.Stringer.
@@ -133,6 +143,9 @@ type ConfigChange struct {
 	Ring         RingID
 	Members      []NodeID
 	Transitional bool
+	// Shard is the ring shard whose membership changed (tagged at the
+	// multi-ring fan-in; 0 on a single-ring node).
+	Shard int
 }
 
 // String implements fmt.Stringer.

@@ -1,0 +1,250 @@
+// Package shard implements the pieces of multi-ring sharding that are
+// independent of the protocol stack: the key→shard hash, the CrossOrder
+// payload envelope, a Lamport clock, and the deterministic cross-shard
+// merge that turns M per-shard total orders into one global total order.
+//
+// The merge is intentionally sequencer-free, in the spirit of Totem's
+// multiple-ring extension: every node runs the same pure function over
+// the same M delivered streams (each totally ordered by its own ring),
+// so every node computes the same merged order with no extra messages
+// beyond periodic idle markers.
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Hash maps a key to a shard in [0, shards) with FNV-1a. It is the
+// default ShardFunc: stable across processes and platforms, cheap, and
+// well-spread for short keys.
+func Hash(key []byte, shards int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return int(h % uint64(shards))
+}
+
+// CrossOrder payload envelope. When the merge is on, every application
+// payload is prefixed with a kind byte and the sender's Lamport stamp;
+// idle shards carry periodic marker messages (no payload) so their merge
+// cut keeps advancing. The envelope exists only inside CrossOrder mode —
+// plain sharding delivers raw payloads untouched.
+const (
+	// KindApp tags an application payload.
+	KindApp byte = 0x01
+	// KindMarker tags an idle-shard cut-advancement message.
+	KindMarker byte = 0x02
+	// EnvOverhead is the envelope cost: kind(1) + lamport(8).
+	EnvOverhead = 9
+)
+
+// ErrEnvelope reports a malformed CrossOrder envelope.
+var ErrEnvelope = errors.New("shard: malformed cross-order envelope")
+
+// WrapApp prefixes payload with an application envelope.
+func WrapApp(ts uint64, payload []byte) []byte {
+	buf := make([]byte, EnvOverhead+len(payload))
+	buf[0] = KindApp
+	binary.BigEndian.PutUint64(buf[1:], ts)
+	copy(buf[EnvOverhead:], payload)
+	return buf
+}
+
+// WrapMarker builds an idle-shard marker message.
+func WrapMarker(ts uint64) []byte {
+	buf := make([]byte, EnvOverhead)
+	buf[0] = KindMarker
+	binary.BigEndian.PutUint64(buf[1:], ts)
+	return buf
+}
+
+// Unwrap splits a CrossOrder payload into kind, Lamport stamp, and the
+// application bytes (nil for markers).
+func Unwrap(data []byte) (byte, uint64, []byte, error) {
+	if len(data) < EnvOverhead {
+		return 0, 0, nil, fmt.Errorf("%w: %d bytes", ErrEnvelope, len(data))
+	}
+	kind := data[0]
+	if kind != KindApp && kind != KindMarker {
+		return 0, 0, nil, fmt.Errorf("%w: kind %#02x", ErrEnvelope, kind)
+	}
+	return kind, binary.BigEndian.Uint64(data[1:]), data[EnvOverhead:], nil
+}
+
+// Clock is a Lamport clock shared by all shards of one node: Tick stamps
+// outbound messages, Observe folds in stamps seen on delivery so later
+// sends sort after everything the node has already observed.
+type Clock struct {
+	mu sync.Mutex
+	t  uint64
+}
+
+// Tick advances the clock and returns the new stamp (always >= 1).
+func (c *Clock) Tick() uint64 {
+	c.mu.Lock()
+	c.t++
+	t := c.t
+	c.mu.Unlock()
+	return t
+}
+
+// Observe folds a delivered stamp into the clock.
+func (c *Clock) Observe(ts uint64) {
+	c.mu.Lock()
+	if ts > c.t {
+		c.t = ts
+	}
+	c.mu.Unlock()
+}
+
+// Item is one delivered message entering the merge.
+type Item struct {
+	TS      uint64      // sender's Lamport stamp
+	Marker  bool        // cut-advancement message; consumed, never released
+	Payload interface{} // opaque to the merge (the totem layer stores its Delivery)
+}
+
+// entry is an Item after effective-timestamp normalisation.
+type entry struct {
+	eff uint64
+	it  Item
+}
+
+// Merge is the deterministic M-way merge. Push feeds shard s's delivered
+// stream in its ring order; Pop releases the next message of the merged
+// global order, or reports that no release is currently safe.
+//
+// Determinism: each item's effective timestamp is the running max of
+// stamps delivered so far on its shard — a pure function of that shard's
+// delivered prefix, which Totem makes identical at every node. The merged
+// order is then the unique sort by (effective TS, shard, in-shard
+// position), so every node releases the same sequence regardless of how
+// shard deliveries interleave in real time.
+//
+// Safety of a release: the head (t, s) may be released only when no shard
+// can later contribute an item sorting before it. A shard with a queued
+// item can't (effective timestamps are monotone per shard, so its head is
+// its earliest, and the head already lost the min comparison); an empty
+// shard s' can't once lastEff[s'] > t, or lastEff[s'] == t with s' > s.
+// Idle shards are kept live by periodic markers advancing lastEff.
+//
+// Merge is not concurrency-safe; the owner serialises access.
+type Merge struct {
+	queues  []fifo
+	lastEff []uint64
+}
+
+// NewMerge returns a merge over shards streams.
+func NewMerge(shards int) *Merge {
+	return &Merge{
+		queues:  make([]fifo, shards),
+		lastEff: make([]uint64, shards),
+	}
+}
+
+// Push appends the next delivered item of shard s.
+func (m *Merge) Push(s int, it Item) {
+	eff := it.TS
+	if m.lastEff[s] > eff {
+		eff = m.lastEff[s]
+	}
+	m.lastEff[s] = eff
+	m.queues[s].push(entry{eff: eff, it: it})
+}
+
+// Pop returns the next releasable application item and its shard, or
+// ok=false when nothing can safely be released yet. Markers are consumed
+// internally.
+func (m *Merge) Pop() (Item, int, bool) {
+	for {
+		// Min head by (effective TS, shard).
+		s := -1
+		var t uint64
+		for i := range m.queues {
+			h, ok := m.queues[i].peek()
+			if !ok {
+				continue
+			}
+			if s == -1 || h.eff < t {
+				s, t = i, h.eff
+			}
+		}
+		if s == -1 {
+			return Item{}, 0, false
+		}
+		// Every empty shard must already be provably past (t, s).
+		for i := range m.queues {
+			if i == s || m.queues[i].len() > 0 {
+				continue
+			}
+			if m.lastEff[i] > t || (m.lastEff[i] == t && i > s) {
+				continue
+			}
+			return Item{}, 0, false
+		}
+		e, _ := m.queues[s].pop()
+		if e.it.Marker {
+			continue
+		}
+		return e.it, s, true
+	}
+}
+
+// Pending reports the number of queued (unreleased) items, markers
+// included — the merge's hold-back depth, surfaced as a gauge.
+func (m *Merge) Pending() int {
+	n := 0
+	for i := range m.queues {
+		n += m.queues[i].len()
+	}
+	return n
+}
+
+// Cut returns shard s's merge cut: the effective timestamp its stream has
+// provably advanced past.
+func (m *Merge) Cut(s int) uint64 { return m.lastEff[s] }
+
+// fifo is an amortised-O(1) queue (slice + head index with compaction);
+// the merge never needs more than append/peek/pop.
+type fifo struct {
+	buf  []entry
+	head int
+}
+
+func (f *fifo) push(e entry) { f.buf = append(f.buf, e) }
+
+func (f *fifo) len() int { return len(f.buf) - f.head }
+
+func (f *fifo) peek() (entry, bool) {
+	if f.head >= len(f.buf) {
+		return entry{}, false
+	}
+	return f.buf[f.head], true
+}
+
+func (f *fifo) pop() (entry, bool) {
+	if f.head >= len(f.buf) {
+		return entry{}, false
+	}
+	e := f.buf[f.head]
+	f.buf[f.head] = entry{} // drop the payload reference
+	f.head++
+	if f.head > 64 && f.head*2 >= len(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		for i := n; i < len(f.buf); i++ {
+			f.buf[i] = entry{}
+		}
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	return e, true
+}

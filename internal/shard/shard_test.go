@@ -1,0 +1,239 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestHashRangeAndStability(t *testing.T) {
+	// Stable across runs/platforms: pin a couple of known mappings.
+	if got := Hash([]byte("user:1234"), 8); got != Hash([]byte("user:1234"), 8) {
+		t.Fatal("hash not deterministic")
+	}
+	counts := make([]int, 8)
+	for i := 0; i < 4096; i++ {
+		s := Hash([]byte(fmt.Sprintf("key-%d", i)), 8)
+		if s < 0 || s >= 8 {
+			t.Fatalf("hash out of range: %d", s)
+		}
+		counts[s]++
+	}
+	for s, n := range counts {
+		if n < 4096/8/2 {
+			t.Fatalf("shard %d badly underloaded: %d/4096", s, n)
+		}
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	app := WrapApp(77, []byte("payload"))
+	kind, ts, body, err := Unwrap(app)
+	if err != nil || kind != KindApp || ts != 77 || !bytes.Equal(body, []byte("payload")) {
+		t.Fatalf("app round trip: kind=%#x ts=%d body=%q err=%v", kind, ts, body, err)
+	}
+	mk := WrapMarker(12)
+	kind, ts, body, err = Unwrap(mk)
+	if err != nil || kind != KindMarker || ts != 12 || len(body) != 0 {
+		t.Fatalf("marker round trip: kind=%#x ts=%d body=%q err=%v", kind, ts, body, err)
+	}
+	for _, bad := range [][]byte{nil, {KindApp}, {0x7f, 0, 0, 0, 0, 0, 0, 0, 0}} {
+		if _, _, _, err := Unwrap(bad); !errors.Is(err, ErrEnvelope) {
+			t.Fatalf("Unwrap(%v) = %v, want ErrEnvelope", bad, err)
+		}
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Tick() != 1 || c.Tick() != 2 {
+		t.Fatal("Tick must count from 1")
+	}
+	c.Observe(100)
+	if got := c.Tick(); got != 101 {
+		t.Fatalf("Tick after Observe(100) = %d, want 101", got)
+	}
+	c.Observe(50) // stale observation must not rewind
+	if got := c.Tick(); got != 102 {
+		t.Fatalf("Tick after stale Observe = %d, want 102", got)
+	}
+}
+
+// stream is one shard's delivered sequence for merge tests.
+type stream []Item
+
+// refMerge computes the specification order: effective timestamps are the
+// per-shard running max, global order sorts by (eff, shard, index),
+// markers removed.
+func refMerge(streams []stream) []string {
+	type ref struct {
+		eff      uint64
+		shard, i int
+		it       Item
+	}
+	var all []ref
+	for s, st := range streams {
+		var eff uint64
+		for i, it := range st {
+			if it.TS > eff {
+				eff = it.TS
+			}
+			all = append(all, ref{eff, s, i, it})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].eff != all[b].eff {
+			return all[a].eff < all[b].eff
+		}
+		if all[a].shard != all[b].shard {
+			return all[a].shard < all[b].shard
+		}
+		return all[a].i < all[b].i
+	})
+	var out []string
+	for _, r := range all {
+		if !r.it.Marker {
+			out = append(out, r.it.Payload.(string))
+		}
+	}
+	return out
+}
+
+// drain pops everything currently releasable.
+func drain(m *Merge, out *[]string) {
+	for {
+		it, _, ok := m.Pop()
+		if !ok {
+			return
+		}
+		*out = append(*out, it.Payload.(string))
+	}
+}
+
+// TestMergeDeterministicAcrossInterleavings is the core determinism
+// property: any real-time interleaving of per-shard pushes releases the
+// exact reference order.
+func TestMergeDeterministicAcrossInterleavings(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		shards := 2 + rng.Intn(4)
+		streams := make([]stream, shards)
+		for s := range streams {
+			n := 1 + rng.Intn(12)
+			var ts uint64
+			for i := 0; i < n; i++ {
+				// Arbitrary stamps, sometimes regressing (eff fixes that),
+				// sometimes colliding across shards.
+				if rng.Intn(3) == 0 && ts > 0 {
+					ts -= uint64(rng.Intn(int(ts)) + 1)
+				}
+				ts += uint64(1 + rng.Intn(5))
+				streams[s] = append(streams[s], Item{
+					TS:      ts,
+					Marker:  rng.Intn(5) == 0,
+					Payload: fmt.Sprintf("s%d-%d", s, i),
+				})
+			}
+			// Terminal marker far in the future so the merge can fully
+			// drain (models the idle-marker liveness mechanism).
+			streams[s] = append(streams[s], Item{TS: 1 << 40, Marker: true, Payload: "end"})
+		}
+		want := refMerge(streams)
+
+		for inter := 0; inter < 5; inter++ {
+			m := NewMerge(shards)
+			next := make([]int, shards)
+			var got []string
+			for {
+				live := live(streams, next)
+				if len(live) == 0 {
+					break
+				}
+				s := live[rng.Intn(len(live))]
+				m.Push(s, streams[s][next[s]])
+				next[s]++
+				if rng.Intn(2) == 0 {
+					drain(m, &got) // popping mid-stream must not change the order
+				}
+			}
+			drain(m, &got)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d interleaving %d:\n got %v\nwant %v", trial, inter, got, want)
+			}
+		}
+	}
+}
+
+func live(streams []stream, next []int) []int {
+	var out []int
+	for s := range streams {
+		if next[s] < len(streams[s]) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestMergeHoldsBackUntilCutAdvances: an item is not released while an
+// idle shard could still sort before it, and a marker unblocks it.
+func TestMergeHoldsBackUntilCutAdvances(t *testing.T) {
+	m := NewMerge(2)
+	m.Push(0, Item{TS: 5, Payload: "a"})
+	if _, _, ok := m.Pop(); ok {
+		t.Fatal("released while shard 1's cut was behind")
+	}
+	m.Push(1, Item{TS: 3, Marker: true})
+	if _, _, ok := m.Pop(); ok {
+		t.Fatal("marker at ts 3 cannot clear an item at ts 5")
+	}
+	m.Push(1, Item{TS: 9, Marker: true})
+	it, s, ok := m.Pop()
+	if !ok || s != 0 || it.Payload.(string) != "a" {
+		t.Fatalf("marker at ts 9 should release a: %v %d %v", it, s, ok)
+	}
+	if _, _, ok := m.Pop(); ok {
+		t.Fatal("nothing else should be releasable")
+	}
+	if m.Cut(1) != 9 {
+		t.Fatalf("Cut(1) = %d, want 9", m.Cut(1))
+	}
+}
+
+// TestMergeTieBreaksByShard: equal effective stamps release lower shard
+// first, and an empty equal-stamp shard only blocks lower shards.
+func TestMergeTieBreaksByShard(t *testing.T) {
+	m := NewMerge(2)
+	m.Push(0, Item{TS: 7, Payload: "zero"})
+	m.Push(1, Item{TS: 7, Payload: "one"})
+	it, s, ok := m.Pop()
+	if !ok || s != 0 || it.Payload.(string) != "zero" {
+		t.Fatalf("tie must release shard 0 first: %v %d %v", it, s, ok)
+	}
+	// Shard 1's head (7) is now blocked: shard 0 is empty with lastEff=7,
+	// and shard 0 could still produce another ts-7 item sorting earlier.
+	if _, _, ok := m.Pop(); ok {
+		t.Fatal("shard 1 at ts 7 must wait for shard 0's cut to pass 7")
+	}
+	m.Push(0, Item{TS: 8, Marker: true})
+	it, s, ok = m.Pop()
+	if !ok || s != 1 || it.Payload.(string) != "one" {
+		t.Fatalf("want shard 1's item: %v %d %v", it, s, ok)
+	}
+}
+
+func TestMergePendingAndFIFOReuse(t *testing.T) {
+	m := NewMerge(1)
+	for i := 0; i < 1000; i++ {
+		m.Push(0, Item{TS: uint64(i + 1), Payload: fmt.Sprintf("%d", i)})
+		if it, _, ok := m.Pop(); !ok || it.Payload.(string) != fmt.Sprintf("%d", i) {
+			t.Fatalf("single-shard merge must be FIFO at %d", i)
+		}
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("Pending = %d after full drain", m.Pending())
+	}
+}

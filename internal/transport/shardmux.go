@@ -1,0 +1,219 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/totem-rrp/totem/internal/metrics"
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/wire"
+)
+
+// ShardMux runs M independent rings over one Transport: each shard's
+// protocol runtime gets its own Transport view (Port) whose frames are
+// wrapped in the wire shard envelope on send and demuxed from the shared
+// receive stream into per-shard funnels. The underlying transport — mem
+// hub, UDP (either driver), or the netem wrapper — is unaware of shards;
+// it just carries slightly longer datagrams.
+//
+// The mux owns the demux goroutine but not the underlying transport:
+// Close stops demuxing and closes the per-shard funnels, leaving the
+// inner transport for its owner, mirroring the Runtime/Transport
+// ownership split.
+type ShardMux struct {
+	tr     Transport
+	shards int
+	ports  []*shardPort
+
+	// sendMu serialises wrap+send across shard runtimes: each runtime is
+	// single-goroutine, but M runtimes share the one inner transport whose
+	// Send contract is single-goroutine.
+	sendMu sync.Mutex
+
+	// demux drops, by reason, for the mux's metric surface.
+	badFrames  metrics.Counter
+	dropOOR    metrics.Counter // shard index out of range
+	dropClosed metrics.Counter // funnel overflow after close
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	done      chan struct{}
+}
+
+// shardDepth is the per-shard receive funnel depth. Overflow models packet
+// loss on a saturated shard, which the protocol's retransmission machinery
+// recovers from — same stance as the mem hub's bounded queues.
+const shardDepth = 4096
+
+// NewShardMux wraps tr for shards independent rings. shards must be in
+// [2, wire.MaxShards]; a single-ring node should use tr directly (the
+// degenerate M=1 path stays envelope-free and byte-identical).
+func NewShardMux(tr Transport, shards int) (*ShardMux, error) {
+	if shards < 2 || shards > wire.MaxShards {
+		return nil, fmt.Errorf("transport: shard count %d out of range [2,%d]", shards, wire.MaxShards)
+	}
+	m := &ShardMux{
+		tr:     tr,
+		shards: shards,
+		closed: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for i := 0; i < shards; i++ {
+		m.ports = append(m.ports, &shardPort{
+			mux:   m,
+			shard: i,
+			rx:    make(chan Packet, shardDepth),
+		})
+	}
+	go m.demux()
+	return m, nil
+}
+
+// Shards returns M.
+func (m *ShardMux) Shards() int { return m.shards }
+
+// Port returns shard i's Transport view. Each port may be driven by its
+// own Runtime; all ports share the inner transport's networks.
+func (m *ShardMux) Port(i int) Transport { return m.ports[i] }
+
+// demux pumps the shared receive stream into the per-shard funnels. The
+// inner transport's pooled receive frames are copied into fresh pooled
+// frames (minus the envelope) so the per-shard consumer keeps the exact
+// release discipline it has without a mux.
+func (m *ShardMux) demux() {
+	defer close(m.done)
+	defer func() {
+		for _, p := range m.ports {
+			close(p.rx)
+		}
+	}()
+	for {
+		select {
+		case <-m.closed:
+			return
+		case pkt, ok := <-m.tr.Packets():
+			if !ok {
+				return
+			}
+			shard, inner, err := wire.PeekShard(pkt.Data)
+			if err != nil {
+				m.badFrames.Inc()
+				wire.ReleaseFrame(pkt.Data)
+				continue
+			}
+			if shard >= m.shards {
+				m.dropOOR.Inc()
+				wire.ReleaseFrame(pkt.Data)
+				continue
+			}
+			if len(inner) == len(pkt.Data) {
+				// Untagged frame from a single-ring peer: forward as-is,
+				// preserving the ordinary per-runtime ownership rules.
+				select {
+				case m.ports[0].rx <- pkt:
+				default:
+					wire.PutFrame(pkt.Data)
+				}
+				continue
+			}
+			// Tagged frame: copy the inner bytes into a fresh pooled frame
+			// so the shard runtime keeps the exact release discipline it
+			// has without a mux; the tagged outer is never seen above this
+			// layer, so it recycles unconditionally.
+			var cp []byte
+			if len(inner) <= wire.FrameCap {
+				cp = append(wire.GetFrame(), inner...)
+			} else {
+				cp = append([]byte(nil), inner...)
+			}
+			select {
+			case m.ports[shard].rx <- Packet{Network: pkt.Network, Data: cp}:
+			default:
+				// Funnel overflow: shed like a saturated NIC queue.
+				wire.PutFrame(cp)
+			}
+			wire.PutFrame(pkt.Data)
+		}
+	}
+}
+
+// send wraps data in shard's envelope and forwards it on the inner
+// transport. The wrapped copy lives in a pooled frame released as soon as
+// the inner Send returns (both transports copy outbound bytes).
+func (m *ShardMux) send(shard, network int, dest proto.NodeID, data []byte) error {
+	buf := wire.WrapShard(shard, data)
+	m.sendMu.Lock()
+	err := m.tr.Send(network, dest, buf)
+	m.sendMu.Unlock()
+	wire.PutFrame(buf)
+	return err
+}
+
+// Flush implements BatchSender by forwarding, so each shard runtime's
+// end-of-batch flush still coalesces its token visit on the batched UDP
+// wire path.
+func (m *ShardMux) Flush() {
+	if bs, ok := m.tr.(BatchSender); ok {
+		bs.Flush()
+	}
+}
+
+// RegisterMetrics implements MetricSource: the inner transport's wire
+// counters plus the mux's own demux accounting land in the registry of
+// whichever shard runtime registers first (shard 0 by construction).
+func (m *ShardMux) RegisterMetrics(reg *metrics.Registry) {
+	if ms, ok := m.tr.(MetricSource); ok {
+		ms.RegisterMetrics(reg)
+	}
+	reg.RegisterFunc("shardmux.bad_frames", m.badFrames.Value)
+	reg.RegisterFunc("shardmux.drop_shard_oor", m.dropOOR.Value)
+}
+
+// Close stops the demux goroutine and closes every per-shard funnel. The
+// inner transport stays open (the caller owns it). Idempotent.
+func (m *ShardMux) Close() error {
+	m.closeOnce.Do(func() {
+		close(m.closed)
+		<-m.done
+	})
+	return nil
+}
+
+// shardPort is one shard's Transport view of the mux.
+type shardPort struct {
+	mux   *ShardMux
+	shard int
+	rx    chan Packet
+}
+
+var _ Transport = (*shardPort)(nil)
+var _ BatchSender = (*shardPort)(nil)
+var _ MetricSource = (*shardPort)(nil)
+
+// Networks implements Transport.
+func (p *shardPort) Networks() int { return p.mux.tr.Networks() }
+
+// Send implements Transport.
+func (p *shardPort) Send(network int, dest proto.NodeID, data []byte) error {
+	return p.mux.send(p.shard, network, dest, data)
+}
+
+// Packets implements Transport.
+func (p *shardPort) Packets() <-chan Packet { return p.rx }
+
+// Flush implements BatchSender by forwarding through the mux.
+func (p *shardPort) Flush() { p.mux.Flush() }
+
+// RegisterMetrics implements MetricSource: only shard 0's runtime wires
+// the shared inner counters, so the one underlying socket set is not
+// registered M times into M different registries.
+func (p *shardPort) RegisterMetrics(reg *metrics.Registry) {
+	if p.shard == 0 {
+		p.mux.RegisterMetrics(reg)
+	}
+}
+
+// Close implements Transport; ports close with the mux, not individually
+// (a runtime's Close does not call it — the Runtime never closes its
+// transport).
+func (p *shardPort) Close() error { return nil }

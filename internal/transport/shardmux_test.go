@@ -1,0 +1,203 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/wire"
+)
+
+// encodeData builds a small encoded data frame for mux tests.
+func encodeData(t *testing.T, seq uint32, payload string) []byte {
+	t.Helper()
+	pkt := &wire.DataPacket{
+		Ring:   proto.RingID{Rep: 1, Epoch: 1},
+		Sender: 1,
+		Seq:    seq,
+		Chunks: []wire.Chunk{{Flags: wire.ChunkFirst | wire.ChunkLast, Data: []byte(payload)}},
+	}
+	frame, err := pkt.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+func recvPacket(t *testing.T, ch <-chan Packet) Packet {
+	t.Helper()
+	select {
+	case pkt, ok := <-ch:
+		if !ok {
+			t.Fatal("funnel closed early")
+		}
+		return pkt
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for demuxed packet")
+	}
+	return Packet{}
+}
+
+// TestShardMuxRoutesPerShard sends tagged frames between two nodes on a
+// mem hub and checks each shard's funnel only sees its own traffic.
+func TestShardMuxRoutesPerShard(t *testing.T) {
+	hub := NewMemHub(2)
+	ta, err := hub.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := hub.Join(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := NewShardMux(ta, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ma.Close()
+	mb, err := NewShardMux(tb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Close()
+
+	for shard := 0; shard < 4; shard++ {
+		frame := encodeData(t, uint32(shard+1), "shard payload")
+		if err := ma.Port(shard).Send(1, proto.BroadcastID, frame); err != nil {
+			t.Fatalf("shard %d send: %v", shard, err)
+		}
+		pkt := recvPacket(t, mb.Port(shard).Packets())
+		if pkt.Network != 1 {
+			t.Fatalf("shard %d: network %d, want 1", shard, pkt.Network)
+		}
+		dp, err := wire.DecodeData(pkt.Data)
+		if err != nil {
+			t.Fatalf("shard %d: demuxed frame undecodable: %v", shard, err)
+		}
+		if dp.Seq != uint32(shard+1) {
+			t.Fatalf("shard %d: got seq %d", shard, dp.Seq)
+		}
+		// No other funnel may have traffic.
+		for other := 0; other < 4; other++ {
+			if other == shard {
+				continue
+			}
+			select {
+			case p := <-mb.Port(other).Packets():
+				t.Fatalf("shard %d frame leaked to shard %d (%d bytes)", shard, other, len(p.Data))
+			default:
+			}
+		}
+		wire.ReleaseFrame(pkt.Data)
+	}
+}
+
+// TestShardMuxUntaggedGoesToShardZero: frames from a non-sharded sender
+// demux to shard 0 so a mixed rollout degrades predictably.
+func TestShardMuxUntaggedGoesToShardZero(t *testing.T) {
+	hub := NewMemHub(1)
+	plain, err := hub.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := hub.Join(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux, err := NewShardMux(sharded, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+
+	frame := encodeData(t, 42, "plain")
+	if err := plain.Send(0, proto.BroadcastID, frame); err != nil {
+		t.Fatal(err)
+	}
+	pkt := recvPacket(t, mux.Port(0).Packets())
+	dp, err := wire.DecodeData(pkt.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Seq != 42 {
+		t.Fatalf("got seq %d, want 42", dp.Seq)
+	}
+	wire.ReleaseFrame(pkt.Data)
+}
+
+// TestShardMuxDropsForeignShards: a tag beyond the local shard count is
+// dropped and counted, not delivered or crashed on.
+func TestShardMuxDropsForeignShards(t *testing.T) {
+	hub := NewMemHub(1)
+	wide, err := hub.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := hub.Join(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	muxWide, err := NewShardMux(wide, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer muxWide.Close()
+	muxNarrow, err := NewShardMux(narrow, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer muxNarrow.Close()
+
+	if err := muxWide.Port(7).Send(0, proto.BroadcastID, encodeData(t, 1, "oor")); err != nil {
+		t.Fatal(err)
+	}
+	// Then a valid one; its arrival proves the demux loop survived.
+	if err := muxWide.Port(1).Send(0, proto.BroadcastID, encodeData(t, 2, "ok")); err != nil {
+		t.Fatal(err)
+	}
+	pkt := recvPacket(t, muxNarrow.Port(1).Packets())
+	wire.ReleaseFrame(pkt.Data)
+	if n := muxNarrow.dropOOR.Value(); n != 1 {
+		t.Fatalf("drop_shard_oor = %d, want 1", n)
+	}
+}
+
+// TestShardMuxCloseIdempotent: Close twice, funnels close, inner stays
+// open (caller owns it).
+func TestShardMuxCloseIdempotent(t *testing.T) {
+	hub := NewMemHub(1)
+	tr, err := hub.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux, err := NewShardMux(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mux.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mux.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := <-mux.Port(i).Packets(); ok {
+			t.Fatalf("shard %d funnel still open after Close", i)
+		}
+	}
+	// Inner transport is untouched by mux Close.
+	if err := tr.Send(0, proto.BroadcastID, encodeData(t, 1, "still-open")); err != nil {
+		t.Fatalf("inner transport closed by mux: %v", err)
+	}
+}
+
+// TestShardMuxRejectsBadCounts: the constructor enforces [2, MaxShards].
+func TestShardMuxRejectsBadCounts(t *testing.T) {
+	hub := NewMemHub(1)
+	tr, _ := hub.Join(1)
+	for _, n := range []int{-1, 0, 1, wire.MaxShards + 1} {
+		if _, err := NewShardMux(tr, n); err == nil {
+			t.Fatalf("NewShardMux(%d) accepted", n)
+		}
+	}
+}

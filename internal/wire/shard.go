@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Shard envelope: when a node runs M > 1 independent rings over the same
+// redundant networks, every frame is prefixed with a 3-byte shard tag so
+// one transport can mux all M rings and the receive path can demux them
+// to the owning ring's protocol instance.
+//
+// The envelope is deliberately absent for M = 1: a single-ring node sends
+// exactly the frames it always sent, byte for byte, and PeekShard treats
+// any untagged frame (the ordinary "TM" wire magic) as shard 0. The two
+// magics differ in their second byte, so a tagged frame can never be
+// mistaken for an untagged one or vice versa.
+const (
+	// shardMagic opens a shard-tagged frame ("TS": Totem Shard).
+	shardMagic uint16 = 0x5453
+	// ShardOverhead is the envelope cost: magic(2) + shard(1).
+	ShardOverhead = 3
+	// MaxShards bounds the shard count representable on the wire.
+	MaxShards = 256
+)
+
+// ErrShard reports a malformed shard envelope.
+var ErrShard = errors.New("wire: malformed shard envelope")
+
+// AppendShardTag appends the shard envelope header to buf. The caller
+// appends the inner frame afterwards (or copies an already-encoded frame).
+func AppendShardTag(buf []byte, shard int) []byte {
+	return append(buf, byte(shardMagic>>8), byte(shardMagic&0xff), byte(shard))
+}
+
+// WrapShard copies frame into a fresh pooled buffer behind a shard tag.
+// The caller owns the returned buffer (release with PutFrame) and may
+// recycle frame as soon as WrapShard returns. Frames too large for the
+// pool (never produced by this stack) fall back to the heap.
+func WrapShard(shard int, frame []byte) []byte {
+	var buf []byte
+	if len(frame)+ShardOverhead <= FrameCap {
+		buf = GetFrame()
+	} else {
+		buf = make([]byte, 0, len(frame)+ShardOverhead)
+	}
+	buf = AppendShardTag(buf, shard)
+	return append(buf, frame...)
+}
+
+// PeekShard splits a received frame into its shard index and inner frame.
+// Untagged frames (plain "TM" wire magic) belong to shard 0 and are
+// returned unchanged; tagged frames yield the tagged shard and the bytes
+// after the envelope. Anything too short to carry either magic is an
+// error (the transports drop it).
+func PeekShard(data []byte) (int, []byte, error) {
+	if len(data) < 2 {
+		return 0, nil, ErrTruncated
+	}
+	m := uint16(data[0])<<8 | uint16(data[1])
+	switch m {
+	case shardMagic:
+		if len(data) < ShardOverhead {
+			return 0, nil, ErrTruncated
+		}
+		return int(data[2]), data[ShardOverhead:], nil
+	case magic:
+		return 0, data, nil
+	default:
+		return 0, nil, fmt.Errorf("%w: magic %#04x", ErrShard, m)
+	}
+}

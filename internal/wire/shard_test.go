@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+func TestShardTagRoundTrip(t *testing.T) {
+	pkt := &DataPacket{
+		Ring:   proto.RingID{Rep: 1, Epoch: 3},
+		Sender: 2,
+		Seq:    7,
+		Chunks: []Chunk{{Flags: ChunkFirst | ChunkLast, Data: []byte("hello")}},
+	}
+	frame, err := pkt.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for shard := 0; shard < MaxShards; shard += 17 {
+		tagged := WrapShard(shard, frame)
+		if len(tagged) != len(frame)+ShardOverhead {
+			t.Fatalf("shard %d: tagged length %d, want %d", shard, len(tagged), len(frame)+ShardOverhead)
+		}
+		got, inner, err := PeekShard(tagged)
+		if err != nil {
+			t.Fatalf("shard %d: PeekShard: %v", shard, err)
+		}
+		if got != shard {
+			t.Fatalf("PeekShard shard = %d, want %d", got, shard)
+		}
+		if !bytes.Equal(inner, frame) {
+			t.Fatalf("shard %d: inner frame mangled", shard)
+		}
+		if _, err := DecodeData(inner); err != nil {
+			t.Fatalf("shard %d: inner decode: %v", shard, err)
+		}
+		PutFrame(tagged)
+	}
+}
+
+func TestPeekShardUntaggedIsShardZero(t *testing.T) {
+	tok := &Token{Ring: proto.RingID{Rep: 1, Epoch: 1}, Seq: 5}
+	frame, err := tok.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard, inner, err := PeekShard(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard != 0 {
+		t.Fatalf("untagged frame reported shard %d", shard)
+	}
+	if len(inner) != len(frame) || &inner[0] != &frame[0] {
+		t.Fatal("untagged frame must be returned unchanged (no copy, no trim)")
+	}
+}
+
+func TestPeekShardRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x54},
+		{0x00, 0x00, 0x00},
+		{0xff, 0xff, 0x01, 0x02},
+	}
+	for _, c := range cases {
+		if _, _, err := PeekShard(c); err == nil {
+			t.Fatalf("PeekShard(%v) accepted garbage", c)
+		}
+	}
+	// A truncated tagged frame: magic only, no shard byte.
+	if _, _, err := PeekShard([]byte{0x54, 0x53}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("want ErrTruncated for short tagged frame, got %v", err)
+	}
+}
+
+func TestWrapShardPoolsFrames(t *testing.T) {
+	frame := make([]byte, MaxPayload)
+	tagged := WrapShard(3, frame)
+	if cap(tagged) != FrameCap {
+		t.Fatalf("WrapShard did not use a pooled frame (cap %d)", cap(tagged))
+	}
+	PutFrame(tagged)
+	// Oversized input falls back to the heap rather than panicking.
+	big := make([]byte, FrameCap)
+	tagged = WrapShard(1, big)
+	if cap(tagged) == FrameCap {
+		t.Fatal("oversized WrapShard must not claim a pooled frame")
+	}
+}
