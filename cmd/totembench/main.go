@@ -14,6 +14,9 @@
 //	                            # figure data, written to BENCH_hotpath.json
 //	totembench -shards 4        # multi-ring scaling sweep (1 ring vs 4)
 //	                            # with a >=3x aggregate throughput gate
+//	totembench -bulk            # bulk-lane latency sweep: small-message
+//	                            # p99 under a saturating SendBulk stream,
+//	                            # gated against the no-bulk baseline
 package main
 
 import (
@@ -42,8 +45,13 @@ func main() {
 	shardDur := flag.Duration("shards-dur", time.Second, "shards: measured window per point")
 	shardLen := flag.Int("shards-len", 100, "shards: payload bytes")
 	shardGain := flag.Float64("shards-gain", 3.0, "shards gate: required M-ring/1-ring aggregate msgs-per-sec ratio")
+	bulkRun := flag.Bool("bulk", false, "also run the bulk-lane latency sweep (small-message p99 under a saturating SendBulk stream vs idle) and gate on it")
+	bulkDur := flag.Duration("bulk-dur", 2*time.Second, "bulk: measured window per mode")
+	bulkBytes := flag.Int("bulk-bytes", 4<<20, "bulk: size of each streamed transfer")
+	bulkLen := flag.Int("bulk-len", 64, "bulk: probe payload bytes")
+	bulkBound := flag.Float64("bulk-bound", 5.0, "bulk gate: max allowed p99 ratio of bulk-lane mode over the no-bulk baseline")
 	flag.Parse()
-	if *jsonOut || *liveRun || *shards > 0 {
+	if *jsonOut || *liveRun || *shards > 0 || *bulkRun {
 		cfg := liveConfig{
 			run:         *liveRun,
 			dur:         *liveDur,
@@ -58,7 +66,14 @@ func main() {
 			msgLen: *shardLen,
 			gain:   *shardGain,
 		}
-		if err := runHotPath(*outPath, *jsonOut, cfg, scfg); err != nil {
+		bcfg := bulkConfig{
+			run:      *bulkRun,
+			dur:      *bulkDur,
+			xferLen:  *bulkBytes,
+			probeLen: *bulkLen,
+			bound:    *bulkBound,
+		}
+		if err := runHotPath(*outPath, *jsonOut, cfg, scfg, bcfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -86,14 +101,24 @@ type shardConfig struct {
 	gain   float64
 }
 
+type bulkConfig struct {
+	run      bool
+	dur      time.Duration
+	xferLen  int
+	probeLen int
+	bound    float64
+}
+
 // runHotPath regenerates the allocation-budget report (micro allocs/op
 // plus wall-clock Figure 6 points) and saves it for EXPERIMENTS.md. With
 // live.run it appends the live wire sweep and enforces the wire-path
 // gate: the batched driver must beat the portable one by the configured
 // throughput or syscall margin. With shard.shards > 0 it appends the
-// multi-ring sweep and enforces the sharding gate; a sweep run without
-// -json merges into an existing report file rather than clobbering it.
-func runHotPath(path string, writeJSON bool, live liveConfig, shard shardConfig) error {
+// multi-ring sweep and enforces the sharding gate; with bulk.run it
+// appends the bulk-lane latency sweep and enforces the p99 bound. Sweeps
+// run without -json merge into an existing report file rather than
+// clobbering it.
+func runHotPath(path string, writeJSON bool, live liveConfig, shard shardConfig, bulk bulkConfig) error {
 	var rep bench.HotPathReport
 	var err error
 	if writeJSON {
@@ -109,9 +134,9 @@ func runHotPath(path string, writeJSON bool, live liveConfig, shard shardConfig)
 				return fmt.Errorf("existing %s: %w", path, err)
 			}
 		}
-		// Shard sweeps always persist their section; -live alone keeps
-		// its historical print-and-gate-only behaviour.
-		writeJSON = shard.shards > 0
+		// Shard and bulk sweeps always persist their section; -live alone
+		// keeps its historical print-and-gate-only behaviour.
+		writeJSON = shard.shards > 0 || bulk.run
 	}
 	if live.run {
 		points, err := bench.LiveWire(bench.LiveWireOptions{
@@ -133,6 +158,17 @@ func runHotPath(path string, writeJSON bool, live liveConfig, shard shardConfig)
 			return err
 		}
 		rep.ShardScale = points
+	}
+	if bulk.run {
+		points, err := bench.BulkSweep(bench.BulkOptions{
+			Duration:      bulk.dur,
+			TransferBytes: bulk.xferLen,
+			MsgLen:        bulk.probeLen,
+		})
+		if err != nil {
+			return err
+		}
+		rep.Bulk = points
 	}
 	bench.PrintHotPath(os.Stdout, rep)
 	if writeJSON {
@@ -158,6 +194,13 @@ func runHotPath(path string, writeJSON bool, live liveConfig, shard shardConfig)
 		fmt.Println(verdict)
 		if !ok {
 			return fmt.Errorf("sharding gate failed")
+		}
+	}
+	if bulk.run {
+		verdict, ok := bench.BulkGate(rep.Bulk, bulk.bound)
+		fmt.Println(verdict)
+		if !ok {
+			return fmt.Errorf("bulk lane gate failed")
 		}
 	}
 	return nil

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/live"
+)
+
+// BulkOptions shapes the figure_bulk sweep: one small-message latency
+// baseline, one run with the bulk stream forced through the interactive
+// lane (the pre-lane protocol), and one with the stream on the
+// rate-limited bulk lane. The three points together are the headline
+// figure: what a saturating transfer costs interactive p99 with and
+// without the lane.
+type BulkOptions struct {
+	// Duration is the measured window per mode (default 2s).
+	Duration time.Duration
+	// TransferBytes sizes each streamed transfer (default 4 MiB).
+	TransferBytes int
+	// MsgLen is the probe payload size (default 64 bytes).
+	MsgLen int
+	// Nodes and Networks default to 4 and 2.
+	Nodes    int
+	Networks int
+}
+
+// BulkSweep measures the three figure_bulk points on real loopback
+// sockets: baseline, interactive-lane saturation, bulk-lane saturation.
+func BulkSweep(opt BulkOptions) ([]live.BulkBenchPoint, error) {
+	modes := []live.BulkMode{live.BulkOff, live.BulkInteractive, live.BulkLane}
+	out := make([]live.BulkBenchPoint, 0, len(modes))
+	for _, mode := range modes {
+		p, err := live.BulkBench(live.BulkBenchOptions{
+			Mode:          mode,
+			Nodes:         opt.Nodes,
+			Networks:      opt.Networks,
+			MsgLen:        opt.MsgLen,
+			TransferBytes: opt.TransferBytes,
+			Duration:      opt.Duration,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bulk bench (%s): %w", mode, err)
+		}
+		out = append(out, *p)
+	}
+	return out, nil
+}
+
+// BulkGate judges a figure_bulk sweep: under a saturating bulk-lane
+// stream, small-message p99 must stay within bound× the no-bulk baseline
+// p99, and the stream must actually move data (a stalled lane would pass
+// any latency bar). It returns a human-readable verdict line and whether
+// the gate passed.
+func BulkGate(points []live.BulkBenchPoint, bound float64) (string, bool) {
+	var baseline, lane *live.BulkBenchPoint
+	for i := range points {
+		switch points[i].Mode {
+		case string(live.BulkOff):
+			baseline = &points[i]
+		case string(live.BulkLane):
+			lane = &points[i]
+		}
+	}
+	if baseline == nil || lane == nil {
+		return "bulk lane gate: sweep missing baseline or bulk-lane point", false
+	}
+	if baseline.Probes == 0 || lane.Probes == 0 {
+		return "bulk lane gate: no probe deliveries measured", false
+	}
+	ratio := 0.0
+	if baseline.P99LatencyUs > 0 {
+		ratio = lane.P99LatencyUs / baseline.P99LatencyUs
+	}
+	ok := ratio > 0 && ratio <= bound && lane.BulkMBPerSec > 0
+	verdict := fmt.Sprintf(
+		"bulk lane gate: probe p99 %.0fµs under %.1f MB/s bulk vs %.0fµs idle (%.2fx, bound %.1fx)",
+		lane.P99LatencyUs, lane.BulkMBPerSec, baseline.P99LatencyUs, ratio, bound)
+	if ok {
+		verdict += " — PASS"
+	} else if lane.BulkMBPerSec <= 0 {
+		verdict += " — FAIL (bulk lane moved no data)"
+	} else {
+		verdict += " — FAIL"
+	}
+	return verdict, ok
+}
+
+// PrintBulk renders the figure_bulk sweep for the terminal.
+func PrintBulk(w io.Writer, points []live.BulkBenchPoint) {
+	fmt.Fprintln(w, "bulk lanes (interactive p99 under a saturating stream, loopback UDP)")
+	fmt.Fprintf(w, "  %-17s %4s %7s %9s %9s %10s %10s\n",
+		"mode", "n×N", "probes", "p50(µs)", "p99(µs)", "bulk MB", "MB/s")
+	for _, p := range points {
+		fmt.Fprintf(w, "  %-17s %dx%d %7d %9.0f %9.0f %10.1f %10.1f\n",
+			p.Mode, p.Nodes, p.Networks, p.Probes,
+			p.P50LatencyUs, p.P99LatencyUs,
+			float64(p.BulkBytes)/(1<<20), p.BulkMBPerSec)
+	}
+}

@@ -43,13 +43,15 @@ type HotPathPoint struct {
 
 // HotPathReport is the payload of BENCH_hotpath.json. LiveWire is filled
 // only by `totembench -json -live`, ShardScale only by
-// `totembench -json -shards M`: the simulated figures are cheap and
-// deterministic, the live sweeps cost real wall-clock seconds.
+// `totembench -json -shards M`, Bulk only by `totembench -bulk`: the
+// simulated figures are cheap and deterministic, the live sweeps cost
+// real wall-clock seconds.
 type HotPathReport struct {
 	Micro      []HotPathMicro         `json:"micro"`
 	Figure6    []HotPathPoint         `json:"figure6_4nodes"`
 	LiveWire   []live.WireBenchPoint  `json:"figure6_live,omitempty"`
 	ShardScale []live.ShardBenchPoint `json:"figure6_shards,omitempty"`
+	Bulk       []live.BulkBenchPoint  `json:"figure_bulk,omitempty"`
 }
 
 // HotPathMicros measures the allocation budget of the steady-state packet
@@ -206,6 +208,9 @@ func PrintHotPath(w io.Writer, rep HotPathReport) {
 		if len(rep.ShardScale) > 0 {
 			PrintShardScale(w, rep.ShardScale)
 		}
+		if len(rep.Bulk) > 0 {
+			PrintBulk(w, rep.Bulk)
+		}
 		return
 	}
 	fmt.Fprintln(w, "figure 6 (4 nodes, no replication), wall clock")
@@ -219,5 +224,8 @@ func PrintHotPath(w io.Writer, rep HotPathReport) {
 	}
 	if len(rep.ShardScale) > 0 {
 		PrintShardScale(w, rep.ShardScale)
+	}
+	if len(rep.Bulk) > 0 {
+		PrintBulk(w, rep.Bulk)
 	}
 }

@@ -1,0 +1,375 @@
+// Package bulk implements the chunked large-transfer layer that rides the
+// ring's bulk lane: a tiny chunk envelope identifying (transfer, offset,
+// total), a receiver-side reassembler with contiguous-prefix tracking, and
+// a pure sender-side window/retry state machine.
+//
+// The ring's total order does the heavy lifting: every member — including
+// the sender — delivers a transfer's chunks in the same order, so the
+// sender's own delivery of a chunk doubles as a ring-wide acknowledgement,
+// and a receiver's contiguous prefix only ever advances. The pieces here
+// are deliberately pure (no goroutines, no clocks) so the SRP machine can
+// host the receiver deterministically and the torture/simulation harness
+// can drive every path.
+package bulk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+// envelope layout: magic byte, transfer id, byte offset, total length —
+// then the chunk's data. The magic byte guards against misrouted
+// interactive traffic showing up on the bulk lane.
+const (
+	envMagic = 0xB7
+	// Overhead is the envelope size prepended to every chunk's data.
+	Overhead = 1 + 8 + 8 + 8
+)
+
+// ErrEnvelope reports a malformed bulk chunk envelope.
+var ErrEnvelope = errors.New("bulk: malformed chunk envelope")
+
+// AppendChunk appends the envelope for (id, off, total) followed by data to
+// dst and returns the extended slice. dst may be nil or a recycled buffer.
+func AppendChunk(dst []byte, id, off, total uint64, data []byte) []byte {
+	dst = append(dst, envMagic)
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = binary.BigEndian.AppendUint64(dst, off)
+	dst = binary.BigEndian.AppendUint64(dst, total)
+	return append(dst, data...)
+}
+
+// DecodeChunk splits a bulk-lane message back into its envelope fields.
+// data aliases msg; the caller must respect msg's lifetime.
+func DecodeChunk(msg []byte) (id, off, total uint64, data []byte, err error) {
+	if len(msg) < Overhead || msg[0] != envMagic {
+		return 0, 0, 0, nil, ErrEnvelope
+	}
+	id = binary.BigEndian.Uint64(msg[1:])
+	off = binary.BigEndian.Uint64(msg[9:])
+	total = binary.BigEndian.Uint64(msg[17:])
+	data = msg[Overhead:]
+	if off > total || uint64(len(data)) > total-off {
+		return 0, 0, 0, nil, fmt.Errorf("%w: off %d + %d bytes exceeds total %d", ErrEnvelope, off, len(data), total)
+	}
+	return id, off, total, data, nil
+}
+
+// Key identifies one transfer ring-wide.
+type Key struct {
+	Sender proto.NodeID
+	ID     uint64
+}
+
+// AddStatus classifies the outcome of Rx.Add.
+type AddStatus int
+
+const (
+	// RxAccepted: chunk stored, transfer still incomplete.
+	RxAccepted AddStatus = iota
+	// RxCompleted: this chunk completed the transfer.
+	RxCompleted
+	// RxDuplicate: chunk was already part of the contiguous prefix
+	// (re-sent after a configuration change); ignored.
+	RxDuplicate
+	// RxDropped: chunk ignored — mid-stream join, over limits, or for a
+	// transfer already being skipped.
+	RxDropped
+)
+
+// transfer is one in-progress inbound transfer.
+type transfer struct {
+	buf    []byte
+	total  uint64
+	prefix uint64            // contiguous bytes received from 0
+	ranges map[uint64]uint64 // non-contiguous received ranges: start -> end
+}
+
+// Rx reassembles inbound transfers, one partial per (sender, id). The
+// total order makes chunks from one sender arrive in emit order, so in
+// steady state the prefix advances without gaps; the range map only works
+// when configuration changes reorder resends.
+type Rx struct {
+	// MaxTransfer bounds a single transfer's total length; larger
+	// announcements are dropped (a malicious or buggy sender must not make
+	// every member allocate unbounded memory).
+	MaxTransfer int
+	// MaxPartials bounds concurrent in-progress inbound transfers.
+	MaxPartials int
+
+	transfers map[Key]*transfer
+	// skip marks transfers this member can never complete (it joined
+	// mid-stream and missed the beginning); their chunks are dropped
+	// without creating partial state.
+	skip map[Key]struct{}
+}
+
+// NewRx returns an empty receiver with the given limits.
+func NewRx(maxTransfer, maxPartials int) *Rx {
+	return &Rx{
+		MaxTransfer: maxTransfer,
+		MaxPartials: maxPartials,
+		transfers:   make(map[Key]*transfer),
+		skip:        make(map[Key]struct{}),
+	}
+}
+
+// Pending returns the number of in-progress inbound transfers.
+func (r *Rx) Pending() int { return len(r.transfers) }
+
+// Add processes one delivered bulk chunk. On RxCompleted the returned
+// buffer holds the whole transfer and is owned by the caller; Rx forgets
+// the transfer.
+func (r *Rx) Add(sender proto.NodeID, id, off, total uint64, data []byte) ([]byte, AddStatus) {
+	key := Key{Sender: sender, ID: id}
+	if _, skipped := r.skip[key]; skipped {
+		return nil, RxDropped
+	}
+	tr, ok := r.transfers[key]
+	if !ok {
+		if off != 0 {
+			// Joined mid-transfer: the beginning can never arrive (the ring
+			// does not retransmit across configurations), so the transfer is
+			// unfinishable here. Skip it wholesale.
+			r.markSkip(key)
+			return nil, RxDropped
+		}
+		if total == 0 || (r.MaxTransfer > 0 && total > uint64(r.MaxTransfer)) {
+			r.markSkip(key)
+			return nil, RxDropped
+		}
+		if r.MaxPartials > 0 && len(r.transfers) >= r.MaxPartials {
+			r.markSkip(key)
+			return nil, RxDropped
+		}
+		tr = &transfer{buf: make([]byte, total), total: total}
+		r.transfers[key] = tr
+	}
+	if total != tr.total || off+uint64(len(data)) > tr.total {
+		// Envelope disagrees with the announcement; poison the transfer.
+		delete(r.transfers, key)
+		r.markSkip(key)
+		return nil, RxDropped
+	}
+	end := off + uint64(len(data))
+	if end <= tr.prefix {
+		return nil, RxDuplicate
+	}
+	copy(tr.buf[off:end], data)
+	if off <= tr.prefix {
+		if end > tr.prefix {
+			tr.prefix = end
+		}
+		// Fold in any ranges the new prefix now reaches.
+		for len(tr.ranges) > 0 {
+			merged := false
+			for s, e := range tr.ranges {
+				if s <= tr.prefix {
+					if e > tr.prefix {
+						tr.prefix = e
+					}
+					delete(tr.ranges, s)
+					merged = true
+				}
+			}
+			if !merged {
+				break
+			}
+		}
+	} else {
+		if tr.ranges == nil {
+			tr.ranges = make(map[uint64]uint64)
+		}
+		if e, dup := tr.ranges[off]; !dup || end > e {
+			tr.ranges[off] = end
+		}
+	}
+	if tr.prefix == tr.total {
+		delete(r.transfers, key)
+		return tr.buf, RxCompleted
+	}
+	return nil, RxAccepted
+}
+
+func (r *Rx) markSkip(key Key) {
+	// The skip set is bounded: total order means a sender has few transfers
+	// in flight, but guard against pathological id churn anyway.
+	if len(r.skip) >= 1024 {
+		clear(r.skip)
+	}
+	r.skip[key] = struct{}{}
+}
+
+// Retain drops partials (and skip marks) from senders keep rejects —
+// called on configuration change with the new membership, since a departed
+// sender's transfer can never complete. Returns the number of partials
+// dropped.
+func (r *Rx) Retain(keep func(proto.NodeID) bool) int {
+	dropped := 0
+	for key := range r.transfers {
+		if !keep(key.Sender) {
+			delete(r.transfers, key)
+			dropped++
+		}
+	}
+	for key := range r.skip {
+		if !keep(key.Sender) {
+			delete(r.skip, key)
+		}
+	}
+	return dropped
+}
+
+// SendState is the pure sender-side state machine for one outbound
+// transfer: fixed-size chunks behind an offset cursor, a bounded window of
+// unacknowledged chunks, bounded per-chunk retries, and contiguous-prefix
+// completion so a configuration change resumes from the last contiguous
+// acknowledged offset.
+type SendState struct {
+	total     int
+	chunkSize int
+	window    int
+	retries   int
+
+	n        int // number of chunks
+	prefix   int // chunks 0..prefix-1 contiguously acked
+	acked    []bool
+	attempts []int
+	queue    []int // chunk indices awaiting (re)send, in order
+	inflight int
+	err      error
+}
+
+// ErrRetriesExhausted reports a chunk that failed more times than the
+// transfer's retry budget allows.
+var ErrRetriesExhausted = errors.New("bulk: chunk retries exhausted")
+
+// NewSendState plans a transfer of total bytes in chunkSize pieces with at
+// most window chunks unacknowledged at once and retries re-sends per chunk.
+func NewSendState(total, chunkSize, window, retries int) *SendState {
+	if total < 0 || chunkSize <= 0 || window <= 0 || retries < 0 {
+		panic("bulk: invalid SendState parameters")
+	}
+	n := (total + chunkSize - 1) / chunkSize
+	if n == 0 {
+		n = 1 // zero-byte transfer still takes one (empty) chunk
+	}
+	s := &SendState{
+		total: total, chunkSize: chunkSize, window: window, retries: retries,
+		n: n, acked: make([]bool, n), attempts: make([]int, n),
+		queue: make([]int, n),
+	}
+	for i := range s.queue {
+		s.queue[i] = i
+	}
+	return s
+}
+
+// Chunks returns the number of chunks in the transfer.
+func (s *SendState) Chunks() int { return s.n }
+
+// Range returns chunk i's byte range [off, end).
+func (s *SendState) Range(i int) (off, end int) {
+	off = i * s.chunkSize
+	end = off + s.chunkSize
+	if end > s.total {
+		end = s.total
+	}
+	return off, end
+}
+
+// ChunkAt maps a byte offset back to its chunk index.
+func (s *SendState) ChunkAt(off int) int { return off / s.chunkSize }
+
+// Next returns the next chunk index to send, respecting the window.
+// ok is false when nothing is currently sendable (window full, queue
+// drained, transfer done or failed). Chunks acknowledged while queued are
+// skipped: after Reconfig a late ack from the abandoned ring can land on a
+// requeued chunk, and resending it would consume a window slot that the
+// duplicate's ack (suppressed as already-acked) never gives back.
+func (s *SendState) Next() (idx int, ok bool) {
+	if s.err != nil || s.inflight >= s.window {
+		return 0, false
+	}
+	for len(s.queue) > 0 {
+		idx = s.queue[0]
+		s.queue = s.queue[1:]
+		if s.acked[idx] {
+			continue
+		}
+		s.inflight++
+		s.attempts[idx]++
+		return idx, true
+	}
+	return 0, false
+}
+
+// Ack records ring-wide acknowledgement (the sender delivered its own
+// chunk) and advances the contiguous prefix.
+func (s *SendState) Ack(idx int) {
+	if idx < 0 || idx >= s.n || s.acked[idx] {
+		return
+	}
+	s.acked[idx] = true
+	if s.inflight > 0 {
+		s.inflight--
+	}
+	for s.prefix < s.n && s.acked[s.prefix] {
+		s.prefix++
+	}
+}
+
+// Fail requeues a chunk whose submission was rejected (backpressure). It
+// returns false — and poisons the transfer — once the chunk's retry budget
+// is exhausted.
+func (s *SendState) Fail(idx int) bool {
+	if idx < 0 || idx >= s.n || s.acked[idx] {
+		return true
+	}
+	if s.inflight > 0 {
+		s.inflight--
+	}
+	if s.attempts[idx] > s.retries {
+		s.err = fmt.Errorf("%w: chunk %d tried %d times", ErrRetriesExhausted, idx, s.attempts[idx])
+		return false
+	}
+	s.queue = append([]int{idx}, s.queue...)
+	return true
+}
+
+// Reconfig rewinds to the last contiguous acknowledged offset: every chunk
+// at or beyond the prefix is requeued for (re)send, acknowledged or not,
+// because delivery of in-flight chunks on the abandoned ring is uncertain
+// for the members that just joined. Receivers deduplicate against their
+// own prefix, so over-sending is safe. Retry attempts are forgiven — the
+// failure was the ring's, not the chunk's.
+func (s *SendState) Reconfig() {
+	if s.err != nil || s.Done() {
+		return
+	}
+	s.inflight = 0
+	s.queue = s.queue[:0]
+	for i := s.prefix; i < s.n; i++ {
+		s.acked[i] = false
+		s.attempts[i] = 0
+		s.queue = append(s.queue, i)
+	}
+}
+
+// Done reports whether every chunk has been acknowledged.
+func (s *SendState) Done() bool { return s.prefix == s.n && s.err == nil }
+
+// Err returns the terminal error, if the transfer failed.
+func (s *SendState) Err() error { return s.err }
+
+// Progress returns contiguously acknowledged bytes and the total.
+func (s *SendState) Progress() (acked, total int) {
+	a := s.prefix * s.chunkSize
+	if a > s.total {
+		a = s.total
+	}
+	return a, s.total
+}

@@ -1,0 +1,328 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	totem "github.com/totem-rrp/totem"
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/transport"
+)
+
+// Bulk-lane latency benchmark: the figure_bulk experiment. One node
+// saturates the ring with a multi-megabyte stream while the others probe
+// it with small timestamped messages; the p99 of the probes is the
+// interactive-latency cost of the bulk load. Three modes make the figure:
+//
+//   - BulkOff: probes only — the no-bulk latency baseline.
+//   - BulkInteractive: the stream is pushed through Send as ordinary
+//     messages, emulating the pre-lane protocol where bulk data and
+//     interactive traffic shared one FIFO lane.
+//   - BulkLane: the stream rides SendBulk on the rate-limited bulk lane.
+//
+// The lane earns its keep when BulkLane's probe p99 stays near BulkOff
+// while BulkInteractive's blows up.
+
+// BulkMode selects the bulk load shape of one BulkBench run.
+type BulkMode string
+
+const (
+	BulkOff         BulkMode = "baseline"
+	BulkInteractive BulkMode = "interactive-lane"
+	BulkLane        BulkMode = "bulk-lane"
+)
+
+// BulkBenchOptions parameterises one figure_bulk point.
+type BulkBenchOptions struct {
+	Mode BulkMode
+	// Nodes is the ring size (default 4); node 1 carries the bulk load,
+	// the rest send probes.
+	Nodes int
+	// Networks is the redundant network count (default 2).
+	Networks int
+	// MsgLen is the probe payload size (default 64, min 8 for the
+	// timestamp).
+	MsgLen int
+	// ProbeInterval paces each prober (default 1ms): latency is measured
+	// on a lightly loaded interactive lane, the regime the lane protects.
+	ProbeInterval time.Duration
+	// TransferBytes sizes each bulk transfer; transfers stream
+	// back-to-back for the whole window (default 4 MiB).
+	TransferBytes int
+	// ChunkBytes sets the sender chunk size for both bulk modes (default
+	// 8192).
+	ChunkBytes int
+	// Duration is the measurement window (default 2s); Warmup bounds ring
+	// formation (default 10s).
+	Duration time.Duration
+	Warmup   time.Duration
+	// WirePath selects the UDP kernel driver ("portable", "batch", "" =
+	// auto).
+	WirePath string
+}
+
+// BulkBenchPoint is one measured figure_bulk run.
+type BulkBenchPoint struct {
+	Mode     string `json:"mode"`
+	Nodes    int    `json:"nodes"`
+	Networks int    `json:"networks"`
+	MsgLen   int    `json:"msg_len"`
+	// DurationSec is the measured window on the wall clock.
+	DurationSec float64 `json:"duration_sec"`
+	// Probes is the number of small-message deliveries observed across all
+	// nodes in the window; the percentiles are their one-way latencies.
+	Probes       uint64  `json:"probes"`
+	P50LatencyUs float64 `json:"p50_latency_us"`
+	P99LatencyUs float64 `json:"p99_latency_us"`
+	// BulkBytes counts bulk payload bytes delivered per node in the window
+	// (completed transfers in lane mode, stream chunks in interactive
+	// mode); BulkMBPerSec is the per-node stream rate.
+	BulkBytes    uint64  `json:"bulk_bytes"`
+	BulkMBPerSec float64 `json:"bulk_mb_per_sec"`
+}
+
+// BulkBench boots the cluster, runs the mode's load for the window and
+// reports the probe latency distribution alongside the bulk throughput.
+func BulkBench(opt BulkBenchOptions) (*BulkBenchPoint, error) {
+	if opt.Mode == "" {
+		opt.Mode = BulkOff
+	}
+	if opt.Nodes <= 1 {
+		opt.Nodes = 4
+	}
+	if opt.Networks <= 0 {
+		opt.Networks = 2
+	}
+	if opt.MsgLen < 8 {
+		opt.MsgLen = 64
+	}
+	if opt.ProbeInterval <= 0 {
+		opt.ProbeInterval = time.Millisecond
+	}
+	if opt.TransferBytes <= 0 {
+		opt.TransferBytes = 4 << 20
+	}
+	if opt.ChunkBytes <= 0 {
+		opt.ChunkBytes = 8192
+	}
+	if opt.Duration <= 0 {
+		opt.Duration = 2 * time.Second
+	}
+	if opt.Warmup <= 0 {
+		opt.Warmup = 10 * time.Second
+	}
+
+	epoch := time.Now()
+	const bulkSender = proto.NodeID(1)
+	var (
+		bulkBytes  atomic.Uint64
+		probes     atomic.Uint64
+		latMu      sync.Mutex
+		latSamples []time.Duration
+	)
+
+	nodes := make([]*benchNode, opt.Nodes)
+	defer func() {
+		for _, bn := range nodes {
+			if bn == nil {
+				continue
+			}
+			if bn.n != nil {
+				bn.n.Close()
+			}
+			if bn.tr != nil {
+				bn.tr.Close()
+			}
+		}
+	}()
+
+	listen := make([]string, opt.Networks)
+	for i := range listen {
+		listen[i] = "127.0.0.1:0"
+	}
+	for i := range nodes {
+		tr, err := transport.NewUDP(transport.UDPConfig{
+			ID:       proto.NodeID(i + 1),
+			Listen:   listen,
+			WirePath: opt.WirePath,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bulkbench: node %d: %w", i+1, err)
+		}
+		nodes[i] = &benchNode{tr: tr}
+	}
+	for i, bn := range nodes {
+		for j, other := range nodes {
+			if i == j {
+				continue
+			}
+			if err := bn.tr.AddPeer(proto.NodeID(j+1), other.tr.LocalAddrs()); err != nil {
+				return nil, fmt.Errorf("bulkbench: peer wiring: %w", err)
+			}
+		}
+	}
+	for i, bn := range nodes {
+		n, err := totem.NewNode(totem.Config{
+			ID:          proto.NodeID(i + 1),
+			Networks:    opt.Networks,
+			Replication: proto.ReplicationActive,
+			Tune: func(o *totem.Options) {
+				liveTune(o)
+				o.Bulk.ChunkBytes = opt.ChunkBytes
+				o.DeliveryTap = func(d totem.Delivery) {
+					switch {
+					case d.Bulk || d.Sender == bulkSender:
+						// Lane-mode completed transfers and interactive-mode
+						// stream chunks both count as bulk payload.
+						bulkBytes.Add(uint64(len(d.Payload)))
+					case len(d.Payload) >= 8:
+						probes.Add(1)
+						sent := time.Duration(binary.BigEndian.Uint64(d.Payload))
+						lat := time.Since(epoch) - sent
+						latMu.Lock()
+						if len(latSamples) < 1<<17 {
+							latSamples = append(latSamples, lat)
+						}
+						latMu.Unlock()
+					}
+				}
+			},
+		}, bn.tr)
+		if err != nil {
+			return nil, fmt.Errorf("bulkbench: node %d: %w", i+1, err)
+		}
+		bn.n = n
+		go func(ch <-chan totem.Delivery) {
+			for range ch {
+			}
+		}(n.Deliveries())
+	}
+
+	deadline := time.Now().Add(opt.Warmup)
+	for {
+		ready := 0
+		for _, bn := range nodes {
+			if bn.n.Operational() {
+				ready++
+			}
+		}
+		if ready == opt.Nodes {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("bulkbench: ring not operational after %s (%d/%d nodes)",
+				opt.Warmup, ready, opt.Nodes)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Probers: every node but the bulk sender, paced, timestamped.
+	for _, bn := range nodes[1:] {
+		wg.Add(1)
+		go func(n *totem.Node) {
+			defer wg.Done()
+			payload := make([]byte, opt.MsgLen)
+			tick := time.NewTicker(opt.ProbeInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				binary.BigEndian.PutUint64(payload, uint64(time.Since(epoch)))
+				n.Send(payload) //nolint:errcheck // a dropped probe is just a missing sample
+			}
+		}(bn.n)
+	}
+
+	// Bulk load on node 1, shaped by the mode.
+	switch opt.Mode {
+	case BulkLane:
+		wg.Add(1)
+		go func(n *totem.Node) {
+			defer wg.Done()
+			payload := make([]byte, opt.TransferBytes)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				xfer, err := n.SendBulk(payload)
+				if err != nil {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				select {
+				case <-xfer.Done():
+				case <-stop:
+					xfer.Cancel()
+					return
+				}
+			}
+		}(nodes[0].n)
+	case BulkInteractive:
+		wg.Add(1)
+		go func(n *totem.Node) {
+			defer wg.Done()
+			chunk := make([]byte, opt.ChunkBytes)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := n.Send(chunk); err != nil {
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		}(nodes[0].n)
+	case BulkOff:
+		// Probes only.
+	default:
+		return nil, fmt.Errorf("bulkbench: unknown mode %q", opt.Mode)
+	}
+
+	// Let the pipeline fill before the measured window.
+	time.Sleep(200 * time.Millisecond)
+	latMu.Lock()
+	latSamples = latSamples[:0]
+	latMu.Unlock()
+	probesBefore := probes.Load()
+	bulkBefore := bulkBytes.Load()
+	start := time.Now()
+	time.Sleep(opt.Duration)
+	window := time.Since(start)
+	probesAfter := probes.Load()
+	bulkAfter := bulkBytes.Load()
+	close(stop)
+	wg.Wait()
+
+	p := &BulkBenchPoint{
+		Mode:        string(opt.Mode),
+		Nodes:       opt.Nodes,
+		Networks:    opt.Networks,
+		MsgLen:      opt.MsgLen,
+		DurationSec: window.Seconds(),
+		Probes:      probesAfter - probesBefore,
+		BulkBytes:   (bulkAfter - bulkBefore) / uint64(opt.Nodes),
+	}
+	p.BulkMBPerSec = float64(p.BulkBytes) / (1 << 20) / window.Seconds()
+	latMu.Lock()
+	samples := append([]time.Duration(nil), latSamples...)
+	latMu.Unlock()
+	if len(samples) > 0 {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		p.P50LatencyUs = float64(samples[len(samples)/2]) / float64(time.Microsecond)
+		p.P99LatencyUs = float64(samples[len(samples)*99/100]) / float64(time.Microsecond)
+	}
+	return p, nil
+}

@@ -61,6 +61,12 @@ type Config struct {
 	Change ConfigChange
 }
 
+// BulkSignal surfaces a bulk-transfer lane event (chunk acknowledgement or
+// configuration-change rewind notice) to the sender-side transfer manager.
+type BulkSignal struct {
+	Ev BulkEvent
+}
+
 func (*SendPacket) isAction()  {}
 func (SetTimer) isAction()     {}
 func (CancelTimer) isAction()  {}
@@ -68,6 +74,7 @@ func (Deliver) isAction()      {}
 func (Fault) isAction()        {}
 func (FaultCleared) isAction() {}
 func (Config) isAction()       {}
+func (BulkSignal) isAction()   {}
 
 // Delivery is a totally-ordered message delivered to the application.
 type Delivery struct {
@@ -88,10 +95,40 @@ type Delivery struct {
 	// configuration during membership recovery (extended virtual
 	// synchrony).
 	Transitional bool
+	// Bulk marks a completed bulk transfer reassembled from the bulk lane:
+	// Payload is the whole multi-chunk transfer (owned by the receiver)
+	// and Seq is the sequence number of the packet that completed it.
+	Bulk bool
 	// Shard is the ring shard the message was ordered on. The protocol
 	// machines never set it: a multi-ring node tags it at the delivery
 	// fan-in, so it is always 0 on a single-ring node.
 	Shard int
+}
+
+// BulkEventKind classifies bulk-lane sender events.
+type BulkEventKind int
+
+// Bulk event kinds.
+const (
+	// BulkAcked: the sender delivered its own bulk chunk — the ring-wide
+	// acknowledgement that every member of the configuration ordered it.
+	BulkAcked BulkEventKind = iota + 1
+	// BulkReconfig: a regular configuration was installed; senders must
+	// rewind in-flight transfers to their last contiguous acknowledged
+	// offset and re-send (receivers deduplicate).
+	BulkReconfig
+)
+
+// BulkEvent is one bulk-lane sender event.
+type BulkEvent struct {
+	Kind BulkEventKind
+	// ID is the transfer identifier (sender-local); zero for BulkReconfig.
+	ID uint64
+	// Offset and Len locate the acknowledged chunk within the transfer.
+	Offset uint64
+	Len    int
+	// Time is the (virtual or real) time of the event.
+	Time Time
 }
 
 // FaultReport describes a detected network fault (paper §3). The protocol
@@ -231,6 +268,12 @@ func (a *Actions) FaultCleared(r ClearReport) {
 func (a *Actions) Config(c ConfigChange) {
 	a.grab()
 	a.list = append(a.list, Config{Change: c})
+}
+
+// Bulk appends a BulkSignal action.
+func (a *Actions) Bulk(e BulkEvent) {
+	a.grab()
+	a.list = append(a.list, BulkSignal{Ev: e})
 }
 
 // Append appends an arbitrary action.

@@ -1,0 +1,48 @@
+package srp
+
+import (
+	"github.com/totem-rrp/totem/internal/bulk"
+	"github.com/totem-rrp/totem/internal/proto"
+)
+
+// onBulkMessage processes one reassembled bulk-lane message (a chunk
+// envelope) in total-order position. Every member — including the sender —
+// feeds its receiver, so completed transfers surface identically
+// everywhere as a Delivery with Bulk set. The sender additionally emits a
+// BulkAcked signal: delivering its own chunk is the ring-wide evidence
+// that every member of the configuration ordered it, which is what drives
+// the sender-side window forward.
+func (m *Machine) onBulkMessage(now proto.Time, ring proto.RingID, sender proto.NodeID, seq uint32, msg []byte, transitional bool) {
+	id, off, total, data, err := bulk.DecodeChunk(msg)
+	if err != nil {
+		m.ctr.bulkRxDropped.Inc()
+		return
+	}
+	if sender == m.cfg.ID {
+		m.ctr.bulkChunksAcked.Inc()
+		m.acts.Bulk(proto.BulkEvent{
+			Kind:   proto.BulkAcked,
+			ID:     id,
+			Offset: off,
+			Len:    len(data),
+			Time:   now,
+		})
+	}
+	full, st := m.bulkRx.Add(sender, id, off, total, data)
+	switch st {
+	case bulk.RxCompleted:
+		m.ctr.bulkRxCompleted.Inc()
+		m.ctr.msgsDelivered.Inc()
+		m.ctr.bytesDelivered.Add(uint64(len(full)))
+		m.acts.Deliver(proto.Delivery{
+			Ring:         ring,
+			Sender:       sender,
+			Seq:          seq,
+			Payload:      full,
+			Transitional: transitional,
+			Bulk:         true,
+		})
+	case bulk.RxDropped:
+		m.ctr.bulkRxDropped.Inc()
+	}
+}

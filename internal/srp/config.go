@@ -65,6 +65,26 @@ type Config struct {
 	// rejects beyond it.
 	MaxQueued int
 
+	// BulkMaxPerVisit caps bulk-only packets (packets carrying nothing but
+	// bulk-lane chunks) broadcast per token visit; interactive and mixed
+	// packets are not charged against it. Zero selects the default.
+	BulkMaxPerVisit int
+	// BulkYieldPerVisit replaces BulkMaxPerVisit whenever other members
+	// report queued interactive traffic in the token backlog, so a
+	// saturating transfer yields the window to latency-sensitive traffic.
+	// Zero selects the default; it must not exceed BulkMaxPerVisit.
+	BulkYieldPerVisit int
+	// MaxQueuedBulk caps the bulk-lane send queue (chunks); SubmitBulk
+	// rejects beyond it. Zero selects the default.
+	MaxQueuedBulk int
+	// MaxBulkTransfer bounds a single inbound transfer's announced length
+	// in bytes; larger announcements are dropped without allocation. Zero
+	// selects the default.
+	MaxBulkTransfer int
+	// MaxBulkPartials bounds concurrent in-progress inbound transfers.
+	// Zero selects the default.
+	MaxBulkPartials int
+
 	// TokenLossTimeout starts the membership protocol when no token
 	// arrives for this long (paper §2).
 	TokenLossTimeout time.Duration
@@ -122,6 +142,11 @@ func DefaultConfig(id proto.NodeID) Config {
 		WindowSize:               80,
 		MaxPerVisit:              20,
 		MaxQueued:                1024,
+		BulkMaxPerVisit:          DefaultBulkMaxPerVisit,
+		BulkYieldPerVisit:        DefaultBulkYieldPerVisit,
+		MaxQueuedBulk:            DefaultMaxQueuedBulk,
+		MaxBulkTransfer:          DefaultMaxBulkTransfer,
+		MaxBulkPartials:          DefaultMaxBulkPartials,
 		TokenLossTimeout:         100 * time.Millisecond,
 		TokenRetransmitInterval:  6 * time.Millisecond,
 		JoinInterval:             60 * time.Millisecond,
@@ -137,6 +162,24 @@ func DefaultConfig(id proto.NodeID) Config {
 // Config.SeqRollover is zero: half the uint32 range, leaving the entire
 // upper half as guard band for the bounded WindowSize overshoot.
 const DefaultSeqRollover = uint32(1) << 31
+
+// Bulk-lane defaults, applied when the corresponding Config field is zero.
+const (
+	// DefaultBulkMaxPerVisit: half the interactive MaxPerVisit default —
+	// an uncontended transfer still moves ~14 KB of chunks per visit.
+	DefaultBulkMaxPerVisit = 10
+	// DefaultBulkYieldPerVisit keeps a trickle of bulk progress even under
+	// sustained interactive load, preventing transfer starvation.
+	DefaultBulkYieldPerVisit = 2
+	// DefaultMaxQueuedBulk bounds queued bulk chunks; the sender-side
+	// window (totem.BulkOptions.Window) is far smaller, so this only trips
+	// when many transfers run at once.
+	DefaultMaxQueuedBulk = 256
+	// DefaultMaxBulkTransfer bounds one transfer to 64 MiB.
+	DefaultMaxBulkTransfer = 64 << 20
+	// DefaultMaxBulkPartials bounds concurrent inbound transfers.
+	DefaultMaxBulkPartials = 16
+)
 
 // Validation errors.
 var (
@@ -157,6 +200,13 @@ func (c Config) Validate() error {
 	}
 	if c.MaxPerVisit > c.WindowSize {
 		return fmt.Errorf("%w: MaxPerVisit %d exceeds WindowSize %d", ErrBadConfig, c.MaxPerVisit, c.WindowSize)
+	}
+	if c.BulkMaxPerVisit < 0 || c.BulkYieldPerVisit < 0 || c.MaxQueuedBulk < 0 ||
+		c.MaxBulkTransfer < 0 || c.MaxBulkPartials < 0 {
+		return fmt.Errorf("%w: bulk-lane knobs must be non-negative (zero selects the default)", ErrBadConfig)
+	}
+	if c.BulkMaxPerVisit > 0 && c.BulkYieldPerVisit > c.BulkMaxPerVisit {
+		return fmt.Errorf("%w: BulkYieldPerVisit %d exceeds BulkMaxPerVisit %d", ErrBadConfig, c.BulkYieldPerVisit, c.BulkMaxPerVisit)
 	}
 	for _, d := range []time.Duration{
 		c.TokenLossTimeout, c.TokenRetransmitInterval, c.JoinInterval,

@@ -62,6 +62,7 @@ type hNode struct {
 
 	delivered []proto.Delivery
 	configs   []proto.ConfigChange
+	bulkEvs   []proto.BulkEvent
 }
 
 func newHarness(t *testing.T, n int, tune func(*Config)) *harness {
@@ -153,6 +154,8 @@ func (n *hNode) drain() {
 			n.delivered = append(n.delivered, act.Msg)
 		case proto.Config:
 			n.configs = append(n.configs, act.Change)
+		case proto.BulkSignal:
+			n.bulkEvs = append(n.bulkEvs, act.Ev)
 		case *proto.SendPacket:
 			n.h.t.Fatalf("unexpected SendPacket action from bare SRP machine")
 		}

@@ -3,6 +3,7 @@ package srp
 import (
 	"fmt"
 
+	"github.com/totem-rrp/totem/internal/bulk"
 	"github.com/totem-rrp/totem/internal/core"
 	"github.com/totem-rrp/totem/internal/metrics"
 	"github.com/totem-rrp/totem/internal/proto"
@@ -128,6 +129,19 @@ type Machine struct {
 	lastTokenSentKey tokenKey
 	tokenRetransOn   bool
 
+	// Bulk lane state.
+	bulkRx *bulk.Rx
+	// prevBulkBacklog is our previous contribution to the token's
+	// BulkBacklog field (same replace-on-visit scheme as prevBacklog).
+	prevBulkBacklog uint32
+	// bulkBufs maps a broadcast packet's sequence number to the bulk chunk
+	// envelope buffers fully emitted in it. The chunks stored in m.rx alias
+	// these buffers (retransmissions re-encode from m.rx), so a buffer is
+	// recyclable only once its packet is pruned — never at delivery.
+	bulkBufs map[uint32][][]byte
+	// bulkFree is the recycled-envelope free list SubmitBulk draws from.
+	bulkFree [][]byte
+
 	// Gather state.
 	procSet   nodeSet
 	failSet   nodeSet
@@ -178,7 +192,26 @@ func NewMachine(cfg Config, out Outbound, acts *proto.Actions) (*Machine, error)
 		// the default limit, never "no limit".
 		cfg.SeqRollover = DefaultSeqRollover
 	}
-	return &Machine{
+	// Bulk-lane knobs follow the same zero-means-default rule.
+	if cfg.BulkMaxPerVisit == 0 {
+		cfg.BulkMaxPerVisit = DefaultBulkMaxPerVisit
+	}
+	if cfg.BulkYieldPerVisit == 0 {
+		cfg.BulkYieldPerVisit = DefaultBulkYieldPerVisit
+	}
+	if cfg.BulkYieldPerVisit > cfg.BulkMaxPerVisit {
+		cfg.BulkYieldPerVisit = cfg.BulkMaxPerVisit
+	}
+	if cfg.MaxQueuedBulk == 0 {
+		cfg.MaxQueuedBulk = DefaultMaxQueuedBulk
+	}
+	if cfg.MaxBulkTransfer == 0 {
+		cfg.MaxBulkTransfer = DefaultMaxBulkTransfer
+	}
+	if cfg.MaxBulkPartials == 0 {
+		cfg.MaxBulkPartials = DefaultMaxBulkPartials
+	}
+	m := &Machine{
 		cfg:       cfg,
 		out:       out,
 		acts:      acts,
@@ -187,8 +220,12 @@ func NewMachine(cfg Config, out Outbound, acts *proto.Actions) (*Machine, error)
 		asm:       wire.NewAssembler(),
 		rx:        make(map[uint32]*wire.DataPacket),
 		joinEpoch: make(map[proto.NodeID]uint32),
+		bulkRx:    bulk.NewRx(cfg.MaxBulkTransfer, cfg.MaxBulkPartials),
+		bulkBufs:  make(map[uint32][][]byte),
 		ctr:       newCounters(reg),
-	}, nil
+	}
+	m.packer.CollectFinished(true)
+	return m, nil
 }
 
 // ID returns this node's identifier.
@@ -290,6 +327,43 @@ func (m *Machine) Submit(now proto.Time, payload []byte) bool {
 	}
 	return true
 }
+
+// SubmitBulk queues one chunk of a bulk transfer on the rate-limited bulk
+// lane. The chunk is wrapped in the bulk envelope (transfer id, byte
+// offset, total length) into a recycled buffer; data is copied and may be
+// reused by the caller immediately. It returns false under backpressure
+// (bulk queue full) or before Start — the sender-side manager retries with
+// its bounded per-chunk budget.
+func (m *Machine) SubmitBulk(now proto.Time, id, off, total uint64, data []byte) bool {
+	if m.state == StateIdle {
+		return false
+	}
+	if m.packer.BulkBacklog() >= m.cfg.MaxQueuedBulk {
+		m.ctr.bulkRejected.Inc()
+		m.acts.Probe(proto.ProbeFlowStall, -1, int64(m.packer.BulkBacklog()), 1, 0)
+		return false
+	}
+	var buf []byte
+	if n := len(m.bulkFree); n > 0 {
+		buf = m.bulkFree[n-1][:0]
+		m.bulkFree = m.bulkFree[:n-1]
+	}
+	m.packer.EnqueueBulk(bulk.AppendChunk(buf, id, off, total, data))
+	m.ctr.bulkSubmitted.Inc()
+	if m.state == StateOperational && len(m.members) == 1 {
+		m.flushSingleton(now)
+	} else if m.heldToken != nil {
+		m.releaseHeldToken(true)
+	}
+	return true
+}
+
+// BulkBacklog returns the number of queued, not yet fully broadcast bulk
+// chunks.
+func (m *Machine) BulkBacklog() int { return m.packer.BulkBacklog() }
+
+// BulkPending returns the number of in-progress inbound bulk transfers.
+func (m *Machine) BulkPending() int { return m.bulkRx.Pending() }
 
 // OnPacket processes one packet received from the RRP layer (which has
 // already applied token gating and duplicate-copy handling across
@@ -419,6 +493,18 @@ func (m *Machine) resetRingState() {
 	m.tokenRetransOn = false
 	m.asm.Reset()
 	m.quietSetter = false
+	// A message caught mid-fragmentation by the ring change must restart
+	// whole: the new ring's receivers have fresh reassembly state, so
+	// continuing from the cursor would broadcast a continuation with no
+	// start and the message would silently vanish everywhere. Rewinding
+	// re-emits it from the beginning on the new ring — delivered exactly
+	// once, since the old ring's partial prefix completes nowhere.
+	m.packer.Rewind()
+	m.prevBulkBacklog = 0
+	// Envelope buffers harvested on the old ring may still be aliased by
+	// old-ring packets (snapshotOld moved m.rx into m.old); drop them to
+	// the GC instead of recycling.
+	clear(m.bulkBufs)
 }
 
 // cancelOperationalTimers disarms the token timers.

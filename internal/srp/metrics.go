@@ -20,6 +20,13 @@ type counters struct {
 	submitRejected   *metrics.Counter
 	tokenLosses      *metrics.Counter
 	configChanges    *metrics.Counter
+
+	// Bulk lane.
+	bulkSubmitted   *metrics.Counter
+	bulkRejected    *metrics.Counter
+	bulkChunksAcked *metrics.Counter
+	bulkRxCompleted *metrics.Counter
+	bulkRxDropped   *metrics.Counter
 }
 
 // newCounters resolves the SRP metric names in reg.
@@ -40,5 +47,10 @@ func newCounters(reg *metrics.Registry) counters {
 		submitRejected:   c("submit_rejected"),
 		tokenLosses:      c("token_losses"),
 		configChanges:    c("config_changes"),
+		bulkSubmitted:    c("bulk_submitted"),
+		bulkRejected:     c("bulk_rejected"),
+		bulkChunksAcked:  c("bulk_chunks_acked"),
+		bulkRxCompleted:  c("bulk_rx_completed"),
+		bulkRxDropped:    c("bulk_rx_dropped"),
 	}
 }

@@ -45,13 +45,14 @@ func (m *Machine) onData(now proto.Time, pkt *wire.DataPacket) {
 	}
 
 	if m.state == StateOperational {
-		m.deliverPending()
+		m.deliverPending(now)
 	}
 }
 
 // deliverPending delivers every contiguous packet up to the delivery
-// horizon, reassembling packed and fragmented messages.
-func (m *Machine) deliverPending() {
+// horizon, reassembling packed and fragmented messages. Bulk-lane chunks
+// route into the bulk receiver instead of surfacing individually.
+func (m *Machine) deliverPending(now proto.Time) {
 	horizon := m.myAru
 	if m.cfg.Delivery == DeliverSafe && m.safeTo < horizon {
 		horizon = m.safeTo
@@ -73,6 +74,10 @@ func (m *Machine) deliverPending() {
 		for _, c := range pkt.Chunks {
 			msg, ok := m.asm.Add(pkt.Sender, c)
 			if !ok {
+				continue
+			}
+			if c.Flags&wire.ChunkBulk != 0 {
+				m.onBulkMessage(now, pkt.Ring, pkt.Sender, s, msg, false)
 				continue
 			}
 			m.ctr.msgsDelivered.Inc()
@@ -101,6 +106,19 @@ func (m *Machine) prune() {
 			delete(m.rx, s)
 		}
 	}
+	// A pruned packet can never be re-encoded for retransmission, so the
+	// bulk envelope buffers its chunks aliased are now recyclable.
+	for s, bufs := range m.bulkBufs {
+		if s > horizon {
+			continue
+		}
+		for _, b := range bufs {
+			if len(m.bulkFree) < 64 {
+				m.bulkFree = append(m.bulkFree, b)
+			}
+		}
+		delete(m.bulkBufs, s)
+	}
 }
 
 // flushSingleton broadcasts and delivers queued messages immediately when
@@ -117,9 +135,12 @@ func (m *Machine) flushSingleton(now proto.Time) {
 		m.highSeq = seq
 		m.myAru = seq
 		m.ctr.packetsSent.Inc()
+		if bufs := m.packer.TakeFinishedBulk(); len(bufs) > 0 {
+			m.bulkBufs[seq] = append(m.bulkBufs[seq], bufs...)
+		}
 	}
 	m.safeTo = m.myAru
-	m.deliverPending()
+	m.deliverPending(now)
 	m.prune()
 	// A singleton ring has no token to carry the sequence number past the
 	// representative, so the rollover check lives here instead.
@@ -244,6 +265,9 @@ func (m *Machine) onToken(now proto.Time, tok *wire.Token) {
 	queued := uint32(m.packer.Backlog() + len(m.recQueue))
 	tok.Backlog = addClamped(tok.Backlog, queued, m.prevBacklog)
 	m.prevBacklog = queued
+	bulkQueued := uint32(m.packer.BulkBacklog())
+	tok.BulkBacklog = addClamped(tok.BulkBacklog, bulkQueued, m.prevBulkBacklog)
+	m.prevBulkBacklog = bulkQueued
 
 	if m.isRep() {
 		tok.Rotation++
@@ -269,7 +293,7 @@ func (m *Machine) onToken(now proto.Time, tok *wire.Token) {
 		m.forwardToken(tok)
 	}
 	if m.state == StateOperational {
-		m.deliverPending()
+		m.deliverPending(now)
 	}
 	// Reclaim retained packets once per visit (the safe horizon only
 	// advances at token time, so sweeping more often is wasted work).
@@ -363,6 +387,15 @@ func rtrContains(rtr []uint32, s uint32) bool {
 // sendNewTraffic broadcasts new packets under the flow-control window:
 // recovery retransmissions while in Recovery, application traffic while
 // Operational.
+//
+// The bulk lane is additionally paced per visit: packets carrying nothing
+// but bulk chunks are capped at BulkMaxPerVisit, dropping to
+// BulkYieldPerVisit whenever other members advertise queued interactive
+// traffic in the token backlog — a saturating transfer yields the window
+// to latency-sensitive messages instead of competing with them. Packets
+// that carry any interactive chunk (including mixed packets whose spare
+// budget bulk filled) are never charged against the bulk cap, and every
+// packet still counts toward the global fcc window.
 func (m *Machine) sendNewTraffic(tok *wire.Token) uint32 {
 	allowed := m.cfg.MaxPerVisit
 	if w := m.cfg.WindowSize - int(tok.FCC); w < allowed {
@@ -370,6 +403,12 @@ func (m *Machine) sendNewTraffic(tok *wire.Token) uint32 {
 	}
 	if w := m.cfg.WindowSize - int(tok.Seq-tok.ARU); w < allowed {
 		allowed = w
+	}
+	bulkAllowed := m.cfg.BulkMaxPerVisit
+	if int64(tok.Backlog) > int64(m.prevBacklog) {
+		// The token backlog minus our own previous contribution is the
+		// other members' queued interactive traffic.
+		bulkAllowed = m.cfg.BulkYieldPerVisit
 	}
 	var sent uint32
 	for allowed > 0 {
@@ -389,12 +428,27 @@ func (m *Machine) sendNewTraffic(tok *wire.Token) uint32 {
 			if m.packer.Empty() {
 				return sent
 			}
-			chunks := m.packer.NextChunks()
+			var chunks []wire.Chunk
+			if bulkAllowed > 0 {
+				chunks = m.packer.NextChunks()
+			} else {
+				// Bulk budget spent: drain the interactive lane only.
+				chunks = m.packer.NextChunksInteractive()
+			}
 			if chunks == nil {
 				return sent
 			}
+			// Interactive chunks fill first, so a packet whose first chunk
+			// is bulk carries only bulk.
+			bulkOnly := chunks[0].Flags&wire.ChunkBulk != 0
 			if !m.broadcastPacket(tok, 0, chunks) {
 				continue
+			}
+			if bufs := m.packer.TakeFinishedBulk(); len(bufs) > 0 {
+				m.bulkBufs[tok.Seq] = append(m.bulkBufs[tok.Seq], bufs...)
+			}
+			if bulkOnly {
+				bulkAllowed--
 			}
 		default:
 			return sent

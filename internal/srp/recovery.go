@@ -127,7 +127,7 @@ func (m *Machine) deliverOldAndInstall(now proto.Time) {
 				break
 			}
 			m.old.deliveredTo = s
-			m.deliverOldPacket(s, pkt)
+			m.deliverOldPacket(now, s, pkt)
 		}
 		// The agreed prefix ends at the first gap, but extended virtual
 		// synchrony still owes the messages of transitional members beyond
@@ -143,7 +143,7 @@ func (m *Machine) deliverOldAndInstall(now proto.Time) {
 			if pkt == nil || !trans.contains(pkt.Sender) {
 				continue
 			}
-			m.deliverOldPacket(s, pkt)
+			m.deliverOldPacket(now, s, pkt)
 		}
 		m.old = nil
 	}
@@ -153,6 +153,14 @@ func (m *Machine) deliverOldAndInstall(now proto.Time) {
 		Transitional: false,
 	})
 	m.ctr.configChanges.Inc()
+	// Bulk-lane configuration hooks: partials from departed senders can
+	// never complete (the ring does not retransmit across configurations),
+	// and local senders must rewind their transfers to the last contiguous
+	// acknowledged offset and re-send.
+	if dropped := m.bulkRx.Retain(m.members.contains); dropped > 0 {
+		m.ctr.bulkRxDropped.Add(uint64(dropped))
+	}
+	m.acts.Bulk(proto.BulkEvent{Kind: proto.BulkReconfig, Time: now})
 	m.setState(StateOperational)
 	if m.isRep() {
 		// The representative advertises the ring so that partitioned
@@ -163,7 +171,7 @@ func (m *Machine) deliverOldAndInstall(now proto.Time) {
 
 // deliverOldPacket delivers one old-ring packet in the transitional
 // configuration.
-func (m *Machine) deliverOldPacket(s uint32, pkt *wire.DataPacket) {
+func (m *Machine) deliverOldPacket(now proto.Time, s uint32, pkt *wire.DataPacket) {
 	if pkt.Flags&wire.FlagRecovery != 0 {
 		// A nested recovery placeholder: its payload belongs to an older
 		// configuration that was already delivered when this old ring was
@@ -173,6 +181,13 @@ func (m *Machine) deliverOldPacket(s uint32, pkt *wire.DataPacket) {
 	for _, c := range pkt.Chunks {
 		msg, ok := m.old.asm.Add(pkt.Sender, c)
 		if !ok {
+			continue
+		}
+		if c.Flags&wire.ChunkBulk != 0 {
+			// Transitional bulk chunks still feed the receiver (and still
+			// acknowledge the sender's own chunks): among transitional
+			// members delivery is uniform, so prefix state stays agreed.
+			m.onBulkMessage(now, m.old.ring, pkt.Sender, s, msg, true)
 			continue
 		}
 		m.ctr.msgsDelivered.Inc()

@@ -99,6 +99,13 @@ func (n *Node) Submit(now proto.Time, payload []byte) (ok bool, actions []proto.
 	return ok, n.acts.Drain()
 }
 
+// SubmitBulk queues one chunk of a bulk transfer on the rate-limited bulk
+// lane; ok is false under backpressure.
+func (n *Node) SubmitBulk(now proto.Time, id, off, total uint64, data []byte) (ok bool, actions []proto.Action) {
+	ok = n.srp.SubmitBulk(now, id, off, total, data)
+	return ok, n.acts.Drain()
+}
+
 // OnPacket processes a packet received on one network.
 func (n *Node) OnPacket(now proto.Time, network int, data []byte) []proto.Action {
 	n.rep.OnPacket(now, network, data)
@@ -138,3 +145,6 @@ func (n *Node) Replicator() core.Replicator { return n.rep }
 
 // Backlog returns queued, unsent application messages.
 func (n *Node) Backlog() int { return n.srp.Backlog() }
+
+// BulkBacklog returns queued, unsent bulk chunks.
+func (n *Node) BulkBacklog() int { return n.srp.BulkBacklog() }

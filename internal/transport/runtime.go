@@ -51,6 +51,7 @@ type Runtime struct {
 	faults     *queue[proto.FaultReport]
 	cleared    *queue[proto.ClearReport]
 	configs    *queue[proto.ConfigChange]
+	bulkEvs    *queue[proto.BulkEvent]
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -71,7 +72,15 @@ type timerFire struct {
 
 type submitReq struct {
 	payload []byte
+	bulk    *bulkChunk
 	reply   chan bool
+}
+
+// bulkChunk is one windowed piece of a bulk transfer bound for the
+// rate-limited lane.
+type bulkChunk struct {
+	id, off, total uint64
+	data           []byte
 }
 
 // NewRuntime wires a stack to a transport. Call Start to begin.
@@ -87,6 +96,7 @@ func NewRuntime(st *stack.Node, tr Transport) *Runtime {
 		faults:     newQueue[proto.FaultReport](),
 		cleared:    newQueue[proto.ClearReport](),
 		configs:    newQueue[proto.ConfigChange](),
+		bulkEvs:    newQueue[proto.BulkEvent](),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
@@ -96,6 +106,7 @@ func NewRuntime(st *stack.Node, tr Transport) *Runtime {
 	reg.RegisterFunc("runtime.faults_depth", r.faults.depth)
 	reg.RegisterFunc("runtime.cleared_depth", r.cleared.depth)
 	reg.RegisterFunc("runtime.configs_depth", r.configs.depth)
+	reg.RegisterFunc("runtime.bulk_depth", r.bulkEvs.depth)
 	reg.RegisterFunc("runtime.submit_rejected", func() int64 { return int64(r.submitRejected.Load()) })
 	if ms, ok := tr.(MetricSource); ok {
 		ms.RegisterMetrics(reg)
@@ -181,9 +192,17 @@ func (r *Runtime) loop() {
 					r.execute(r.stack.OnTimer(r.now(), ev.timer.id))
 				}
 			case ev.submit != nil:
-				ok, acts := r.stack.Submit(r.now(), ev.submit.payload)
-				if !ok {
-					r.submitRejected.Add(1)
+				var (
+					ok   bool
+					acts []proto.Action
+				)
+				if b := ev.submit.bulk; b != nil {
+					ok, acts = r.stack.SubmitBulk(r.now(), b.id, b.off, b.total, b.data)
+				} else {
+					ok, acts = r.stack.Submit(r.now(), ev.submit.payload)
+					if !ok {
+						r.submitRejected.Add(1)
+					}
 				}
 				r.execute(acts)
 				ev.submit.reply <- ok
@@ -267,6 +286,8 @@ func (r *Runtime) execute(actions []proto.Action) {
 				})
 			}
 			r.configs.push(act.Change)
+		case proto.BulkSignal:
+			r.bulkEvs.push(act.Ev)
 		}
 	}
 	// One kernel visit per action batch: everything this batch queued on a
@@ -344,6 +365,25 @@ func (r *Runtime) Submit(payload []byte) bool {
 	}
 }
 
+// SubmitBulk queues one chunk of a bulk transfer on the rate-limited bulk
+// lane, returning false under backpressure or after Close. The chunk is
+// copied into the lane's recycled envelope buffers before this returns, so
+// the caller may reuse data immediately.
+func (r *Runtime) SubmitBulk(id, off, total uint64, data []byte) bool {
+	req := &submitReq{bulk: &bulkChunk{id: id, off: off, total: total, data: data}, reply: make(chan bool, 1)}
+	select {
+	case r.events <- runtimeEvent{submit: req}:
+	case <-r.stop:
+		return false
+	}
+	select {
+	case ok := <-req.reply:
+		return ok
+	case <-r.stop:
+		return false
+	}
+}
+
 // Inspect runs fn inside the event loop, giving it exclusive, race-free
 // access to the stack (for state snapshots).
 func (r *Runtime) Inspect(fn func(*stack.Node)) bool {
@@ -401,6 +441,11 @@ func (r *Runtime) Cleared() <-chan proto.ClearReport { return r.cleared.out }
 // Configs returns the membership configuration-change stream.
 func (r *Runtime) Configs() <-chan proto.ConfigChange { return r.configs.out }
 
+// BulkEvents returns the bulk-lane signal stream: per-chunk ring-wide
+// acknowledgements and configuration-change rewind notices, in protocol
+// order.
+func (r *Runtime) BulkEvents() <-chan proto.BulkEvent { return r.bulkEvs.out }
+
 // Close stops the loop, all timers and the event queues. It does not
 // close the transport (the caller owns it).
 func (r *Runtime) Close() {
@@ -416,6 +461,7 @@ func (r *Runtime) Close() {
 		r.faults.close()
 		r.cleared.close()
 		r.configs.close()
+		r.bulkEvs.close()
 	})
 }
 

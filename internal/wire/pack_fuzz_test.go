@@ -157,3 +157,114 @@ func FuzzAssemblerStream(f *testing.F) {
 		_ = fmt.Sprintf("%d", completions) // keep the counter observable under -v
 	})
 }
+
+// FuzzMixedLanes drives arbitrary interleavings of interactive and bulk
+// enqueues — with an optional mid-stream configuration change (Assembler
+// Reset plus Packer Rewind) — and demands the two-lane contract: FIFO
+// byte-exact reassembly within each lane, interactive chunks packed ahead
+// of bulk in every packet, nothing dropped, and no livelock.
+func FuzzMixedLanes(f *testing.F) {
+	seed := func(resetAt byte, ops ...uint16) []byte {
+		b := []byte{resetAt}
+		for _, op := range ops {
+			b = binary.LittleEndian.AppendUint16(b, op)
+		}
+		return b
+	}
+	lane := func(bulk bool, n int) uint16 {
+		v := uint16(n) << 1
+		if bulk {
+			v |= 1
+		}
+		return v
+	}
+	f.Add(seed(255, lane(false, 200), lane(true, 20000), lane(false, 64)))
+	f.Add(seed(2, lane(true, 3*MaxPayload), lane(false, 100)))  // reset mid-fragment
+	f.Add(seed(0, lane(true, 1), lane(true, 0), lane(false, maxWhole)))
+	f.Add(seed(255, lane(true, 8192), lane(true, 8192), lane(true, 8192)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		// data[0] < 128 schedules one configuration change at that packet
+		// index; the ops are (size<<1 | bulkLane) little-endian pairs.
+		resetAt := -1
+		if data[0] < 128 {
+			resetAt = int(data[0]) % 16
+		}
+		const maxMsgs = 24
+		var p Packer
+		a := NewAssembler()
+		var wantI, wantB, gotI, gotB [][]byte
+		msgs := 0
+		for i := 1; i+1 < len(data) && msgs < maxMsgs; i += 2 {
+			v := binary.LittleEndian.Uint16(data[i:])
+			n := int(v>>1) % (3*MaxPayload + 1)
+			m := make([]byte, n)
+			for j := range m {
+				m[j] = byte(msgs*31 + j)
+			}
+			if v&1 == 1 {
+				wantB = append(wantB, m)
+				p.EnqueueBulk(append([]byte(nil), m...))
+			} else {
+				wantI = append(wantI, m)
+				p.Enqueue(append([]byte(nil), m...))
+			}
+			msgs++
+		}
+
+		for pkt := 0; !p.Empty(); pkt++ {
+			if pkt > 100000 {
+				t.Fatalf("livelock: %d packets and still %d+%d queued", pkt, p.Backlog(), p.BulkBacklog())
+			}
+			if pkt == resetAt {
+				// A configuration change wipes reassembly state; the packer
+				// rewinds so in-flight fragments restart whole. Nothing may
+				// be lost or corrupted — only re-sent.
+				a.Reset()
+				a.Dropped = 0
+				p.Rewind()
+			}
+			chunks := p.NextChunks()
+			if len(chunks) == 0 {
+				t.Fatalf("no progress with %d+%d messages queued", p.Backlog(), p.BulkBacklog())
+			}
+			budget, sawBulk := 0, false
+			for _, c := range chunks {
+				budget += len(c.Data) + ChunkOverhead
+				if c.Flags&ChunkBulk != 0 {
+					sawBulk = true
+				} else if sawBulk {
+					t.Fatal("interactive chunk packed behind a bulk chunk")
+				}
+				if m, ok := a.Add(3, c); ok {
+					cp := append([]byte(nil), m...)
+					if c.Flags&ChunkBulk != 0 {
+						gotB = append(gotB, cp)
+					} else {
+						gotI = append(gotI, cp)
+					}
+				}
+			}
+			if budget > MaxPayload {
+				t.Fatalf("packet holds %d bytes, budget %d", budget, MaxPayload)
+			}
+		}
+		check := func(lane string, got, want [][]byte) {
+			if len(got) != len(want) {
+				t.Fatalf("%s lane delivered %d of %d messages", lane, len(got), len(want))
+			}
+			for i := range want {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Fatalf("%s lane message %d not FIFO/byte-exact", lane, i)
+				}
+			}
+		}
+		check("interactive", gotI, wantI)
+		check("bulk", gotB, wantB)
+		if a.Dropped != 0 {
+			t.Fatalf("assembler dropped %d chunks of a clean stream", a.Dropped)
+		}
+	})
+}

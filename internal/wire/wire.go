@@ -91,10 +91,13 @@ var (
 )
 
 // Chunk flags: a whole message is First|Last; fragments of a long message
-// set First on the first fragment, Last on the final one.
+// set First on the first fragment, Last on the final one. Bulk marks a
+// chunk of the bulk lane; all fragments of a bulk message carry it, and
+// receivers reassemble the two lanes independently per sender.
 const (
 	ChunkFirst uint8 = 1 << 0
 	ChunkLast  uint8 = 1 << 1
+	ChunkBulk  uint8 = 1 << 2
 )
 
 // Data packet flags.
@@ -148,8 +151,12 @@ type Token struct {
 	ARUID    proto.NodeID
 	FCC      uint32
 	Backlog  uint32
-	Flags    uint8
-	RTR      []uint32
+	// BulkBacklog counts queued bulk-lane messages ring-wide, maintained
+	// like Backlog but separately so the interactive flow-control signal is
+	// never diluted by a multi-megabyte transfer sitting in the bulk queue.
+	BulkBacklog uint32
+	Flags       uint8
+	RTR         []uint32
 }
 
 // JoinPacket is broadcast during the Gather state of membership. ProcSet
@@ -325,9 +332,14 @@ func DecodeData(data []byte) (*DataPacket, error) {
 
 // --- Token ---
 
+// tokenBodyLen is the fixed part of an encoded token body: Seq, Rotation,
+// ARU, ARUID, FCC, Backlog, BulkBacklog (7×u32) + Flags (u8) + RTR count
+// (u16).
+const tokenBodyLen = 31
+
 // Encode serialises the token into a freshly allocated buffer.
 func (t *Token) Encode() ([]byte, error) {
-	return t.AppendEncode(make([]byte, 0, headerLen+27+4*len(t.RTR)))
+	return t.AppendEncode(make([]byte, 0, headerLen+tokenBodyLen+4*len(t.RTR)))
 }
 
 // AppendEncode serialises the token by appending to buf. Nothing is
@@ -343,6 +355,7 @@ func (t *Token) AppendEncode(buf []byte) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(t.ARUID))
 	buf = binary.BigEndian.AppendUint32(buf, t.FCC)
 	buf = binary.BigEndian.AppendUint32(buf, t.Backlog)
+	buf = binary.BigEndian.AppendUint32(buf, t.BulkBacklog)
 	buf = append(buf, t.Flags)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(t.RTR)))
 	for _, s := range t.RTR {
@@ -360,24 +373,25 @@ func DecodeToken(data []byte) (*Token, error) {
 	if k != KindToken {
 		return nil, fmt.Errorf("%w: kind %v, want token", ErrMalformed, k)
 	}
-	if len(rest) < 27 {
+	if len(rest) < tokenBodyLen {
 		return nil, ErrTruncated
 	}
 	t := &Token{
-		Ring:     ring,
-		Seq:      binary.BigEndian.Uint32(rest),
-		Rotation: binary.BigEndian.Uint32(rest[4:]),
-		ARU:      binary.BigEndian.Uint32(rest[8:]),
-		ARUID:    proto.NodeID(binary.BigEndian.Uint32(rest[12:])),
-		FCC:      binary.BigEndian.Uint32(rest[16:]),
-		Backlog:  binary.BigEndian.Uint32(rest[20:]),
-		Flags:    rest[24],
+		Ring:        ring,
+		Seq:         binary.BigEndian.Uint32(rest),
+		Rotation:    binary.BigEndian.Uint32(rest[4:]),
+		ARU:         binary.BigEndian.Uint32(rest[8:]),
+		ARUID:       proto.NodeID(binary.BigEndian.Uint32(rest[12:])),
+		FCC:         binary.BigEndian.Uint32(rest[16:]),
+		Backlog:     binary.BigEndian.Uint32(rest[20:]),
+		BulkBacklog: binary.BigEndian.Uint32(rest[24:]),
+		Flags:       rest[28],
 	}
-	n := int(binary.BigEndian.Uint16(rest[25:]))
+	n := int(binary.BigEndian.Uint16(rest[29:]))
 	if n > MaxRTR {
 		return nil, fmt.Errorf("%w: %d rtr entries", ErrMalformed, n)
 	}
-	rest = rest[27:]
+	rest = rest[tokenBodyLen:]
 	if len(rest) != 4*n {
 		return nil, fmt.Errorf("%w: rtr length", ErrMalformed)
 	}

@@ -222,6 +222,12 @@ type Options struct {
 	// the merge (default 25ms). Only meaningful with Config.CrossOrder
 	// and Shards > 1.
 	MarkerInterval time.Duration
+
+	// Bulk tunes the sender side of Node.SendBulk (chunk size, window,
+	// retry budget, submit workers). Receiver-side limits are in SRP
+	// (MaxBulkTransfer, MaxBulkPartials) and the lane's ring pacing in
+	// SRP.BulkMaxPerVisit / SRP.BulkYieldPerVisit.
+	Bulk BulkOptions
 }
 
 // Errors returned by the public API.
@@ -260,6 +266,14 @@ type Node struct {
 	clock        *shard.Clock  // CrossOrder Lamport clock
 	mergePending atomic.Int64  // CrossOrder hold-back depth gauge
 	markerStop   chan struct{} // stops the CrossOrder marker ticker
+
+	// Bulk-lane sender state (see bulk.go). Transfers run on shard 0.
+	bulkOpts   BulkOptions
+	bulkMax    int // receiver-side MaxBulkTransfer, for early rejection
+	bulkNextID atomic.Uint64
+	bulkMu     sync.Mutex
+	bulkXfers  map[uint64]*BulkTransfer
+	bulkClosed chan struct{} // closed when the bulk dispatcher exits
 
 	mu     sync.Mutex
 	closed bool
@@ -318,6 +332,12 @@ func NewNode(cfg Config, tr Transport) (*Node, error) {
 		shards:     shards,
 		shardFn:    cfg.ShardFunc,
 		crossOrder: cfg.CrossOrder && shards > 1,
+		bulkOpts:   opts.Bulk.withDefaults(),
+		bulkMax:    opts.SRP.MaxBulkTransfer,
+		bulkClosed: make(chan struct{}),
+	}
+	if n.bulkMax == 0 {
+		n.bulkMax = srp.DefaultMaxBulkTransfer
 	}
 	if n.shardFn == nil {
 		n.shardFn = DefaultShardFunc
@@ -373,6 +393,7 @@ func NewNode(cfg Config, tr Transport) (*Node, error) {
 	for _, rt := range n.rts {
 		rt.Start()
 	}
+	go n.bulkDispatch()
 	return n, nil
 }
 
