@@ -17,6 +17,10 @@
 //	totembench -bulk            # bulk-lane latency sweep: small-message
 //	                            # p99 under a saturating SendBulk stream,
 //	                            # gated against the no-bulk baseline
+//	totembench -logd            # replicated-log append latency sweep:
+//	                            # client-observed p50/p99 on a healthy
+//	                            # 4-node cluster and under torture faults,
+//	                            # gated on a p99 ceiling and 0 duplicates
 package main
 
 import (
@@ -50,8 +54,13 @@ func main() {
 	bulkBytes := flag.Int("bulk-bytes", 4<<20, "bulk: size of each streamed transfer")
 	bulkLen := flag.Int("bulk-len", 64, "bulk: probe payload bytes")
 	bulkBound := flag.Float64("bulk-bound", 5.0, "bulk gate: max allowed p99 ratio of bulk-lane mode over the no-bulk baseline")
+	logdRun := flag.Bool("logd", false, "also run the replicated-log sweep (client-observed append p50/p99, healthy and under torture faults) and gate on it")
+	logdDur := flag.Duration("logd-dur", 2*time.Second, "logd: measured window for the healthy point (the faulted point doubles it)")
+	logdClients := flag.Int("logd-clients", 8, "logd: concurrent writer count")
+	logdLen := flag.Int("logd-len", 128, "logd: record payload bytes")
+	logdCeiling := flag.Float64("logd-p99-ms", 250, "logd gate: max allowed healthy-point p99 in milliseconds")
 	flag.Parse()
-	if *jsonOut || *liveRun || *shards > 0 || *bulkRun {
+	if *jsonOut || *liveRun || *shards > 0 || *bulkRun || *logdRun {
 		cfg := liveConfig{
 			run:         *liveRun,
 			dur:         *liveDur,
@@ -73,7 +82,14 @@ func main() {
 			probeLen: *bulkLen,
 			bound:    *bulkBound,
 		}
-		if err := runHotPath(*outPath, *jsonOut, cfg, scfg, bcfg); err != nil {
+		lcfg := logdConfig{
+			run:       *logdRun,
+			dur:       *logdDur,
+			clients:   *logdClients,
+			msgLen:    *logdLen,
+			ceilingMs: *logdCeiling,
+		}
+		if err := runHotPath(*outPath, *jsonOut, cfg, scfg, bcfg, lcfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -109,16 +125,25 @@ type bulkConfig struct {
 	bound    float64
 }
 
+type logdConfig struct {
+	run       bool
+	dur       time.Duration
+	clients   int
+	msgLen    int
+	ceilingMs float64
+}
+
 // runHotPath regenerates the allocation-budget report (micro allocs/op
 // plus wall-clock Figure 6 points) and saves it for EXPERIMENTS.md. With
 // live.run it appends the live wire sweep and enforces the wire-path
 // gate: the batched driver must beat the portable one by the configured
 // throughput or syscall margin. With shard.shards > 0 it appends the
 // multi-ring sweep and enforces the sharding gate; with bulk.run it
-// appends the bulk-lane latency sweep and enforces the p99 bound. Sweeps
-// run without -json merge into an existing report file rather than
-// clobbering it.
-func runHotPath(path string, writeJSON bool, live liveConfig, shard shardConfig, bulk bulkConfig) error {
+// appends the bulk-lane latency sweep and enforces the p99 bound; with
+// logd.run it appends the replicated-log sweep and enforces its p99
+// ceiling and zero-duplicates invariant. Sweeps run without -json merge
+// into an existing report file rather than clobbering it.
+func runHotPath(path string, writeJSON bool, live liveConfig, shard shardConfig, bulk bulkConfig, logd logdConfig) error {
 	var rep bench.HotPathReport
 	var err error
 	if writeJSON {
@@ -134,9 +159,9 @@ func runHotPath(path string, writeJSON bool, live liveConfig, shard shardConfig,
 				return fmt.Errorf("existing %s: %w", path, err)
 			}
 		}
-		// Shard and bulk sweeps always persist their section; -live alone
-		// keeps its historical print-and-gate-only behaviour.
-		writeJSON = shard.shards > 0 || bulk.run
+		// Shard, bulk, and logd sweeps always persist their section;
+		// -live alone keeps its historical print-and-gate-only behaviour.
+		writeJSON = shard.shards > 0 || bulk.run || logd.run
 	}
 	if live.run {
 		points, err := bench.LiveWire(bench.LiveWireOptions{
@@ -170,6 +195,17 @@ func runHotPath(path string, writeJSON bool, live liveConfig, shard shardConfig,
 		}
 		rep.Bulk = points
 	}
+	if logd.run {
+		points, err := bench.LogdSweep(bench.LogdOptions{
+			Duration:     logd.dur,
+			Clients:      logd.clients,
+			PayloadBytes: logd.msgLen,
+		})
+		if err != nil {
+			return err
+		}
+		rep.Logd = points
+	}
 	bench.PrintHotPath(os.Stdout, rep)
 	if writeJSON {
 		f, err := os.Create(path)
@@ -201,6 +237,13 @@ func runHotPath(path string, writeJSON bool, live liveConfig, shard shardConfig,
 		fmt.Println(verdict)
 		if !ok {
 			return fmt.Errorf("bulk lane gate failed")
+		}
+	}
+	if logd.run {
+		verdict, ok := bench.LogdGate(rep.Logd, logd.ceilingMs)
+		fmt.Println(verdict)
+		if !ok {
+			return fmt.Errorf("logd gate failed")
 		}
 	}
 	return nil

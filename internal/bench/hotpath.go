@@ -43,15 +43,16 @@ type HotPathPoint struct {
 
 // HotPathReport is the payload of BENCH_hotpath.json. LiveWire is filled
 // only by `totembench -json -live`, ShardScale only by
-// `totembench -json -shards M`, Bulk only by `totembench -bulk`: the
-// simulated figures are cheap and deterministic, the live sweeps cost
-// real wall-clock seconds.
+// `totembench -json -shards M`, Bulk only by `totembench -bulk`, Logd
+// only by `totembench -logd`: the simulated figures are cheap and
+// deterministic, the live sweeps cost real wall-clock seconds.
 type HotPathReport struct {
 	Micro      []HotPathMicro         `json:"micro"`
 	Figure6    []HotPathPoint         `json:"figure6_4nodes"`
 	LiveWire   []live.WireBenchPoint  `json:"figure6_live,omitempty"`
 	ShardScale []live.ShardBenchPoint `json:"figure6_shards,omitempty"`
 	Bulk       []live.BulkBenchPoint  `json:"figure_bulk,omitempty"`
+	Logd       []live.LogdBenchPoint  `json:"figure_logd,omitempty"`
 }
 
 // HotPathMicros measures the allocation budget of the steady-state packet
@@ -211,6 +212,9 @@ func PrintHotPath(w io.Writer, rep HotPathReport) {
 		if len(rep.Bulk) > 0 {
 			PrintBulk(w, rep.Bulk)
 		}
+		if len(rep.Logd) > 0 {
+			PrintLogd(w, rep.Logd)
+		}
 		return
 	}
 	fmt.Fprintln(w, "figure 6 (4 nodes, no replication), wall clock")
@@ -227,5 +231,8 @@ func PrintHotPath(w io.Writer, rep HotPathReport) {
 	}
 	if len(rep.Bulk) > 0 {
 		PrintBulk(w, rep.Bulk)
+	}
+	if len(rep.Logd) > 0 {
+		PrintLogd(w, rep.Logd)
 	}
 }

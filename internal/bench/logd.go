@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/live"
+)
+
+// LogdOptions shapes the figure_logd sweep: one clean run measuring
+// client-observed commit latency on a healthy cluster, and one with the
+// torture schedule (loss burst + kill -9/restart) overlapping the
+// measured window. The pair is the headline replicated-log figure: what
+// an append costs end to end, and what faults do to the tail.
+type LogdOptions struct {
+	// Duration is the measured window per point (default 2s).
+	Duration time.Duration
+	// Clients is the concurrent writer count (default 8).
+	Clients int
+	// PayloadBytes sizes each record (default 128).
+	PayloadBytes int
+	// Nodes defaults to 4.
+	Nodes int
+}
+
+// LogdSweep measures the two figure_logd points on a real cluster:
+// healthy, then under torture faults.
+func LogdSweep(opt LogdOptions) ([]live.LogdBenchPoint, error) {
+	out := make([]live.LogdBenchPoint, 0, 2)
+	for _, faults := range []bool{false, true} {
+		dur := opt.Duration
+		if faults && dur > 0 {
+			// The fault schedule needs room for reformation and catch-up
+			// inside the window.
+			dur *= 2
+		}
+		p, err := live.LogdBench(live.LogdBenchOptions{
+			Nodes:        opt.Nodes,
+			Clients:      opt.Clients,
+			PayloadBytes: opt.PayloadBytes,
+			Duration:     dur,
+			Faults:       faults,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("logd bench (faults=%v): %w", faults, err)
+		}
+		out = append(out, *p)
+	}
+	return out, nil
+}
+
+// LogdGate judges a figure_logd sweep: both points must have committed
+// appends, stored zero duplicate identities, and the healthy point's p99
+// must sit under the ceiling (the faulted point's tail legitimately
+// includes reformation stalls, so only its correctness is gated). It
+// returns a human-readable verdict line and whether the gate passed.
+func LogdGate(points []live.LogdBenchPoint, p99CeilingMs float64) (string, bool) {
+	var healthy, faulted *live.LogdBenchPoint
+	for i := range points {
+		if points[i].Faults {
+			faulted = &points[i]
+		} else {
+			healthy = &points[i]
+		}
+	}
+	if healthy == nil || faulted == nil {
+		return "logd gate: sweep missing healthy or faulted point", false
+	}
+	if healthy.Appends == 0 || faulted.Appends == 0 {
+		return "logd gate: a point committed no appends", false
+	}
+	if healthy.Duplicates > 0 || faulted.Duplicates > 0 {
+		return fmt.Sprintf("logd gate: duplicate appends stored (healthy %d, faulted %d) — FAIL",
+			healthy.Duplicates, faulted.Duplicates), false
+	}
+	ok := healthy.P99LatencyUs > 0 && healthy.P99LatencyUs <= p99CeilingMs*1000
+	verdict := fmt.Sprintf(
+		"logd gate: healthy p50 %.0fµs p99 %.0fµs (%.0f appends/s), faulted p99 %.0fµs, 0 duplicates (p99 ceiling %.0fms)",
+		healthy.P50LatencyUs, healthy.P99LatencyUs, healthy.AppendsPerSec,
+		faulted.P99LatencyUs, p99CeilingMs)
+	if ok {
+		verdict += " — PASS"
+	} else {
+		verdict += " — FAIL"
+	}
+	return verdict, ok
+}
+
+// PrintLogd renders the figure_logd sweep for the terminal.
+func PrintLogd(w io.Writer, points []live.LogdBenchPoint) {
+	fmt.Fprintln(w, "replicated log (client-observed append commit latency)")
+	fmt.Fprintf(w, "  %-8s %5s %7s %9s %9s %9s %11s %5s\n",
+		"faults", "nodes", "clients", "appends", "p50(µs)", "p99(µs)", "appends/s", "dups")
+	for _, p := range points {
+		fmt.Fprintf(w, "  %-8v %5d %7d %9d %9.0f %9.0f %11.0f %5d\n",
+			p.Faults, p.Nodes, p.Clients, p.Appends,
+			p.P50LatencyUs, p.P99LatencyUs, p.AppendsPerSec, p.Duplicates)
+	}
+}

@@ -1,0 +1,274 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/logd"
+	"github.com/totem-rrp/totem/logdclient"
+)
+
+// LogdBenchOptions shapes one figure_logd point: concurrent logdclient
+// writers hammering a live cluster, measuring client-observed commit
+// latency (HTTP round trip + total order + group-commit fsync).
+type LogdBenchOptions struct {
+	// Nodes and Networks size the cluster (defaults 4 and 2).
+	Nodes    int
+	Networks int
+	// Clients is the concurrent writer count (default 8).
+	Clients int
+	// PayloadBytes sizes each record (default 128).
+	PayloadBytes int
+	// Warmup runs load before measurement starts (default 500ms).
+	Warmup time.Duration
+	// Duration is the measured window (default 2s).
+	Duration time.Duration
+	// Faults injects the torture schedule mid-window: a loss burst on
+	// network 0 at T/4, then a kill -9 + restart of one member at T/2
+	// and 3T/4.
+	Faults bool
+	// Dir is the scratch directory (default: a fresh temp dir, removed
+	// after the run).
+	Dir string
+}
+
+// LogdBenchPoint is one measured figure_logd point.
+type LogdBenchPoint struct {
+	Nodes         int     `json:"nodes"`
+	Clients       int     `json:"clients"`
+	PayloadBytes  int     `json:"payload_bytes"`
+	Faults        bool    `json:"faults"`
+	DurationSec   float64 `json:"duration_sec"`
+	Appends       uint64  `json:"appends"`
+	Failures      uint64  `json:"failures"`
+	AppendsPerSec float64 `json:"appends_per_sec"`
+	P50LatencyUs  float64 `json:"p50_latency_us"`
+	P99LatencyUs  float64 `json:"p99_latency_us"`
+	// Duplicates counts (client, seq) identities stored at more than one
+	// offset after the run — must be 0; anything else is a correctness
+	// bug, not a performance number.
+	Duplicates uint64 `json:"duplicates"`
+}
+
+// LogdBench boots a live logd cluster, drives it with concurrent
+// writers, and reports client-observed commit latency percentiles. With
+// Faults it overlaps a loss burst and a crash/restart with the measured
+// window, so the percentiles include reformation and failover stalls.
+func LogdBench(opt LogdBenchOptions) (*LogdBenchPoint, error) {
+	if opt.Nodes <= 0 {
+		opt.Nodes = 4
+	}
+	if opt.Networks <= 0 {
+		opt.Networks = 2
+	}
+	if opt.Clients <= 0 {
+		opt.Clients = 8
+	}
+	if opt.PayloadBytes <= 0 {
+		opt.PayloadBytes = 128
+	}
+	if opt.Warmup <= 0 {
+		opt.Warmup = 500 * time.Millisecond
+	}
+	if opt.Duration <= 0 {
+		opt.Duration = 2 * time.Second
+	}
+	if opt.Dir == "" {
+		dir, err := os.MkdirTemp("", "logdbench-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		opt.Dir = dir
+	}
+
+	c, err := NewLogdCluster(LogdClusterOptions{
+		Nodes:    opt.Nodes,
+		Networks: opt.Networks,
+		Dir:      opt.Dir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	if err := c.WaitLive(30 * time.Second); err != nil {
+		return nil, err
+	}
+
+	type writerStats struct {
+		appends  uint64
+		failures uint64
+		lats     []time.Duration
+	}
+	var (
+		measuring bool // guarded by statsMu
+		statsMu   sync.Mutex
+	)
+	eps := c.Endpoints()
+	payload := make([]byte, opt.PayloadBytes)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+	stop := make(chan struct{})
+	stats := make([]writerStats, opt.Clients)
+	var wg sync.WaitGroup
+	errCh := make(chan error, opt.Clients)
+	for w := 0; w < opt.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rot := append(append([]string(nil), eps[w%len(eps):]...), eps[:w%len(eps)]...)
+			cl, err := logdclient.New(logdclient.Options{
+				Endpoints:   rot,
+				ID:          fmt.Sprintf("bench-%d", w),
+				MaxAttempts: 10,
+				BaseBackoff: 5 * time.Millisecond,
+				MaxBackoff:  200 * time.Millisecond,
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			st := &stats[w]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				start := time.Now()
+				_, err := cl.Append(ctx, payload)
+				lat := time.Since(start)
+				cancel()
+				statsMu.Lock()
+				counted := measuring
+				statsMu.Unlock()
+				if err != nil {
+					if counted {
+						st.failures++
+					}
+					continue
+				}
+				if counted {
+					st.appends++
+					if len(st.lats) < 1<<17 {
+						st.lats = append(st.lats, lat)
+					}
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(opt.Warmup)
+	statsMu.Lock()
+	measuring = true
+	statsMu.Unlock()
+	begin := time.Now()
+
+	if opt.Faults {
+		quarter := opt.Duration / 4
+		time.Sleep(quarter)
+		c.Netem().SetLoss(0, 0.3)
+		time.Sleep(quarter)
+		c.Netem().SetLoss(0, 0)
+		c.Kill(1)
+		time.Sleep(quarter)
+		if err := c.Restart(1); err != nil {
+			close(stop)
+			wg.Wait()
+			return nil, err
+		}
+		time.Sleep(quarter)
+	} else {
+		time.Sleep(opt.Duration)
+	}
+
+	statsMu.Lock()
+	measuring = false
+	statsMu.Unlock()
+	window := time.Since(begin)
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := c.WaitLive(60 * time.Second); err != nil {
+		return nil, err
+	}
+	if err := c.WaitConverged(60 * time.Second); err != nil {
+		return nil, err
+	}
+
+	p := &LogdBenchPoint{
+		Nodes:        opt.Nodes,
+		Clients:      opt.Clients,
+		PayloadBytes: opt.PayloadBytes,
+		Faults:       opt.Faults,
+		DurationSec:  window.Seconds(),
+	}
+	var lats []time.Duration
+	for i := range stats {
+		p.Appends += stats[i].appends
+		p.Failures += stats[i].failures
+		lats = append(lats, stats[i].lats...)
+	}
+	p.AppendsPerSec = float64(p.Appends) / window.Seconds()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if n := len(lats); n > 0 {
+		p.P50LatencyUs = float64(lats[n/2].Microseconds())
+		p.P99LatencyUs = float64(lats[n*99/100].Microseconds())
+	}
+
+	dups, err := logdDuplicateScan(c.Endpoint(0))
+	if err != nil {
+		return nil, err
+	}
+	p.Duplicates = dups
+	return p, nil
+}
+
+// logdDuplicateScan reads the whole stored log and counts (client, seq)
+// identities occupying more than one offset — the zero-duplicates
+// invariant a latency number is meaningless without.
+func logdDuplicateScan(endpoint string) (uint64, error) {
+	rd, err := logdclient.New(logdclient.Options{Endpoints: []string{endpoint}, ID: "bench-reader"})
+	if err != nil {
+		return 0, err
+	}
+	type ident struct {
+		client string
+		seq    uint64
+	}
+	seen := make(map[ident]struct{})
+	var dups, from uint64
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		recs, next, err := rd.Read(ctx, from, 512)
+		cancel()
+		if err != nil {
+			return 0, err
+		}
+		for _, rec := range recs {
+			if rec.Kind != logd.KindData {
+				continue
+			}
+			id := ident{rec.Client, rec.Seq}
+			if _, ok := seen[id]; ok {
+				dups++
+			}
+			seen[id] = struct{}{}
+		}
+		from += uint64(len(recs))
+		if from >= next || len(recs) == 0 {
+			return dups, nil
+		}
+	}
+}

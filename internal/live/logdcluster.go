@@ -1,0 +1,462 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	totem "github.com/totem-rrp/totem"
+	"github.com/totem-rrp/totem/internal/logd"
+	"github.com/totem-rrp/totem/internal/proto"
+	"github.com/totem-rrp/totem/internal/transport"
+)
+
+// LogdCluster boots N complete logd members — ring node, durable store,
+// logd server, HTTP front door — on one machine, with the same netem
+// impairment layer the torture harness uses. Members can be killed
+// abruptly (kill -9 style: no snapshot, no graceful handoff, epoch comes
+// back from the meta file) and restarted in place: the HTTP endpoint is
+// re-bound on the same port so clients fail over and back, and the
+// store's persisted epoch is carried into the new incarnation's
+// InitialEpoch — the stable-storage half of the live harness's
+// epoch-carry restart.
+type LogdCluster struct {
+	opt LogdClusterOptions
+	nm  *Netem
+	hub *transport.MemHub
+
+	mu      sync.Mutex
+	members []*logdMember
+	addrs   map[proto.NodeID][]string // udp transport: current ring listen addrs
+}
+
+// LogdClusterOptions sizes a cluster. Dir is required.
+type LogdClusterOptions struct {
+	// Nodes is the member count (default 4).
+	Nodes int
+	// Networks is the redundant-network count (default 2).
+	Networks int
+	// Dir is the base directory; member i persists under Dir/node-<i>.
+	Dir string
+	// Transport is "mem" (default) or "udp".
+	Transport string
+	// Netem is the baseline impairment (default: none).
+	Netem NetemParams
+	// Store tunes each member's store (default: 64 KiB segments,
+	// snapshot every 64 records — small, so restarts exercise both).
+	Store logd.StoreOptions
+	// Server tunes each member's server. Peers/NodeID are filled in by
+	// the cluster; AckTimeout, ColdStartTimeout etc. pass through
+	// (defaults: 15s ack, 3s cold start).
+	Server logd.ServerOptions
+	// Logf receives member diagnostics (default: discarded).
+	Logf func(format string, args ...any)
+}
+
+type logdMember struct {
+	id  proto.NodeID
+	dir string
+
+	mu      sync.Mutex
+	udp     *transport.UDPTransport
+	imp     *Impaired
+	node    *totem.Node
+	store   *logd.Store
+	srv     *logd.Server
+	hs      *http.Server
+	addr    string // stable host:port of the HTTP front door
+	crashed bool
+}
+
+// NewLogdCluster boots the cluster and waits for every member to go
+// live.
+func NewLogdCluster(opt LogdClusterOptions) (*LogdCluster, error) {
+	if opt.Nodes <= 0 {
+		opt.Nodes = 4
+	}
+	if opt.Networks <= 0 {
+		opt.Networks = 2
+	}
+	if opt.Dir == "" {
+		return nil, fmt.Errorf("logdcluster: Dir is required")
+	}
+	if opt.Transport == "" {
+		opt.Transport = "mem"
+	}
+	if opt.Store.SegmentBytes == 0 {
+		opt.Store.SegmentBytes = 64 << 10
+	}
+	if opt.Store.SnapshotEvery == 0 {
+		opt.Store.SnapshotEvery = 64
+	}
+	if opt.Server.AckTimeout == 0 {
+		opt.Server.AckTimeout = 15 * time.Second
+	}
+	if opt.Server.ColdStartTimeout == 0 {
+		opt.Server.ColdStartTimeout = 3 * time.Second
+	}
+	if opt.Logf == nil {
+		opt.Logf = func(string, ...any) {}
+	}
+
+	c := &LogdCluster{
+		opt:   opt,
+		nm:    NewNetem(opt.Networks, opt.Netem),
+		addrs: make(map[proto.NodeID][]string),
+	}
+	if opt.Transport == "mem" {
+		c.hub = transport.NewMemHub(opt.Networks)
+	}
+	for i := 1; i <= opt.Nodes; i++ {
+		m := &logdMember{id: proto.NodeID(i), dir: filepath.Join(opt.Dir, fmt.Sprintf("node-%d", i))}
+		if err := os.MkdirAll(m.dir, 0o755); err != nil {
+			c.Close()
+			return nil, err
+		}
+		// Reserve the member's stable HTTP address up front so every
+		// member can be told its peers' endpoints before any boots.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		m.addr = ln.Addr().String()
+		ln.Close()
+		c.members = append(c.members, m)
+	}
+	if opt.Transport == "udp" {
+		for _, m := range c.members {
+			t, err := c.newUDP(m.id)
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			m.udp = t
+			c.addrs[m.id] = t.LocalAddrs()
+		}
+		for _, m := range c.members {
+			for _, peer := range c.members {
+				if peer.id == m.id {
+					continue
+				}
+				if err := m.udp.AddPeer(peer.id, c.addrs[peer.id]); err != nil {
+					c.Close()
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, m := range c.members {
+		if err := c.startMember(m); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *LogdCluster) newUDP(id proto.NodeID) (*transport.UDPTransport, error) {
+	listen := make([]string, c.opt.Networks)
+	for i := range listen {
+		listen[i] = "127.0.0.1:0"
+	}
+	return transport.NewUDP(transport.UDPConfig{ID: id, Listen: listen})
+}
+
+func (c *LogdCluster) peersOf(id proto.NodeID) []proto.NodeID {
+	out := make([]proto.NodeID, 0, len(c.members)-1)
+	for _, m := range c.members {
+		if m.id != id {
+			out = append(out, m.id)
+		}
+	}
+	return out
+}
+
+// peerURLs lists every member's front door except id's.
+func (c *LogdCluster) peerURLs(id proto.NodeID) []string {
+	var out []string
+	for _, m := range c.members {
+		if m.id != id {
+			out = append(out, "http://"+m.addr)
+		}
+	}
+	return out
+}
+
+// startMember boots one member's whole stack from its on-disk state.
+func (c *LogdCluster) startMember(m *logdMember) error {
+	store, err := logd.OpenStore(m.dir, c.opt.Store)
+	if err != nil {
+		return fmt.Errorf("logdcluster: node %v store: %w", m.id, err)
+	}
+	var inner transport.Transport
+	if c.opt.Transport == "mem" {
+		t, err := c.hub.Join(m.id)
+		if err != nil {
+			store.Close()
+			return err
+		}
+		inner = t
+	} else {
+		inner = m.udp
+	}
+	imp := Impair(inner, m.id, c.peersOf(m.id), c.nm)
+	epoch := store.Epoch() // persisted across kill -9 by the meta file
+	node, err := totem.NewNode(totem.Config{
+		ID:          m.id,
+		Networks:    c.opt.Networks,
+		Replication: proto.ReplicationPassive,
+		Tune: func(o *totem.Options) {
+			liveTune(o)
+			if epoch > o.SRP.InitialEpoch {
+				o.SRP.InitialEpoch = epoch
+			}
+		},
+	}, imp)
+	if err != nil {
+		imp.Close()
+		store.Close()
+		return fmt.Errorf("logdcluster: node %v: %w", m.id, err)
+	}
+	sopt := c.opt.Server
+	sopt.NodeID = fmt.Sprintf("node-%d", m.id)
+	sopt.Peers = c.peerURLs(m.id)
+	logf := c.opt.Logf
+	sopt.Logf = func(format string, args ...any) { logf(format, args...) }
+	srv, err := logd.NewServer(node, store, sopt)
+	if err != nil {
+		node.Close()
+		imp.Close()
+		store.Close()
+		return err
+	}
+	// Re-listen on the member's stable port so clients' endpoint lists
+	// survive the restart. The previous listener was closed by Kill, but
+	// give the kernel a beat to release it.
+	var ln net.Listener
+	for attempt := 0; ; attempt++ {
+		ln, err = net.Listen("tcp", m.addr)
+		if err == nil {
+			break
+		}
+		if attempt > 100 {
+			srv.Close()
+			node.Close()
+			imp.Close()
+			store.Close()
+			return fmt.Errorf("logdcluster: rebinding %s: %w", m.addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln) //nolint:errcheck
+
+	m.mu.Lock()
+	m.imp, m.node, m.store, m.srv, m.hs, m.crashed = imp, node, store, srv, hs, false
+	m.mu.Unlock()
+	return nil
+}
+
+// Endpoints returns every member's front-door URL, in member order. The
+// list is stable across Kill/Restart.
+func (c *LogdCluster) Endpoints() []string {
+	out := make([]string, len(c.members))
+	for i, m := range c.members {
+		out[i] = "http://" + m.addr
+	}
+	return out
+}
+
+// Endpoint returns member i's (0-based) front-door URL.
+func (c *LogdCluster) Endpoint(i int) string { return "http://" + c.members[i].addr }
+
+// Netem returns the impairment layer, for fault injection mid-run.
+func (c *LogdCluster) Netem() *Netem { return c.nm }
+
+// Store returns member i's store; nil while the member is down.
+func (c *LogdCluster) Store(i int) *logd.Store {
+	m := c.members[i]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.store
+}
+
+// Server returns member i's server; nil while the member is down.
+func (c *LogdCluster) Server(i int) *logd.Server {
+	m := c.members[i]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.srv
+}
+
+// Kill fail-stops member i, kill -9 style: the HTTP listener drops, the
+// ring node dies without a goodbye, and the store is abandoned with no
+// final snapshot or sync — recovery gets only what Apply already fsynced
+// plus the meta file's epoch.
+func (c *LogdCluster) Kill(i int) {
+	m := c.members[i]
+	m.mu.Lock()
+	if m.crashed {
+		m.mu.Unlock()
+		return
+	}
+	imp, node, store, srv, hs := m.imp, m.node, m.store, m.srv, m.hs
+	m.imp, m.node, m.store, m.srv, m.hs = nil, nil, nil, nil, nil
+	m.crashed = true
+	m.mu.Unlock()
+	if hs != nil {
+		hs.Close() //nolint:errcheck
+	}
+	if srv != nil {
+		srv.Close()
+	}
+	if node != nil {
+		node.Close()
+	}
+	if imp != nil {
+		imp.Close()
+	}
+	if store != nil {
+		store.Kill()
+	}
+}
+
+// Restart reboots a killed member from its on-disk state. On the UDP
+// transport the ring sockets re-bind fresh ports and every peer's table
+// is updated; the HTTP front door re-binds its original port.
+func (c *LogdCluster) Restart(i int) error {
+	m := c.members[i]
+	m.mu.Lock()
+	crashed := m.crashed
+	m.mu.Unlock()
+	if !crashed {
+		return nil
+	}
+	if c.opt.Transport == "udp" {
+		t, err := c.newUDP(m.id)
+		if err != nil {
+			return err
+		}
+		m.udp = t
+		c.mu.Lock()
+		c.addrs[m.id] = t.LocalAddrs()
+		c.mu.Unlock()
+		for _, peer := range c.members {
+			if peer.id == m.id {
+				continue
+			}
+			t.AddPeer(peer.id, c.addrs[peer.id]) //nolint:errcheck
+			peer.mu.Lock()
+			if !peer.crashed && peer.udp != nil {
+				peer.udp.AddPeer(m.id, c.addrs[m.id]) //nolint:errcheck
+			}
+			peer.mu.Unlock()
+		}
+	}
+	return c.startMember(m)
+}
+
+// WaitLive blocks until every non-crashed member's server reports live
+// and its ring sees all non-crashed members.
+func (c *LogdCluster) WaitLive(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		want := c.liveCount()
+		ready := 0
+		for _, m := range c.members {
+			m.mu.Lock()
+			node, srv, crashed := m.node, m.srv, m.crashed
+			m.mu.Unlock()
+			if crashed || node == nil || srv == nil {
+				continue
+			}
+			if !srv.Live() || !node.Operational() {
+				continue
+			}
+			if _, members := node.Ring(); len(members) == want {
+				ready++
+			}
+		}
+		if want > 0 && ready == want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("logdcluster: not live after %s (%d/%d ready)", timeout, ready, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (c *LogdCluster) liveCount() int {
+	n := 0
+	for _, m := range c.members {
+		m.mu.Lock()
+		if !m.crashed {
+			n++
+		}
+		m.mu.Unlock()
+	}
+	return n
+}
+
+// WaitConverged blocks until every live member's store has the same
+// tail — the whole cluster holds the identical log.
+func (c *LogdCluster) WaitConverged(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		var tails []uint64
+		for _, m := range c.members {
+			m.mu.Lock()
+			store, crashed := m.store, m.crashed
+			m.mu.Unlock()
+			if crashed || store == nil {
+				continue
+			}
+			tails = append(tails, store.Next())
+		}
+		same := len(tails) > 0
+		for _, tl := range tails {
+			if tl != tails[0] {
+				same = false
+			}
+		}
+		if same {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("logdcluster: tails did not converge after %s: %v", timeout, tails)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Close tears the whole cluster down (graceful stores: final snapshot).
+func (c *LogdCluster) Close() {
+	for _, m := range c.members {
+		m.mu.Lock()
+		imp, node, store, srv, hs := m.imp, m.node, m.store, m.srv, m.hs
+		m.imp, m.node, m.store, m.srv, m.hs = nil, nil, nil, nil, nil
+		m.crashed = true
+		m.mu.Unlock()
+		if hs != nil {
+			hs.Close() //nolint:errcheck
+		}
+		if srv != nil {
+			srv.Close()
+		}
+		if node != nil {
+			node.Close()
+		}
+		if imp != nil {
+			imp.Close()
+		}
+		if store != nil {
+			store.Close()
+		}
+	}
+}

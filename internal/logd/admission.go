@@ -1,0 +1,125 @@
+package logd
+
+import (
+	"sync"
+	"time"
+)
+
+// Admission control at the front door: a global inflight cap bounds how
+// many appends the server holds in memory awaiting ordering + commit,
+// and a per-client token bucket bounds each client's append rate so one
+// hot client cannot starve the rest. Both answer instantly — the server
+// turns a refusal into 429/503 and lets the client's backoff provide the
+// queueing, rather than parking goroutines.
+
+// AdmissionOptions tunes the front door. Zero fields take defaults.
+type AdmissionOptions struct {
+	// MaxInflight is the global cap on appends in flight (default 1024).
+	MaxInflight int
+	// RatePerSec refills each client's token bucket (default 500/s;
+	// negative disables per-client limiting).
+	RatePerSec float64
+	// Burst is each bucket's capacity (default 2*RatePerSec, min 16).
+	Burst float64
+	// MaxClients bounds the bucket table; once full, unknown clients are
+	// rate-limited as one shared bucket (default 4096).
+	MaxClients int
+}
+
+func (o AdmissionOptions) withDefaults() AdmissionOptions {
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 1024
+	}
+	if o.RatePerSec == 0 {
+		o.RatePerSec = 500
+	}
+	if o.Burst <= 0 {
+		o.Burst = max(2*o.RatePerSec, 16)
+	}
+	if o.MaxClients <= 0 {
+		o.MaxClients = 4096
+	}
+	return o
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Admission implements the inflight gate and the per-client buckets.
+type Admission struct {
+	opt AdmissionOptions
+
+	mu       sync.Mutex
+	inflight int
+	buckets  map[string]*bucket
+	overflow bucket // shared bucket once MaxClients distinct ids are seen
+
+	// now is swappable for tests.
+	now func() time.Time
+}
+
+// NewAdmission builds an Admission gate.
+func NewAdmission(opt AdmissionOptions) *Admission {
+	return &Admission{
+		opt:     opt.withDefaults(),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// Acquire claims an inflight slot, reporting false when the server is at
+// capacity. Pair with Release.
+func (a *Admission) Acquire() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inflight >= a.opt.MaxInflight {
+		return false
+	}
+	a.inflight++
+	return true
+}
+
+// Release returns an inflight slot.
+func (a *Admission) Release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inflight > 0 {
+		a.inflight--
+	}
+}
+
+// Inflight returns the current number of held slots.
+func (a *Admission) Inflight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// AllowClient spends one token from client's bucket, reporting false
+// (rate limited) when the bucket is empty.
+func (a *Admission) AllowClient(client string) bool {
+	if a.opt.RatePerSec < 0 {
+		return true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b, ok := a.buckets[client]
+	if !ok {
+		if len(a.buckets) >= a.opt.MaxClients {
+			b = &a.overflow
+		} else {
+			b = &bucket{tokens: a.opt.Burst, last: a.now()}
+			a.buckets[client] = b
+		}
+	}
+	now := a.now()
+	b.tokens = min(a.opt.Burst, b.tokens+a.opt.RatePerSec*now.Sub(b.last).Seconds())
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,86 @@
+package logd
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdmissionInflightCap(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxInflight: 2})
+	if !a.Acquire() || !a.Acquire() {
+		t.Fatal("first two acquires must succeed")
+	}
+	if a.Acquire() {
+		t.Fatal("third acquire must be refused at MaxInflight=2")
+	}
+	a.Release()
+	if !a.Acquire() {
+		t.Fatal("acquire after release must succeed")
+	}
+	if got := a.Inflight(); got != 2 {
+		t.Fatalf("Inflight = %d, want 2", got)
+	}
+}
+
+func TestAdmissionTokenBucket(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{RatePerSec: 10, Burst: 3})
+	now := time.Unix(0, 0)
+	a.now = func() time.Time { return now }
+
+	for i := 0; i < 3; i++ {
+		if !a.AllowClient("c") {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	if a.AllowClient("c") {
+		t.Fatal("fourth request within burst must be rate-limited")
+	}
+	// Another client has its own bucket.
+	if !a.AllowClient("other") {
+		t.Fatal("distinct client must not share the exhausted bucket")
+	}
+	// 100ms at 10/s refills one token.
+	now = now.Add(100 * time.Millisecond)
+	if !a.AllowClient("c") {
+		t.Fatal("refilled token refused")
+	}
+	if a.AllowClient("c") {
+		t.Fatal("only one token should have refilled")
+	}
+	// Refill caps at Burst no matter how long the idle gap.
+	now = now.Add(time.Hour)
+	allowed := 0
+	for a.AllowClient("c") {
+		allowed++
+	}
+	if allowed != 3 {
+		t.Fatalf("after a long idle: %d tokens, want Burst=3", allowed)
+	}
+}
+
+func TestAdmissionOverflowBucket(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{RatePerSec: 1000, Burst: 2, MaxClients: 1})
+	now := time.Unix(0, 0)
+	a.now = func() time.Time { return now }
+
+	if !a.AllowClient("tracked") {
+		t.Fatal("first client refused")
+	}
+	// The table is full: every further identity shares the overflow
+	// bucket instead of growing the map without bound.
+	if !a.AllowClient("x1") || !a.AllowClient("x2") {
+		t.Fatal("overflow clients should share the overflow burst")
+	}
+	if a.AllowClient("x3") {
+		t.Fatal("overflow bucket exhausted but x3 admitted")
+	}
+}
+
+func TestAdmissionDisabled(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{RatePerSec: -1})
+	for i := 0; i < 10_000; i++ {
+		if !a.AllowClient("c") {
+			t.Fatal("negative RatePerSec must disable per-client limits")
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package logd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzSegmentDecode throws arbitrary bytes at the on-disk record decoder.
+// Invariants: never panic, never read past the buffer, classify every
+// input as a valid record / short prefix / corruption, and round-trip
+// exactly (decode∘encode is the identity on the consumed prefix).
+func FuzzSegmentDecode(f *testing.F) {
+	seed := func(rec Record) { f.Add(AppendRecord(nil, rec)) }
+	seed(Record{Offset: 0, Kind: KindData, Client: "a", Seq: 1, Payload: []byte("hello")})
+	seed(Record{Offset: 1 << 40, Kind: KindSync, Client: SyncClientPrefix + "node-3", Seq: 7})
+	seed(Record{Offset: 3, Kind: KindData, Client: string(bytes.Repeat([]byte("c"), MaxClientID)), Seq: 1 << 60, Payload: bytes.Repeat([]byte{0xAB}, 300)})
+	two := AppendRecord(nil, Record{Offset: 5, Kind: KindData, Client: "x", Seq: 1, Payload: []byte("p1")})
+	two = AppendRecord(two, Record{Offset: 6, Kind: KindData, Client: "y", Seq: 2, Payload: []byte("p2")})
+	f.Add(two)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 4, 1, 2, 3, 4})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, n, err := DecodeRecord(data)
+		if err != nil {
+			if !errors.Is(err, ErrShort) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if len(rec.Client) == 0 || len(rec.Client) > MaxClientID {
+			t.Fatalf("decoded client length %d escaped validation", len(rec.Client))
+		}
+		if rec.Kind != KindData && rec.Kind != KindSync {
+			t.Fatalf("decoded kind %d escaped validation", rec.Kind)
+		}
+		// Canonical round-trip: re-encoding the decoded record must
+		// reproduce the consumed bytes exactly.
+		if enc := AppendRecord(nil, rec); !bytes.Equal(enc, data[:n]) {
+			t.Fatalf("round-trip mismatch:\n in  %x\n out %x", data[:n], enc)
+		}
+	})
+}
+
+// FuzzEnvelopeDecode does the same for the ring envelope.
+func FuzzEnvelopeDecode(f *testing.F) {
+	f.Add(AppendEnvelope(nil, KindData, "client-1", 42, []byte("payload")))
+	f.Add(AppendEnvelope(nil, KindSync, SyncClientPrefix+"n2", 3, nil))
+	f.Add([]byte{})
+	f.Add([]byte{1, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, client, seq, payload, err := DecodeEnvelope(data)
+		if err != nil {
+			if !errors.Is(err, ErrShort) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		if enc := AppendEnvelope(nil, kind, client, seq, payload); !bytes.Equal(enc, data) {
+			t.Fatalf("round-trip mismatch:\n in  %x\n out %x", data, enc)
+		}
+	})
+}
+
+func TestDecodeRecordTruncationIsShortNotCorrupt(t *testing.T) {
+	// Every strict prefix of a valid record must classify as ErrShort —
+	// that is what lets recovery treat a torn tail as repairable rather
+	// than refusing to start.
+	full := AppendRecord(nil, Record{Offset: 9, Kind: KindData, Client: "alice", Seq: 12, Payload: []byte("the payload")})
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := DecodeRecord(full[:cut]); !errors.Is(err, ErrShort) {
+			t.Fatalf("prefix of %d/%d bytes: got %v, want ErrShort", cut, len(full), err)
+		}
+	}
+}
+
+func TestDecodeRecordFlippedByteIsCaught(t *testing.T) {
+	full := AppendRecord(nil, Record{Offset: 9, Kind: KindData, Client: "alice", Seq: 12, Payload: []byte("the payload")})
+	for i := range full {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0x01
+		rec, _, err := DecodeRecord(mut)
+		if err == nil {
+			// A flip in the length prefix can only survive if the frame
+			// still parses to the same bytes — impossible for a 1-bit flip
+			// with the CRC over the body; a flip inside the body must be
+			// caught by the CRC.
+			t.Fatalf("flip at byte %d decoded silently to %+v", i, rec)
+		}
+	}
+}

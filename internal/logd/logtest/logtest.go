@@ -1,0 +1,219 @@
+// Package logtest is the model-checked conformance suite for logd
+// semantics. It drives real logdclient traffic at a set of HTTP
+// endpoints — a single in-memory server or a live multi-node ring, the
+// sim-vs-live differential pattern — records every acknowledgement, then
+// verifies the acknowledged history against the log the cluster actually
+// stored:
+//
+//   - append→offset monotonicity: a client's acked offsets strictly
+//     increase in ack order;
+//   - no duplicate offsets: no two acks (any clients) share an offset;
+//   - read-your-writes: after the run, reading each acked offset returns
+//     exactly the record that was acknowledged there;
+//   - no lost appends: every acked (client, seq) is present in the log;
+//   - no duplicate appends: no (client, seq) identity occupies two
+//     offsets, no matter how many times retries re-submitted it;
+//   - density: the log's offsets run 0,1,2,... with no gaps.
+package logtest
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/logd"
+	"github.com/totem-rrp/totem/logdclient"
+)
+
+// Ack is one acknowledged append as the client observed it.
+type Ack struct {
+	Client  string
+	Seq     uint64
+	Offset  uint64
+	Payload string
+}
+
+// Checker accumulates acknowledgements (from any number of goroutines)
+// and verifies them against the stored log.
+type Checker struct {
+	mu   sync.Mutex
+	acks []Ack
+}
+
+// Acked records one acknowledged append.
+func (c *Checker) Acked(client string, seq, offset uint64, payload string) {
+	c.mu.Lock()
+	c.acks = append(c.acks, Ack{Client: client, Seq: seq, Offset: offset, Payload: payload})
+	c.mu.Unlock()
+}
+
+// Acks returns a copy of the recorded acknowledgements.
+func (c *Checker) Acks() []Ack {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Ack(nil), c.acks...)
+}
+
+// Verify checks every conformance property against the log served at
+// endpoint. It reads the whole log [0, next) through the read API.
+func (c *Checker) Verify(t *testing.T, ctx context.Context, endpoint string) {
+	t.Helper()
+	acks := c.Acks()
+
+	// Offset monotonicity per client, in ack order.
+	lastByClient := make(map[string]Ack)
+	for _, a := range acks {
+		if prev, ok := lastByClient[a.Client]; ok {
+			if a.Offset <= prev.Offset {
+				t.Errorf("client %s: ack offsets not monotonic: seq %d at %d after seq %d at %d",
+					a.Client, a.Seq, a.Offset, prev.Seq, prev.Offset)
+			}
+			if a.Seq <= prev.Seq {
+				t.Errorf("client %s: ack seqs not monotonic: %d after %d", a.Client, a.Seq, prev.Seq)
+			}
+		}
+		lastByClient[a.Client] = a
+	}
+
+	// No duplicate offsets across all acks.
+	byOffset := make(map[uint64]Ack, len(acks))
+	for _, a := range acks {
+		if dup, ok := byOffset[a.Offset]; ok {
+			t.Errorf("offset %d acked twice: %s/%d and %s/%d", a.Offset, dup.Client, dup.Seq, a.Client, a.Seq)
+		}
+		byOffset[a.Offset] = a
+	}
+
+	// Fetch the whole log.
+	log := FetchAll(t, ctx, endpoint)
+
+	// Density: offsets run 0,1,2,...
+	for i, rec := range log {
+		if rec.Offset != uint64(i) {
+			t.Fatalf("log not dense: position %d holds offset %d", i, rec.Offset)
+		}
+	}
+
+	// No duplicate identities anywhere in the log.
+	type ident struct {
+		client string
+		seq    uint64
+	}
+	seen := make(map[ident]uint64, len(log))
+	for _, rec := range log {
+		id := ident{rec.Client, rec.Seq}
+		if prev, ok := seen[id]; ok {
+			t.Errorf("duplicate append: %s/%d at offsets %d and %d", rec.Client, rec.Seq, prev, rec.Offset)
+		}
+		seen[id] = rec.Offset
+	}
+
+	// Read-your-writes + no lost appends: every ack is in the log at its
+	// acked offset with its exact payload.
+	for _, a := range acks {
+		if a.Offset >= uint64(len(log)) {
+			t.Errorf("acked offset %d (%s/%d) beyond stored log length %d", a.Offset, a.Client, a.Seq, len(log))
+			continue
+		}
+		rec := log[a.Offset]
+		if rec.Client != a.Client || rec.Seq != a.Seq || string(rec.Payload) != a.Payload {
+			t.Errorf("offset %d: acked %s/%d %q, stored %s/%d %q",
+				a.Offset, a.Client, a.Seq, a.Payload, rec.Client, rec.Seq, rec.Payload)
+		}
+	}
+}
+
+// FetchAll reads the complete log from endpoint.
+func FetchAll(t *testing.T, ctx context.Context, endpoint string) []logd.WireRecord {
+	t.Helper()
+	rd, err := logdclient.New(logdclient.Options{Endpoints: []string{endpoint}, ID: "logtest-reader"})
+	if err != nil {
+		t.Fatalf("logtest: reader client: %v", err)
+	}
+	var log []logd.WireRecord
+	for {
+		recs, next, err := rd.Read(ctx, uint64(len(log)), 512)
+		if err != nil {
+			t.Fatalf("logtest: reading log at %d: %v", len(log), err)
+		}
+		log = append(log, recs...)
+		if uint64(len(log)) >= next || len(recs) == 0 {
+			return log
+		}
+	}
+}
+
+// RunOptions sizes a conformance run.
+type RunOptions struct {
+	Clients   int           // concurrent writer identities (default 4)
+	Appends   int           // appends per client (default 25)
+	Prefix    string        // client-id prefix (default "conform")
+	Timeout   time.Duration // whole-run budget (default 60s)
+	ReadCheck bool          // read-your-writes probe after each ack
+}
+
+// Run drives Clients concurrent writers against endpoints, each
+// performing Appends sequential appends through its own logdclient, and
+// returns the populated Checker. Call Checker.Verify afterwards (possibly
+// after injecting faults or crash/restarting members in between).
+func Run(t *testing.T, endpoints []string, opt RunOptions) *Checker {
+	t.Helper()
+	if opt.Clients <= 0 {
+		opt.Clients = 4
+	}
+	if opt.Appends <= 0 {
+		opt.Appends = 25
+	}
+	if opt.Prefix == "" {
+		opt.Prefix = "conform"
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 60 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), opt.Timeout)
+	defer cancel()
+
+	ck := &Checker{}
+	var wg sync.WaitGroup
+	errCh := make(chan error, opt.Clients)
+	for w := 0; w < opt.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("%s-%d", opt.Prefix, w)
+			// Spread writers across members: each starts at a different
+			// endpoint and fails over independently.
+			eps := append(append([]string(nil), endpoints[w%len(endpoints):]...), endpoints[:w%len(endpoints)]...)
+			cl, err := logdclient.New(logdclient.Options{Endpoints: eps, ID: id, MaxAttempts: 12})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			for i := 0; i < opt.Appends; i++ {
+				payload := fmt.Sprintf("%s:%d", id, i+1)
+				off, err := cl.Append(ctx, []byte(payload))
+				if err != nil {
+					errCh <- fmt.Errorf("client %s append %d: %w", id, i+1, err)
+					return
+				}
+				seq, _ := cl.LastAcked()
+				ck.Acked(id, seq, off, payload)
+				if opt.ReadCheck {
+					recs, _, err := cl.Read(ctx, off, 1)
+					if err != nil || len(recs) == 0 || string(recs[0].Payload) != payload {
+						errCh <- fmt.Errorf("client %s: read-your-write at %d failed (err=%v)", id, off, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Errorf("logtest: %v", err)
+	}
+	return ck
+}

@@ -1,0 +1,201 @@
+// Package logd is a durable replicated-log service on top of the ring:
+// totally ordered appends, crash-safe log segments with periodic
+// snapshots, admission control, and an HTTP front door many concurrent
+// clients talk to through the logdclient library (DESIGN.md §16).
+//
+// Every append is wrapped in a small envelope and broadcast through the
+// ring; each member's apply loop consumes the totally ordered delivery
+// stream and materialises the same log: offset i holds the i-th ordered
+// record on every replica. Identity (client, seq) makes retries
+// idempotent — a record re-submitted through a different member after a
+// failover is recognised and acknowledged with its original offset
+// instead of appended twice.
+package logd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record kinds. Data records carry client payloads; sync records are the
+// catch-up markers a recovering replica orders through the ring to find
+// its place in the log (they occupy offsets but carry no payload).
+const (
+	KindData byte = 1
+	KindSync byte = 2
+)
+
+// Limits on the record identity and framing. MaxClientID bounds the
+// client identifier; DecodeRecord rejects anything larger, so a corrupt
+// length field cannot ask for gigabytes.
+const (
+	MaxClientID = 256
+	// maxDecodePayload bounds a single decoded record payload; the server
+	// enforces its own (smaller) MaxRecordBytes at admission, this guard
+	// only keeps a flipped length byte from allocating unbounded memory.
+	maxDecodePayload = 128 << 20
+)
+
+// Record is one entry of the replicated log.
+type Record struct {
+	// Offset is the record's position in the log: dense, starting at 0,
+	// identical on every replica.
+	Offset uint64
+	// Kind is KindData or KindSync.
+	Kind byte
+	// Client and Seq identify the append for idempotency. Seqs are
+	// strictly increasing per client.
+	Client string
+	Seq    uint64
+	// Payload is the application record (empty for sync markers).
+	Payload []byte
+}
+
+// Errors shared by the codecs.
+var (
+	// ErrCorrupt reports a record that failed structural or checksum
+	// validation.
+	ErrCorrupt = errors.New("logd: corrupt record")
+	// ErrShort reports a truncated buffer: the prefix read so far is not
+	// enough to hold the record it announces.
+	ErrShort = errors.New("logd: short record")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Envelope is the ring-message encoding of one append:
+//
+//	[0]    kind
+//	[1:3]  client length (big endian)
+//	[3:+]  client bytes
+//	[+8]   seq (big endian)
+//	rest   payload
+//
+// It is deliberately minimal: the ring already provides ordering,
+// integrity and sender identity; the envelope only carries what the
+// apply loop needs for idempotency.
+
+// AppendEnvelope appends the encoded envelope to dst and returns the
+// extended slice.
+func AppendEnvelope(dst []byte, kind byte, client string, seq uint64, payload []byte) []byte {
+	dst = append(dst, kind)
+	var u16 [2]byte
+	binary.BigEndian.PutUint16(u16[:], uint16(len(client)))
+	dst = append(dst, u16[:]...)
+	dst = append(dst, client...)
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], seq)
+	dst = append(dst, u64[:]...)
+	return append(dst, payload...)
+}
+
+// DecodeEnvelope parses a ring payload produced by AppendEnvelope. The
+// returned payload aliases b.
+func DecodeEnvelope(b []byte) (kind byte, client string, seq uint64, payload []byte, err error) {
+	if len(b) < 3 {
+		return 0, "", 0, nil, ErrShort
+	}
+	kind = b[0]
+	if kind != KindData && kind != KindSync {
+		return 0, "", 0, nil, fmt.Errorf("%w: envelope kind %d", ErrCorrupt, kind)
+	}
+	cl := int(binary.BigEndian.Uint16(b[1:3]))
+	if cl == 0 || cl > MaxClientID {
+		return 0, "", 0, nil, fmt.Errorf("%w: client length %d", ErrCorrupt, cl)
+	}
+	if len(b) < 3+cl+8 {
+		return 0, "", 0, nil, ErrShort
+	}
+	client = string(b[3 : 3+cl])
+	seq = binary.BigEndian.Uint64(b[3+cl : 3+cl+8])
+	payload = b[3+cl+8:]
+	return kind, client, seq, payload, nil
+}
+
+// On-disk record framing (the segment format):
+//
+//	u32  body length
+//	u32  CRC-32C of body
+//	body:
+//	  u64 offset
+//	  u8  kind
+//	  u16 client length, client bytes
+//	  u64 seq
+//	  u32 payload length
+//	  payload
+//
+// The redundant payload length cross-checks the frame length, so a
+// single flipped byte in either is caught even on the off chance the CRC
+// collides.
+
+const recordHeader = 8 // frame length + CRC
+
+// AppendRecord appends rec's on-disk encoding to dst and returns the
+// extended slice.
+func AppendRecord(dst []byte, rec Record) []byte {
+	bodyLen := 8 + 1 + 2 + len(rec.Client) + 8 + 4 + len(rec.Payload)
+	start := len(dst)
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(bodyLen))
+	dst = append(dst, u32[:]...)
+	dst = append(dst, 0, 0, 0, 0) // CRC placeholder
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], rec.Offset)
+	dst = append(dst, u64[:]...)
+	dst = append(dst, rec.Kind)
+	var u16 [2]byte
+	binary.BigEndian.PutUint16(u16[:], uint16(len(rec.Client)))
+	dst = append(dst, u16[:]...)
+	dst = append(dst, rec.Client...)
+	binary.BigEndian.PutUint64(u64[:], rec.Seq)
+	dst = append(dst, u64[:]...)
+	binary.BigEndian.PutUint32(u32[:], uint32(len(rec.Payload)))
+	dst = append(dst, u32[:]...)
+	dst = append(dst, rec.Payload...)
+	crc := crc32.Checksum(dst[start+recordHeader:], castagnoli)
+	binary.BigEndian.PutUint32(dst[start+4:start+8], crc)
+	return dst
+}
+
+// DecodeRecord parses one on-disk record from the front of b and returns
+// it with the number of bytes consumed. ErrShort means b is a valid but
+// incomplete prefix (a truncated tail); ErrCorrupt means the bytes can
+// never parse (checksum or structural damage). The returned payload is a
+// copy, safe to retain.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < recordHeader {
+		return Record{}, 0, ErrShort
+	}
+	bodyLen := int(binary.BigEndian.Uint32(b[:4]))
+	if bodyLen < 8+1+2+8+4 || bodyLen > 8+1+2+MaxClientID+8+4+maxDecodePayload {
+		return Record{}, 0, fmt.Errorf("%w: frame length %d", ErrCorrupt, bodyLen)
+	}
+	if len(b) < recordHeader+bodyLen {
+		return Record{}, 0, ErrShort
+	}
+	body := b[recordHeader : recordHeader+bodyLen]
+	want := binary.BigEndian.Uint32(b[4:8])
+	if crc32.Checksum(body, castagnoli) != want {
+		return Record{}, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	var rec Record
+	rec.Offset = binary.BigEndian.Uint64(body[:8])
+	rec.Kind = body[8]
+	if rec.Kind != KindData && rec.Kind != KindSync {
+		return Record{}, 0, fmt.Errorf("%w: kind %d", ErrCorrupt, rec.Kind)
+	}
+	cl := int(binary.BigEndian.Uint16(body[9:11]))
+	if cl == 0 || cl > MaxClientID || 11+cl+8+4 > len(body) {
+		return Record{}, 0, fmt.Errorf("%w: client length %d", ErrCorrupt, cl)
+	}
+	rec.Client = string(body[11 : 11+cl])
+	rec.Seq = binary.BigEndian.Uint64(body[11+cl : 11+cl+8])
+	pl := int(binary.BigEndian.Uint32(body[11+cl+8 : 11+cl+12]))
+	if 11+cl+12+pl != len(body) {
+		return Record{}, 0, fmt.Errorf("%w: payload length %d in %d-byte body", ErrCorrupt, pl, len(body))
+	}
+	rec.Payload = append([]byte(nil), body[11+cl+12:]...)
+	return rec, recordHeader + bodyLen, nil
+}

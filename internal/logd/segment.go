@@ -1,0 +1,96 @@
+package logd
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Log segments: each file seg-<first offset, hex>.log holds the framed
+// records [base, base+k) in offset order. Segments are append-only and
+// rotate at Options.SegmentBytes; recovery scans them front to back,
+// stops at the first damaged or discontiguous record, truncates the
+// damaged file back to its last valid boundary and quarantines anything
+// after it, so a torn write or flipped byte costs the damaged suffix,
+// never a crash.
+
+const (
+	segPrefix   = "seg-"
+	segSuffix   = ".log"
+	orphanedExt = ".orphaned"
+)
+
+type segref struct {
+	base uint64
+	path string
+}
+
+func segName(dir string, base uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", segPrefix, base, segSuffix))
+}
+
+// listSegments returns the directory's segment files sorted by base
+// offset. Files whose names do not parse are ignored.
+func listSegments(dir string) ([]segref, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segref
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		base, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segref{base: base, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].base < segs[j].base })
+	return segs, nil
+}
+
+// scanSegment walks one segment file, invoking fn for every valid record
+// whose offset is >= from and verifying the offsets run base, base+1, ...
+// It returns the next expected offset, the byte length of the valid
+// prefix, and whether the file ended cleanly (false means damage or a
+// discontiguity was found at validLen).
+func scanSegment(path string, base, from uint64, fn func(Record)) (next uint64, validLen int64, clean bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	next = base
+	pos := 0
+	for pos < len(data) {
+		rec, n, derr := DecodeRecord(data[pos:])
+		if derr != nil {
+			// ErrShort at the tail is a torn final write; ErrCorrupt is a
+			// flipped byte. Either way the file is valid up to pos.
+			return next, int64(pos), false, nil
+		}
+		if rec.Offset != next {
+			// Discontiguity: the record parsed but belongs elsewhere —
+			// treat as damage at this boundary.
+			return next, int64(pos), false, nil
+		}
+		if rec.Offset >= from && fn != nil {
+			fn(rec)
+		}
+		next++
+		pos += n
+	}
+	return next, int64(pos), true, nil
+}
+
+// quarantine renames a no-longer-trusted file aside rather than deleting
+// it, so a post-mortem can inspect what recovery dropped.
+func quarantine(path string) {
+	os.Rename(path, path+orphanedExt) //nolint:errcheck
+}

@@ -1,0 +1,207 @@
+package logd
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshots and the meta file. A snapshot (snap-<next, hex>.snap) is the
+// apply state as of one log position: the next offset, the highest ring
+// epoch observed, and the per-client dedup table. Recovery loads the
+// newest valid snapshot and replays only the segment suffix past it, so
+// startup cost is bounded by the snapshot interval, not the log length.
+// The meta file persists the ring epoch and a boot counter outside the
+// snapshot cadence: epochs must survive a crash that happens right after
+// a membership change, before the next snapshot falls due (the
+// stable-storage ring sequence of the live harness's epoch-carry
+// restart).
+//
+// Both use the same frame as records — u32 length, u32 CRC-32C, JSON
+// body — and are written to a temp file, fsynced and renamed, so a crash
+// mid-write leaves the previous file intact.
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+	metaName   = "meta"
+	// snapKeep is how many snapshot generations survive a new one: the
+	// newest may be torn by a crash mid-rename chain, so its predecessor
+	// stays as fallback.
+	snapKeep = 2
+)
+
+// snapshotState is the JSON body of a snapshot file.
+type snapshotState struct {
+	Next    uint64                 `json:"next"`
+	Epoch   uint32                 `json:"epoch"`
+	Clients map[string]ClientState `json:"clients"`
+}
+
+// metaState is the JSON body of the meta file.
+type metaState struct {
+	Epoch uint32 `json:"epoch"`
+	Boot  uint64 `json:"boot"`
+}
+
+// writeFramed atomically replaces path with the CRC-framed body.
+func writeFramed(path string, body []byte) error {
+	buf := make([]byte, 8, 8+len(body))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.Checksum(body, castagnoli))
+	buf = append(buf, body...)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// readFramed loads and validates a CRC-framed file.
+func readFramed(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 8 {
+		return nil, ErrShort
+	}
+	n := int(binary.BigEndian.Uint32(data[:4]))
+	if n < 0 || 8+n > len(data) {
+		return nil, fmt.Errorf("%w: framed length %d in %d-byte file", ErrCorrupt, n, len(data))
+	}
+	body := data[8 : 8+n]
+	if crc32.Checksum(body, castagnoli) != binary.BigEndian.Uint32(data[4:8]) {
+		return nil, fmt.Errorf("%w: framed checksum mismatch", ErrCorrupt)
+	}
+	return body, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func snapName(dir string, next uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", snapPrefix, next, snapSuffix))
+}
+
+// listSnapshots returns snapshot files sorted newest first.
+func listSnapshots(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type snap struct {
+		next uint64
+		path string
+	}
+	var snaps []snap
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+		next, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			continue
+		}
+		snaps = append(snaps, snap{next, filepath.Join(dir, name)})
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].next > snaps[j].next })
+	out := make([]string, len(snaps))
+	for i, s := range snaps {
+		out[i] = s.path
+	}
+	return out, nil
+}
+
+// loadSnapshot returns the newest snapshot that validates, or ok=false
+// when none does. Damaged candidates are skipped, not fatal: the segments
+// can always rebuild the state from scratch.
+func loadSnapshot(dir string) (snapshotState, bool) {
+	paths, err := listSnapshots(dir)
+	if err != nil {
+		return snapshotState{}, false
+	}
+	for _, p := range paths {
+		body, err := readFramed(p)
+		if err != nil {
+			continue
+		}
+		var st snapshotState
+		if json.Unmarshal(body, &st) == nil {
+			if st.Clients == nil {
+				st.Clients = make(map[string]ClientState)
+			}
+			return st, true
+		}
+	}
+	return snapshotState{}, false
+}
+
+// saveSnapshot writes st as the newest snapshot and prunes old
+// generations beyond snapKeep.
+func saveSnapshot(dir string, st snapshotState) error {
+	body, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	if err := writeFramed(snapName(dir, st.Next), body); err != nil {
+		return err
+	}
+	paths, err := listSnapshots(dir)
+	if err != nil {
+		return nil //nolint:nilerr // pruning is best-effort
+	}
+	for _, p := range paths[min(len(paths), snapKeep):] {
+		os.Remove(p) //nolint:errcheck
+	}
+	return nil
+}
+
+func loadMeta(dir string) (metaState, bool) {
+	body, err := readFramed(filepath.Join(dir, metaName))
+	if err != nil {
+		return metaState{}, false
+	}
+	var m metaState
+	if json.Unmarshal(body, &m) != nil {
+		return metaState{}, false
+	}
+	return m, true
+}
+
+func saveMeta(dir string, m metaState) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return writeFramed(filepath.Join(dir, metaName), body)
+}

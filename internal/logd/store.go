@@ -1,0 +1,510 @@
+package logd
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// StoreOptions tunes the durable log. Zero fields take defaults.
+type StoreOptions struct {
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 4 MiB).
+	SegmentBytes int
+	// SnapshotEvery writes a snapshot after this many applied records
+	// (default 4096; negative disables automatic snapshots).
+	SnapshotEvery int
+	// NoSync skips fsync on append — benchmarks only. With NoSync set,
+	// "acknowledged" means "in the page cache", and a machine crash (not
+	// just a process crash) can lose acked records.
+	NoSync bool
+}
+
+func (o StoreOptions) withDefaults() StoreOptions {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 4096
+	}
+	return o
+}
+
+// ClientState is the dedup entry for one client: the last applied seq
+// and the offset it was assigned.
+type ClientState struct {
+	Seq    uint64 `json:"seq"`
+	Offset uint64 `json:"offset"`
+}
+
+// RecoveryReport summarises what Open had to do to the on-disk state.
+type RecoveryReport struct {
+	// Recovered reports whether any prior state existed on disk.
+	Recovered bool
+	// SnapshotNext is the offset the loaded snapshot covered (0 if none).
+	SnapshotNext uint64
+	// Truncated reports whether a damaged or torn segment tail was cut
+	// back to its last valid record.
+	Truncated bool
+	// TruncatedBytes is how many bytes the cut discarded.
+	TruncatedBytes int64
+	// Orphaned counts segment files quarantined because they sat beyond a
+	// damaged predecessor and could no longer be trusted.
+	Orphaned int
+}
+
+// Incoming is one ordered record before the store assigns its offset.
+type Incoming struct {
+	Kind    byte
+	Client  string
+	Seq     uint64
+	Payload []byte
+}
+
+// Applied is the outcome of one Incoming: its offset, or Dup when the
+// (client, seq) identity had already been applied (Offset then reports
+// the original offset only when the identity matches the client's most
+// recent record; older duplicates report 0).
+type Applied struct {
+	Offset uint64
+	Dup    bool
+}
+
+// Store is the durable, crash-recovering log: contiguous records in
+// rotating segments, a per-client dedup table, periodic snapshots, and
+// the ring-epoch meta. All methods are safe for concurrent use; Apply
+// and Ingest serialise internally, Read runs file IO outside the lock.
+type Store struct {
+	dir string
+	opt StoreOptions
+
+	mu         sync.Mutex
+	next       uint64
+	epoch      uint32
+	boot       uint64
+	clients    map[string]ClientState
+	segs       []segref
+	active     *os.File
+	activeSize int64
+	sinceSnap  int
+	closed     bool
+	report     RecoveryReport
+
+	encBuf []byte // append-encoding scratch, reused across batches
+}
+
+// OpenStore opens (and if necessary recovers) the log in dir, creating
+// the directory when absent.
+func OpenStore(dir string, opt StoreOptions) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:     dir,
+		opt:     opt.withDefaults(),
+		clients: make(map[string]ClientState),
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	// Count the boot and persist it with the epoch: sync-marker seqs are
+	// derived from the boot counter and must never repeat across restarts.
+	s.boot++
+	if err := saveMeta(s.dir, metaState{Epoch: s.epoch, Boot: s.boot}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover loads the newest valid snapshot and replays the segment suffix
+// past it, truncating at the first damage.
+func (s *Store) recover() error {
+	if m, ok := loadMeta(s.dir); ok {
+		s.report.Recovered = true
+		s.epoch, s.boot = m.Epoch, m.Boot
+	}
+	snap, haveSnap := loadSnapshot(s.dir)
+	if haveSnap {
+		s.report.Recovered = true
+		s.report.SnapshotNext = snap.Next
+		s.next = snap.Next
+		s.clients = snap.Clients
+		if snap.Epoch > s.epoch {
+			s.epoch = snap.Epoch
+		}
+	}
+	segs, err := listSegments(s.dir)
+	if err != nil {
+		return err
+	}
+	if len(segs) > 0 {
+		s.report.Recovered = true
+	}
+	expect := uint64(0)
+	if len(segs) > 0 {
+		expect = segs[0].base
+	}
+	damagedAt := -1
+	for i, seg := range segs {
+		if seg.base != expect {
+			// A hole in the segment chain: everything from here on is
+			// unreachable by contiguous replay.
+			damagedAt = i
+			break
+		}
+		next, validLen, clean, err := scanSegment(seg.path, seg.base, snap.Next, func(rec Record) {
+			s.applyClientState(rec)
+		})
+		if err != nil {
+			return err
+		}
+		if next > s.next {
+			s.next = next
+		}
+		if !clean {
+			fi, err := os.Stat(seg.path)
+			if err == nil {
+				s.report.TruncatedBytes += fi.Size() - validLen
+			}
+			if err := os.Truncate(seg.path, validLen); err != nil {
+				return fmt.Errorf("logd: truncating damaged segment %s: %w", seg.path, err)
+			}
+			s.report.Truncated = true
+			if next == seg.base && validLen == 0 {
+				// Fully damaged file: drop it from the chain entirely.
+				quarantine(seg.path)
+				damagedAt = i
+				break
+			}
+			s.segs = append(s.segs, seg)
+			damagedAt = i + 1
+			break
+		}
+		s.segs = append(s.segs, seg)
+		expect = next
+	}
+	if damagedAt >= 0 {
+		for _, seg := range segs[damagedAt:] {
+			if len(s.segs) > 0 && seg.path == s.segs[len(s.segs)-1].path {
+				continue
+			}
+			quarantine(seg.path)
+			s.report.Orphaned++
+		}
+	}
+	// The snapshot may claim records the (damaged) segments no longer
+	// hold; trust the segments — they are what Read can serve — and let
+	// catch-up refill from peers. Roll client state back is impossible
+	// without the records, so keep the snapshot's dedup entries: worst
+	// case a duplicate data record is skipped that could have been
+	// re-appended, which peers' logs resolve.
+	return s.openActive()
+}
+
+// applyClientState folds one replayed record into the dedup table.
+func (s *Store) applyClientState(rec Record) {
+	if cs, ok := s.clients[rec.Client]; !ok || rec.Seq > cs.Seq {
+		s.clients[rec.Client] = ClientState{Seq: rec.Seq, Offset: rec.Offset}
+	}
+}
+
+// openActive opens the tail segment for appending, or starts a fresh one
+// at the current next offset.
+func (s *Store) openActive() error {
+	if len(s.segs) > 0 {
+		tail := s.segs[len(s.segs)-1]
+		f, err := os.OpenFile(tail.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		s.active = f
+		s.activeSize = fi.Size()
+		return nil
+	}
+	return s.rotateLocked()
+}
+
+// rotateLocked closes the active segment and starts a new one at next.
+func (s *Store) rotateLocked() error {
+	if s.active != nil {
+		if !s.opt.NoSync {
+			if err := s.active.Sync(); err != nil {
+				return err
+			}
+		}
+		s.active.Close()
+		s.active = nil
+	}
+	path := segName(s.dir, s.next)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	s.active = f
+	s.activeSize = 0
+	s.segs = append(s.segs, segref{base: s.next, path: path})
+	return syncDir(s.dir)
+}
+
+// Next returns the next offset the log will assign (== its length).
+func (s *Store) Next() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}
+
+// Epoch returns the persisted ring epoch.
+func (s *Store) Epoch() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Boot returns the boot counter (incremented by every Open).
+func (s *Store) Boot() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.boot
+}
+
+// Recovered reports whether Open found any prior on-disk state.
+func (s *Store) Recovered() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.report.Recovered
+}
+
+// RecoveryReport returns what Open had to repair.
+func (s *Store) RecoveryReport() RecoveryReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.report
+}
+
+// SetEpoch persists e when it exceeds the stored epoch. Called on every
+// membership change so a restart can carry the epoch forward even when
+// no snapshot fell due in between.
+func (s *Store) SetEpoch(e uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e <= s.epoch {
+		return nil
+	}
+	s.epoch = e
+	return saveMeta(s.dir, metaState{Epoch: s.epoch, Boot: s.boot})
+}
+
+// Client returns the dedup state for one client.
+func (s *Store) Client(id string) (ClientState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.clients[id]
+	return cs, ok
+}
+
+// Apply appends the ordered batch, deduplicating by (client, seq),
+// assigning offsets, and fsyncing once for the whole batch before it
+// returns — the group commit the append acknowledgements ride on.
+func (s *Store) Apply(batch []Incoming) ([]Applied, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, os.ErrClosed
+	}
+	out := make([]Applied, len(batch))
+	s.encBuf = s.encBuf[:0]
+	appended := 0
+	for i, in := range batch {
+		cs, seen := s.clients[in.Client]
+		if seen && in.Seq <= cs.Seq {
+			out[i] = Applied{Dup: true}
+			if in.Seq == cs.Seq {
+				out[i].Offset = cs.Offset
+			}
+			continue
+		}
+		off := s.next + uint64(appended)
+		out[i] = Applied{Offset: off}
+		s.clients[in.Client] = ClientState{Seq: in.Seq, Offset: off}
+		s.encBuf = AppendRecord(s.encBuf, Record{
+			Offset:  off,
+			Kind:    in.Kind,
+			Client:  in.Client,
+			Seq:     in.Seq,
+			Payload: in.Payload,
+		})
+		appended++
+	}
+	if appended == 0 {
+		return out, nil
+	}
+	if err := s.writeLocked(s.encBuf, appended); err != nil {
+		return nil, err
+	}
+	return out, s.maybeSnapshotLocked()
+}
+
+// Ingest appends records fetched from a peer during catch-up. Offsets
+// are authoritative and must continue the local log contiguously;
+// records at already-held offsets are skipped (a fetch raced the apply
+// loop of the serving peer).
+func (s *Store) Ingest(recs []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return os.ErrClosed
+	}
+	s.encBuf = s.encBuf[:0]
+	appended := 0
+	for _, rec := range recs {
+		if rec.Offset < s.next {
+			continue
+		}
+		if rec.Offset != s.next+uint64(appended) {
+			return fmt.Errorf("logd: ingest discontiguity: offset %d, want %d", rec.Offset, s.next+uint64(appended))
+		}
+		s.applyClientState(rec)
+		s.encBuf = AppendRecord(s.encBuf, rec)
+		appended++
+	}
+	if appended == 0 {
+		return nil
+	}
+	if err := s.writeLocked(s.encBuf, appended); err != nil {
+		return err
+	}
+	return s.maybeSnapshotLocked()
+}
+
+// writeLocked commits count pre-encoded records: write, fsync, advance
+// next, rotate when the active segment is full.
+func (s *Store) writeLocked(buf []byte, count int) error {
+	if _, err := s.active.Write(buf); err != nil {
+		return err
+	}
+	if !s.opt.NoSync {
+		if err := s.active.Sync(); err != nil {
+			return err
+		}
+	}
+	s.activeSize += int64(len(buf))
+	s.next += uint64(count)
+	s.sinceSnap += count
+	if s.activeSize >= int64(s.opt.SegmentBytes) {
+		return s.rotateLocked()
+	}
+	return nil
+}
+
+func (s *Store) maybeSnapshotLocked() error {
+	if s.opt.SnapshotEvery < 0 || s.sinceSnap < s.opt.SnapshotEvery {
+		return nil
+	}
+	return s.snapshotLocked()
+}
+
+func (s *Store) snapshotLocked() error {
+	clients := make(map[string]ClientState, len(s.clients))
+	for k, v := range s.clients {
+		clients[k] = v
+	}
+	if err := saveSnapshot(s.dir, snapshotState{Next: s.next, Epoch: s.epoch, Clients: clients}); err != nil {
+		return err
+	}
+	s.sinceSnap = 0
+	return nil
+}
+
+// Snapshot writes a snapshot now, regardless of the automatic cadence.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return os.ErrClosed
+	}
+	return s.snapshotLocked()
+}
+
+// Read returns up to maxN records (bounded additionally by ~maxBytes of
+// payload; at least one record is returned if any exists) starting at
+// offset from. Reading at or past the tail returns an empty slice.
+func (s *Store) Read(from uint64, maxN, maxBytes int) ([]Record, error) {
+	s.mu.Lock()
+	next := s.next
+	segs := append([]segref(nil), s.segs...)
+	s.mu.Unlock()
+	if from >= next || maxN <= 0 {
+		return nil, nil
+	}
+	// Find the segment containing from: the last base <= from.
+	i := sort.Search(len(segs), func(j int) bool { return segs[j].base > from }) - 1
+	if i < 0 {
+		return nil, fmt.Errorf("logd: offset %d below retained log start", from)
+	}
+	var out []Record
+	bytes := 0
+	full := func() bool {
+		return len(out) >= maxN || (maxBytes > 0 && bytes >= maxBytes && len(out) > 0)
+	}
+	for ; i < len(segs); i++ {
+		_, _, _, err := scanSegment(segs[i].path, segs[i].base, from, func(rec Record) {
+			if rec.Offset >= next || full() {
+				return
+			}
+			out = append(out, rec)
+			bytes += len(rec.Payload)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if full() {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Close snapshots and closes the store. Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.snapshotLocked()
+	if s.active != nil {
+		if !s.opt.NoSync {
+			if serr := s.active.Sync(); err == nil {
+				err = serr
+			}
+		}
+		if cerr := s.active.Close(); err == nil {
+			err = cerr
+		}
+		s.active = nil
+	}
+	return err
+}
+
+// Kill closes the store abruptly: no snapshot, no final sync — the
+// kill -9 path of the crash tests. Acked records are already on disk
+// (Apply synced them); everything else is whatever the OS kept.
+func (s *Store) Kill() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.active != nil {
+		s.active.Close()
+		s.active = nil
+	}
+}

@@ -1,0 +1,339 @@
+// Package logdclient is the client library for the totemlogd replicated
+// log. It implements the repo's retry idiom end to end: exponential
+// backoff with full jitter, a max-attempt cap, retryable-vs-fatal error
+// classification (timeouts and ring reformation retry; validation does
+// not), and idempotent failover — every logical append carries a
+// (client, seq) identity assigned exactly once, so a retry through a
+// different ring member either commits the record or is recognised and
+// acknowledged with the offset the original commit was assigned.
+//
+// The contract is one Client value per client identity with at most one
+// Append in flight; concurrent appends from distinct Clients (distinct
+// ids) are unrestricted.
+package logdclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/logd"
+)
+
+// Options configures a Client. Endpoints and ID are required.
+type Options struct {
+	// Endpoints are the base URLs of the logd members ("http://h:p").
+	// The client sticks to one until it fails, then rotates.
+	Endpoints []string
+	// ID is the client identity appends are deduplicated by. Two live
+	// Client values must never share an ID.
+	ID string
+	// MaxAttempts caps retries per logical operation (default 8).
+	MaxAttempts int
+	// BaseBackoff seeds the exponential backoff (default 25ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps one backoff sleep (default 2s).
+	MaxBackoff time.Duration
+	// HTTP overrides the transport (default: 15s-timeout client).
+	HTTP *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 8
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 25 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.HTTP == nil {
+		o.HTTP = &http.Client{Timeout: 15 * time.Second}
+	}
+	return o
+}
+
+// APIError is a structured error response from a logd server.
+type APIError struct {
+	Status    int
+	Kind      string
+	Msg       string
+	Retryable bool
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("logd: %s (%d %s)", e.Msg, e.Status, e.Kind)
+}
+
+// ErrExhausted wraps the final error once MaxAttempts retryable failures
+// accumulate.
+var ErrExhausted = errors.New("logdclient: attempts exhausted")
+
+// Client talks to a logd cluster on behalf of one client identity.
+type Client struct {
+	opt Options
+
+	mu         sync.Mutex
+	seq        uint64 // last seq assigned to a logical append
+	lastAcked  uint64 // last seq acknowledged
+	lastOffset uint64 // offset of the last acknowledged append
+	ep         int    // current endpoint index
+}
+
+// New builds a Client. It performs no IO; call Resync to adopt the
+// server-side state of a previously used identity.
+func New(opt Options) (*Client, error) {
+	if len(opt.Endpoints) == 0 {
+		return nil, errors.New("logdclient: at least one endpoint required")
+	}
+	if opt.ID == "" || len(opt.ID) > logd.MaxClientID {
+		return nil, errors.New("logdclient: client ID must be 1..256 bytes")
+	}
+	return &Client{opt: opt.withDefaults()}, nil
+}
+
+// LastAcked returns the last acknowledged (seq, offset) pair.
+func (c *Client) LastAcked() (seq, offset uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastAcked, c.lastOffset
+}
+
+// endpoint returns the current endpoint; rotate moves past a failed one.
+func (c *Client) endpoint() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opt.Endpoints[c.ep%len(c.opt.Endpoints)]
+}
+
+func (c *Client) rotate() {
+	c.mu.Lock()
+	c.ep = (c.ep + 1) % len(c.opt.Endpoints)
+	c.mu.Unlock()
+}
+
+// backoff sleeps the full-jitter exponential delay for attempt (0-based):
+// a uniform draw from [0, min(MaxBackoff, BaseBackoff<<attempt)].
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.opt.BaseBackoff << attempt
+	if d <= 0 || d > c.opt.MaxBackoff {
+		d = c.opt.MaxBackoff
+	}
+	jittered := time.Duration(rand.Int63n(int64(d) + 1))
+	t := time.NewTimer(jittered)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// classify maps an HTTP response to an APIError (nil for 2xx).
+func classify(resp *http.Response) *APIError {
+	if resp.StatusCode < 300 {
+		return nil
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var eb logd.ErrorBody
+	if json.Unmarshal(body, &eb) == nil && eb.Kind != "" {
+		return &APIError{Status: resp.StatusCode, Kind: eb.Kind, Msg: eb.Msg, Retryable: eb.Retryable}
+	}
+	// No structured body: classify by status. 4xx (bar the throttling and
+	// catch-up codes) is fatal, everything else retries.
+	retry := true
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusTooEarly:
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		retry = false
+	}
+	return &APIError{Status: resp.StatusCode, Kind: "http", Msg: string(bytes.TrimSpace(body)), Retryable: retry}
+}
+
+// retryable reports whether err warrants another attempt: structured
+// retryable errors and transport-level failures do; validation does not.
+func retryable(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Retryable
+	}
+	return true // network error, timeout, connection refused: fail over
+}
+
+// Append commits payload to the log and returns its offset. The seq is
+// assigned once; retries and endpoint failovers reuse it, so the append
+// commits at most once no matter how many attempts were made.
+func (c *Client) Append(ctx context.Context, payload []byte) (uint64, error) {
+	c.mu.Lock()
+	c.seq++
+	seq := c.seq
+	c.mu.Unlock()
+
+	var lastErr error
+	for attempt := 0; attempt < c.opt.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(ctx, attempt-1); err != nil {
+				return 0, err
+			}
+		}
+		off, err := c.tryAppend(ctx, c.endpoint(), seq, payload)
+		if err == nil {
+			c.mu.Lock()
+			c.lastAcked, c.lastOffset = seq, off
+			c.mu.Unlock()
+			return off, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		if !retryable(err) {
+			var ae *APIError
+			if errors.As(err, &ae) && (ae.Kind == logd.ErrKindValidation || ae.Kind == logd.ErrKindTooLarge) {
+				// The server refused before ordering anything: the seq was
+				// never committed, so the next logical append may reuse it.
+				c.mu.Lock()
+				if c.seq == seq {
+					c.seq--
+				}
+				c.mu.Unlock()
+			}
+			return 0, err
+		}
+		c.rotate()
+	}
+	return 0, fmt.Errorf("%w: %w", ErrExhausted, lastErr)
+}
+
+func (c *Client) tryAppend(ctx context.Context, endpoint string, seq uint64, payload []byte) (uint64, error) {
+	u := fmt.Sprintf("%s/v1/append?client=%s&seq=%d", endpoint, url.QueryEscape(c.opt.ID), seq)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.opt.HTTP.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if ae := classify(resp); ae != nil {
+		return 0, ae
+	}
+	var ar logd.AppendResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&ar); err != nil {
+		return 0, err
+	}
+	return ar.Offset, nil
+}
+
+// Read fetches up to max records starting at offset from, returning them
+// with the serving member's tail. Reads are idempotent and retry/fail
+// over like appends.
+func (c *Client) Read(ctx context.Context, from uint64, max int) ([]logd.WireRecord, uint64, error) {
+	return c.readPath(ctx, fmt.Sprintf("/v1/read?from=%d&max=%d", from, max))
+}
+
+// Tail long-polls for records at or past from, waiting up to wait on the
+// server before returning (possibly empty on timeout).
+func (c *Client) Tail(ctx context.Context, from uint64, max int, wait time.Duration) ([]logd.WireRecord, uint64, error) {
+	return c.readPath(ctx, fmt.Sprintf("/v1/tail?from=%d&max=%d&wait_ms=%d", from, max, wait.Milliseconds()))
+}
+
+func (c *Client) readPath(ctx context.Context, path string) ([]logd.WireRecord, uint64, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.opt.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(ctx, attempt-1); err != nil {
+				return nil, 0, err
+			}
+		}
+		recs, next, err := c.tryRead(ctx, c.endpoint()+path)
+		if err == nil {
+			return recs, next, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, 0, ctx.Err()
+		}
+		if !retryable(err) {
+			return nil, 0, err
+		}
+		c.rotate()
+	}
+	return nil, 0, fmt.Errorf("%w: %w", ErrExhausted, lastErr)
+}
+
+func (c *Client) tryRead(ctx context.Context, u string) ([]logd.WireRecord, uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.opt.HTTP.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if ae := classify(resp); ae != nil {
+		return nil, 0, ae
+	}
+	var rr logd.ReadResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 256<<20)).Decode(&rr); err != nil {
+		return nil, 0, err
+	}
+	return rr.Records, rr.Next, nil
+}
+
+// Resync adopts the server-side state of this client identity: the
+// highest acknowledged seq and its offset across reachable endpoints. A
+// restarted client calls this before its first Append so it resumes
+// after — never on top of — its previous acknowledgements.
+func (c *Client) Resync(ctx context.Context) error {
+	var (
+		best      logd.ClientResponse
+		reachable bool
+		lastErr   error
+	)
+	for _, ep := range c.opt.Endpoints {
+		u := fmt.Sprintf("%s/v1/client?id=%s", ep, url.QueryEscape(c.opt.ID))
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.opt.HTTP.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var cr logd.ClientResponse
+		derr := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&cr)
+		resp.Body.Close()
+		if derr != nil {
+			lastErr = derr
+			continue
+		}
+		reachable = true
+		if cr.Known && cr.Seq > best.Seq {
+			best = cr
+		}
+	}
+	if !reachable {
+		return fmt.Errorf("logdclient: resync: no endpoint reachable: %w", lastErr)
+	}
+	c.mu.Lock()
+	if best.Seq > c.seq {
+		c.seq = best.Seq
+		c.lastAcked, c.lastOffset = best.Seq, best.Offset
+	}
+	c.mu.Unlock()
+	return nil
+}

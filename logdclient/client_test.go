@@ -1,0 +1,268 @@
+package logdclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/totem-rrp/totem/internal/logd"
+)
+
+// fakeLog is a shared in-memory logd back end several fake endpoints can
+// front, emulating replicas that agree on the dedup table.
+type fakeLog struct {
+	mu      sync.Mutex
+	next    uint64
+	clients map[string]logd.ClientState
+}
+
+func newFakeLog() *fakeLog { return &fakeLog{clients: make(map[string]logd.ClientState)} }
+
+func (f *fakeLog) commit(client string, seq uint64) (uint64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if cs, ok := f.clients[client]; ok && seq <= cs.Seq {
+		return cs.Offset, seq == cs.Seq
+	}
+	off := f.next
+	f.next++
+	f.clients[client] = logd.ClientState{Seq: seq, Offset: off}
+	return off, true
+}
+
+// appendHandler serves /v1/append against the shared log; behave lets a
+// test interpose failures.
+func endpoint(t *testing.T, f *fakeLog, behave func(w http.ResponseWriter, r *http.Request) bool) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/append", func(w http.ResponseWriter, r *http.Request) {
+		if behave != nil && !behave(w, r) {
+			return
+		}
+		client := r.URL.Query().Get("client")
+		seq, _ := strconv.ParseUint(r.URL.Query().Get("seq"), 10, 64)
+		off, ok := f.commit(client, seq)
+		if !ok {
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(logd.ErrorBody{Kind: logd.ErrKindStaleSeq, Retryable: false}) //nolint:errcheck
+			return
+		}
+		json.NewEncoder(w).Encode(logd.AppendResponse{Offset: off}) //nolint:errcheck
+	})
+	mux.HandleFunc("/v1/client", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		cs, ok := f.clients[r.URL.Query().Get("id")]
+		f.mu.Unlock()
+		json.NewEncoder(w).Encode(logd.ClientResponse{Known: ok, Seq: cs.Seq, Offset: cs.Offset}) //nolint:errcheck
+	})
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+func newTestClient(t *testing.T, eps ...string) *Client {
+	t.Helper()
+	c, err := New(Options{
+		Endpoints:   eps,
+		ID:          "test-client",
+		MaxAttempts: 6,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+// TestFailoverRetriesOnRetryableError: the first endpoint answers 503
+// reforming; the client must back off, rotate, and commit through the
+// second endpoint.
+func TestFailoverRetriesOnRetryableError(t *testing.T) {
+	f := newFakeLog()
+	var refused int
+	bad := endpoint(t, f, func(w http.ResponseWriter, r *http.Request) bool {
+		refused++
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(logd.ErrorBody{Kind: logd.ErrKindReforming, Retryable: true}) //nolint:errcheck
+		return false
+	})
+	good := endpoint(t, f, nil)
+	c := newTestClient(t, bad.URL, good.URL)
+
+	off, err := c.Append(context.Background(), []byte("p"))
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if off != 0 || refused == 0 {
+		t.Fatalf("offset %d, refused %d: expected failover after a 503", off, refused)
+	}
+	if seq, lastOff := c.LastAcked(); seq != 1 || lastOff != 0 {
+		t.Fatalf("LastAcked = (%d, %d), want (1, 0)", seq, lastOff)
+	}
+}
+
+// TestIdempotentFailoverNoDuplicate: the first endpoint commits but the
+// response is lost (504 after commit). The retry lands on the second
+// endpoint, whose dedup table recognises the identity and returns the
+// original offset — zero duplicate appends.
+func TestIdempotentFailoverNoDuplicate(t *testing.T) {
+	f := newFakeLog()
+	first := true
+	flaky := endpoint(t, f, func(w http.ResponseWriter, r *http.Request) bool {
+		if first {
+			first = false
+			client := r.URL.Query().Get("client")
+			seq, _ := strconv.ParseUint(r.URL.Query().Get("seq"), 10, 64)
+			f.commit(client, seq) // committed...
+			w.WriteHeader(http.StatusGatewayTimeout)
+			json.NewEncoder(w).Encode(logd.ErrorBody{Kind: logd.ErrKindTimeout, Retryable: true}) //nolint:errcheck
+			return false                                                                          // ...but the ack never reaches the client
+		}
+		return true
+	})
+	replica := endpoint(t, f, nil)
+	c := newTestClient(t, flaky.URL, replica.URL)
+
+	off, err := c.Append(context.Background(), []byte("p"))
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if off != 0 {
+		t.Fatalf("retried append got offset %d, want the original 0", off)
+	}
+	if f.next != 1 {
+		t.Fatalf("log holds %d records after a retried append, want 1", f.next)
+	}
+}
+
+// TestFatalErrorDoesNotRetryOrBurnSeq: a validation refusal returns
+// immediately (one request) and the unused seq is reclaimed for the next
+// logical append.
+func TestFatalErrorDoesNotRetryOrBurnSeq(t *testing.T) {
+	f := newFakeLog()
+	requests := 0
+	reject := true
+	ep := endpoint(t, f, func(w http.ResponseWriter, r *http.Request) bool {
+		requests++
+		if reject {
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(logd.ErrorBody{Kind: logd.ErrKindValidation, Retryable: false}) //nolint:errcheck
+			return false
+		}
+		return true
+	})
+	c := newTestClient(t, ep.URL)
+
+	_, err := c.Append(context.Background(), []byte("p"))
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Kind != logd.ErrKindValidation {
+		t.Fatalf("Append: %v, want validation APIError", err)
+	}
+	if requests != 1 {
+		t.Fatalf("%d requests for a fatal error, want exactly 1", requests)
+	}
+	reject = false
+	if _, err := c.Append(context.Background(), []byte("p2")); err != nil {
+		t.Fatalf("second Append: %v", err)
+	}
+	if seq, _ := c.LastAcked(); seq != 1 {
+		t.Fatalf("seq after unburn = %d, want 1 (validation must not consume seqs)", seq)
+	}
+}
+
+// TestExhaustionWrapsLastError: MaxAttempts retryable failures surface
+// as ErrExhausted.
+func TestExhaustionWrapsLastError(t *testing.T) {
+	f := newFakeLog()
+	ep := endpoint(t, f, func(w http.ResponseWriter, r *http.Request) bool {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(logd.ErrorBody{Kind: logd.ErrKindOverloaded, Retryable: true}) //nolint:errcheck
+		return false
+	})
+	c := newTestClient(t, ep.URL)
+	_, err := c.Append(context.Background(), []byte("p"))
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("Append: %v, want ErrExhausted", err)
+	}
+}
+
+// TestResyncAdoptsServerState: a restarted client (fresh Client, same
+// identity) resumes after its previous acknowledgements.
+func TestResyncAdoptsServerState(t *testing.T) {
+	f := newFakeLog()
+	ep := endpoint(t, f, nil)
+	c1 := newTestClient(t, ep.URL)
+	for i := 0; i < 3; i++ {
+		if _, err := c1.Append(context.Background(), []byte("p")); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+
+	c2 := newTestClient(t, ep.URL) // same ID, no memory
+	if err := c2.Resync(context.Background()); err != nil {
+		t.Fatalf("Resync: %v", err)
+	}
+	if seq, off := c2.LastAcked(); seq != 3 || off != 2 {
+		t.Fatalf("resynced state (%d, %d), want (3, 2)", seq, off)
+	}
+	newOff, err := c2.Append(context.Background(), []byte("p4"))
+	if err != nil {
+		t.Fatalf("Append after resync: %v", err)
+	}
+	if newOff != 3 {
+		t.Fatalf("append after resync at offset %d, want 3 (no clobbered seqs)", newOff)
+	}
+}
+
+// TestClassifyFallback: responses without a structured body classify by
+// status code.
+func TestClassifyFallback(t *testing.T) {
+	cases := []struct {
+		status    int
+		retryable bool
+	}{
+		{http.StatusBadRequest, false},
+		{http.StatusConflict, false},
+		{http.StatusRequestEntityTooLarge, false},
+		{http.StatusTooEarly, true},
+		{http.StatusTooManyRequests, true},
+		{http.StatusServiceUnavailable, true},
+		{http.StatusGatewayTimeout, true},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		rec.WriteHeader(tc.status)
+		ae := classify(rec.Result())
+		if ae == nil || ae.Retryable != tc.retryable {
+			t.Errorf("status %d: classified %+v, want retryable=%v", tc.status, ae, tc.retryable)
+		}
+	}
+}
+
+// TestBackoffIsBoundedFullJitter: each sleep draws from
+// [0, min(MaxBackoff, Base<<attempt)] — never more.
+func TestBackoffIsBoundedFullJitter(t *testing.T) {
+	c := newTestClient(t, "http://unused")
+	for attempt := 0; attempt < 10; attempt++ {
+		start := time.Now()
+		if err := c.backoff(context.Background(), attempt); err != nil {
+			t.Fatalf("backoff: %v", err)
+		}
+		if d := time.Since(start); d > c.opt.MaxBackoff+50*time.Millisecond {
+			t.Fatalf("attempt %d slept %v, cap is %v", attempt, d, c.opt.MaxBackoff)
+		}
+	}
+	// Cancellation interrupts the sleep.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.backoff(ctx, 9); err == nil {
+		t.Fatal("backoff ignored a cancelled context")
+	}
+}

@@ -525,6 +525,13 @@ func (n *Node) mergeLoop(in <-chan Delivery) {
 
 // fanIn forwards every source channel into out, tagging each value with
 // its source index, and closes out once all sources close.
+//
+// Backpressure contract (pinned by TestBlockedDeliveriesReaderShedsNothing):
+// when a consumer stops draining out, the forwarders block on the send —
+// nothing is ever shed. The runtimes' unbounded delivery queues sit
+// behind the source channels, so a stalled consumer buffers deliveries
+// in memory without ever stalling the ring itself; every queued message
+// is delivered, in order, once the consumer resumes.
 func fanIn[T any](srcs []<-chan T, out chan<- T, tag func(*T, int)) {
 	var wg sync.WaitGroup
 	for i, src := range srcs {
@@ -546,6 +553,12 @@ func (n *Node) ID() NodeID { return n.id }
 // Shards returns M, the number of independent rings this node runs
 // (1 for a classic single-ring node).
 func (n *Node) Shards() int { return n.shards }
+
+// CrossOrdered reports whether the node merges its shards' streams into
+// one total order (Config.CrossOrder). State-machine replication over
+// Deliveries requires it whenever Shards > 1 — without the merge, only
+// per-shard subsequences agree across nodes.
+func (n *Node) CrossOrdered() bool { return n.crossOrder }
 
 // ShardOf returns the shard SendKeyed would route key to.
 func (n *Node) ShardOf(key []byte) int {
